@@ -1,0 +1,77 @@
+package hdivexplorer
+
+import (
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/outcome"
+)
+
+// Additional classifier statistics (see Outcome for semantics).
+var (
+	// TruePositiveRate builds the TPR (recall) outcome.
+	TruePositiveRate = outcome.TruePositiveRate
+	// TrueNegativeRate builds the TNR (specificity) outcome.
+	TrueNegativeRate = outcome.TrueNegativeRate
+	// Precision builds the positive-predictive-value outcome.
+	Precision = outcome.Precision
+	// FalseDiscoveryRate builds the FDR outcome (1 − precision).
+	FalseDiscoveryRate = outcome.FalseDiscoveryRate
+	// FalseOmissionRate builds the FOR outcome.
+	FalseOmissionRate = outcome.FalseOmissionRate
+	// PredictedPositiveRate builds the demographic-parity outcome.
+	PredictedPositiveRate = outcome.PredictedPositiveRate
+	// PositiveRate builds the base-rate outcome.
+	PositiveRate = outcome.PositiveRate
+	// FromBoolFunc builds a custom three-valued outcome o: D → {T, F, ⊥}.
+	FromBoolFunc = outcome.FromBoolFunc
+)
+
+// Tristate is the value domain of FromBoolFunc outcome functions.
+type Tristate = outcome.Tristate
+
+// Tristate values for FromBoolFunc.
+const (
+	Bottom = outcome.Bottom
+	False  = outcome.False
+	True   = outcome.True
+)
+
+// ItemShapley attributes a subgroup's divergence to its individual items
+// via exact Shapley values (they sum to the subgroup's divergence).
+var ItemShapley = core.ItemShapley
+
+// Hierarchy derivation from data.
+var (
+	// FDViolation measures how far attr → byAttr is from holding.
+	FDViolation = hierarchy.FDViolation
+	// FromFunctionalDependency derives an item hierarchy for attr by
+	// grouping its levels under the byAttr values it determines
+	// (e.g. city → state).
+	FromFunctionalDependency = hierarchy.FromFunctionalDependency
+	// IntervalHierarchyFromCuts builds a hierarchy from nested manual cut
+	// layers.
+	IntervalHierarchyFromCuts = hierarchy.IntervalHierarchyFromCuts
+)
+
+// EvaluateItemsets recomputes support, divergence and t-values for a fixed
+// list of patterns on a (new) table without mining — the monitoring path.
+// Categorical items are re-mapped onto the table's dictionary by level
+// name.
+var EvaluateItemsets = core.EvaluateItemsets
+
+// DriftEntry is one pattern's change between two snapshot evaluations.
+type DriftEntry = core.DriftEntry
+
+// Drift pairs two EvaluateItemsets results over the same patterns and
+// returns per-pattern divergence/support shifts, largest first.
+var Drift = core.Drift
+
+// Hierarchy persistence.
+var (
+	// MarshalHierarchySet encodes a hierarchy set as JSON so a
+	// discretization can be reused across runs.
+	MarshalHierarchySet = hierarchy.MarshalSetJSON
+	// UnmarshalHierarchySet decodes a hierarchy set encoded by
+	// MarshalHierarchySet.
+	UnmarshalHierarchySet = hierarchy.UnmarshalSetJSON
+)

@@ -1,0 +1,52 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+//	experiments -list              # list experiment IDs
+//	experiments -run fig5          # one experiment
+//	experiments -run all           # everything (DESIGN.md §3 index)
+//	experiments -run all -full     # at the paper's dataset sizes
+//
+// Output is text: tables print the same rows the paper reports; figures
+// print the series (one line per point) behind each plot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment ID to run, or 'all'")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		seed  = flag.Int64("seed", 1, "generation/training seed")
+		full  = flag.Bool("full", false, "use the paper's dataset sizes (slower)")
+		trees = flag.Int("trees", 15, "random-forest size for the UCI analogs")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, FullScale: *full, ForestTrees: *trees}
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		a, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s — %s (%v)\n%s\n", a.ID, a.Title, time.Since(start).Round(time.Millisecond), a.Text)
+	}
+}

@@ -1,0 +1,207 @@
+// Command hdivexplorer runs H-DivExplorer on a CSV file.
+//
+// The CSV must contain the feature columns plus the columns naming the
+// ground truth and (for classification statistics) the model prediction.
+// Example:
+//
+//	hdivexplorer -data compas.csv -actual recid -predicted pred \
+//	    -stat fpr -s 0.05 -st 0.1 -top 15
+//
+// For a numeric statistic (e.g. income divergence):
+//
+//	hdivexplorer -data census.csv -target income -stat numeric -s 0.05
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	hdiv "repro"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "input CSV file (required)")
+		actualCol = flag.String("actual", "", "ground-truth boolean column (true/1 = positive)")
+		predCol   = flag.String("predicted", "", "prediction boolean column")
+		targetCol = flag.String("target", "", "numeric target column (for -stat numeric)")
+		stat      = flag.String("stat", "error", "statistic: fpr, fnr, error, accuracy, numeric")
+		s         = flag.Float64("s", 0.05, "exploration support threshold")
+		st        = flag.Float64("st", 0.1, "tree discretization support threshold")
+		criterion = flag.String("criterion", "divergence", "tree split criterion: divergence or entropy")
+		mode      = flag.String("mode", "hierarchical", "exploration mode: hierarchical or base")
+		algorithm = flag.String("algorithm", "fpgrowth", "miner: fpgrowth or apriori")
+		polarity  = flag.Bool("polarity", false, "enable polarity pruning")
+		maxLen    = flag.Int("maxlen", 0, "max itemset length (0 = unlimited)")
+		top       = flag.Int("top", 20, "number of subgroups to print")
+		minT      = flag.Float64("mint", 0, "only print subgroups with |t| at least this")
+		format    = flag.String("format", "text", "output format: text, csv or json")
+		workers   = flag.Int("workers", 0, "parallel mining goroutines (0 = serial)")
+	)
+	flag.Parse()
+	if err := run(*dataPath, *actualCol, *predCol, *targetCol, *stat, *criterion, *mode, *algorithm, *format,
+		*s, *st, *minT, *polarity, *maxLen, *top, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "hdivexplorer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, actualCol, predCol, targetCol, stat, criterion, mode, algorithm, format string,
+	s, st, minT float64, polarity bool, maxLen, top, workers int) error {
+	if dataPath == "" {
+		return fmt.Errorf("-data is required")
+	}
+	tab, err := hdiv.ReadCSVFile(dataPath, hdiv.CSVOptions{})
+	if err != nil {
+		return err
+	}
+
+	o, exclude, err := buildOutcome(tab, stat, actualCol, predCol, targetCol)
+	if err != nil {
+		return err
+	}
+
+	opt := hdiv.PipelineOptions{
+		TreeSupport:   st,
+		MinSupport:    s,
+		MaxLen:        maxLen,
+		PolarityPrune: polarity,
+		Workers:       workers,
+		Exclude:       exclude,
+	}
+	switch strings.ToLower(criterion) {
+	case "divergence":
+		opt.Criterion = hdiv.DivergenceGain
+	case "entropy":
+		opt.Criterion = hdiv.EntropyGain
+	default:
+		return fmt.Errorf("unknown criterion %q", criterion)
+	}
+	switch strings.ToLower(mode) {
+	case "hierarchical":
+		opt.Mode = hdiv.Hierarchical
+	case "base":
+		opt.Mode = hdiv.Base
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	switch strings.ToLower(algorithm) {
+	case "fpgrowth", "fp-growth":
+		opt.Algorithm = hdiv.FPGrowth
+	case "apriori":
+		opt.Algorithm = hdiv.Apriori
+	default:
+		return fmt.Errorf("unknown algorithm %q", algorithm)
+	}
+
+	rep, err := hdiv.Pipeline(tab, o, opt)
+	if err != nil {
+		return err
+	}
+	switch strings.ToLower(format) {
+	case "csv":
+		return rep.WriteCSV(os.Stdout)
+	case "json":
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(append(raw, '\n'))
+		return err
+	case "text":
+		// fall through to the aligned text report below
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	fmt.Printf("dataset: %d rows, %d items explored, %s=%.4f overall\n",
+		rep.NumRows, rep.NumItems, o.Name, rep.Global)
+	fmt.Printf("frequent subgroups: %d (mining %v)\n\n", len(rep.Subgroups), rep.Elapsed)
+	if minT > 0 {
+		filtered := rep.FilterMinT(minT)
+		if top > len(filtered) {
+			top = len(filtered)
+		}
+		for _, sg := range filtered[:top] {
+			fmt.Println(sg.String())
+		}
+		return nil
+	}
+	fmt.Print(rep.Table(top))
+	return nil
+}
+
+// buildOutcome assembles the statistic and the label columns to exclude
+// from the exploration itself.
+func buildOutcome(tab *hdiv.Table, stat, actualCol, predCol, targetCol string) (*hdiv.Outcome, []string, error) {
+	switch strings.ToLower(stat) {
+	case "numeric":
+		if targetCol == "" {
+			return nil, nil, fmt.Errorf("-stat numeric requires -target")
+		}
+		if !tab.HasColumn(targetCol) {
+			return nil, nil, fmt.Errorf("no column %q", targetCol)
+		}
+		return hdiv.Numeric(targetCol, tab.Floats(targetCol)), []string{targetCol}, nil
+	case "fpr", "fnr", "error", "accuracy":
+		if actualCol == "" || predCol == "" {
+			return nil, nil, fmt.Errorf("-stat %s requires -actual and -predicted", stat)
+		}
+		actual, err := boolColumn(tab, actualCol)
+		if err != nil {
+			return nil, nil, err
+		}
+		pred, err := boolColumn(tab, predCol)
+		if err != nil {
+			return nil, nil, err
+		}
+		exclude := []string{actualCol, predCol}
+		switch strings.ToLower(stat) {
+		case "fpr":
+			return hdiv.FalsePositiveRate(actual, pred), exclude, nil
+		case "fnr":
+			return hdiv.FalseNegativeRate(actual, pred), exclude, nil
+		case "error":
+			return hdiv.ErrorRate(actual, pred), exclude, nil
+		default:
+			return hdiv.Accuracy(actual, pred), exclude, nil
+		}
+	default:
+		return nil, nil, fmt.Errorf("unknown statistic %q", stat)
+	}
+}
+
+// boolColumn reads a column as booleans: numeric columns treat nonzero as
+// true; categorical columns accept true/false, yes/no, 1/0, t/f.
+func boolColumn(tab *hdiv.Table, name string) ([]bool, error) {
+	if !tab.HasColumn(name) {
+		return nil, fmt.Errorf("no column %q", name)
+	}
+	n := tab.NumRows()
+	out := make([]bool, n)
+	if tab.KindOf(name) == hdiv.Continuous {
+		for i, v := range tab.Floats(name) {
+			out[i] = v != 0
+		}
+		return out, nil
+	}
+	codes := tab.Codes(name)
+	levels := tab.Levels(name)
+	truth := make([]bool, len(levels))
+	for c, l := range levels {
+		switch strings.ToLower(strings.TrimSpace(l)) {
+		case "true", "yes", "1", "t", "y":
+			truth[c] = true
+		case "false", "no", "0", "f", "n":
+			truth[c] = false
+		default:
+			return nil, fmt.Errorf("column %q: level %q is not boolean", name, l)
+		}
+	}
+	for i, c := range codes {
+		out[i] = truth[c]
+	}
+	return out, nil
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	hdiv "repro"
+)
+
+func sampleTable(t *testing.T) *hdiv.Table {
+	t.Helper()
+	return hdiv.NewTableBuilder().
+		AddFloat("x", []float64{1, 0, 2, 0}).
+		AddCategorical("flag", []string{"true", "false", "YES", "no"}).
+		AddCategorical("g", []string{"a", "b", "a", "b"}).
+		MustBuild()
+}
+
+func TestBoolColumnNumeric(t *testing.T) {
+	tab := sampleTable(t)
+	got, err := boolColumn(tab, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("boolColumn(x) = %v", got)
+		}
+	}
+}
+
+func TestBoolColumnCategorical(t *testing.T) {
+	tab := sampleTable(t)
+	got, err := boolColumn(tab, "flag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("boolColumn(flag) = %v", got)
+		}
+	}
+}
+
+func TestBoolColumnErrors(t *testing.T) {
+	tab := sampleTable(t)
+	if _, err := boolColumn(tab, "missing"); err == nil {
+		t.Error("missing column should fail")
+	}
+	if _, err := boolColumn(tab, "g"); err == nil {
+		t.Error("non-boolean levels should fail")
+	}
+}
+
+func TestBuildOutcome(t *testing.T) {
+	tab := hdiv.NewTableBuilder().
+		AddFloat("income", []float64{10, 20, 30}).
+		AddCategorical("y", []string{"true", "false", "true"}).
+		AddCategorical("p", []string{"true", "true", "false"}).
+		MustBuild()
+
+	o, excl, err := buildOutcome(tab, "numeric", "", "", "income")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name != "income" || len(excl) != 1 || excl[0] != "income" {
+		t.Errorf("numeric outcome wrong: %v %v", o.Name, excl)
+	}
+
+	for _, stat := range []string{"fpr", "fnr", "error", "accuracy"} {
+		o, excl, err := buildOutcome(tab, stat, "y", "p", "")
+		if err != nil {
+			t.Fatalf("%s: %v", stat, err)
+		}
+		if o == nil || len(excl) != 2 {
+			t.Errorf("%s: outcome/excludes wrong", stat)
+		}
+	}
+
+	if _, _, err := buildOutcome(tab, "numeric", "", "", ""); err == nil {
+		t.Error("numeric without target should fail")
+	}
+	if _, _, err := buildOutcome(tab, "numeric", "", "", "nope"); err == nil {
+		t.Error("numeric with missing target should fail")
+	}
+	if _, _, err := buildOutcome(tab, "fpr", "", "", ""); err == nil {
+		t.Error("fpr without labels should fail")
+	}
+	if _, _, err := buildOutcome(tab, "wat", "y", "p", ""); err == nil {
+		t.Error("unknown stat should fail")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	// Build a CSV with a planted anomaly and run the full CLI path.
+	n := 600
+	x := make([]float64, n)
+	y := make([]string, n)
+	p := make([]string, n)
+	for i := 0; i < n; i++ {
+		x[i] = float64(i % 100)
+		y[i] = "false"
+		if i%2 == 0 {
+			y[i] = "true"
+		}
+		p[i] = y[i]
+		if x[i] > 80 { // mispredict the tail
+			if p[i] == "true" {
+				p[i] = "false"
+			} else {
+				p[i] = "true"
+			}
+		}
+	}
+	tab := hdiv.NewTableBuilder().
+		AddFloat("x", x).
+		AddCategorical("y", y).
+		AddCategorical("p", p).
+		MustBuild()
+	path := filepath.Join(t.TempDir(), "d.csv")
+	if err := tab.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Silence stdout during run.
+	old := os.Stdout
+	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devNull
+	defer func() { os.Stdout = old }()
+
+	if err := run(path, "y", "p", "", "error", "divergence", "hierarchical", "fpgrowth", "text",
+		0.05, 0.1, 0, false, 0, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "y", "p", "", "error", "entropy", "base", "apriori", "text",
+		0.05, 0.1, 2, true, 2, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"csv", "json"} {
+		if err := run(path, "y", "p", "", "error", "divergence", "hierarchical", "fpgrowth", format,
+			0.05, 0.1, 0, false, 0, 5, 0); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+	}
+
+	// Error paths.
+	if err := run("", "y", "p", "", "error", "divergence", "hierarchical", "fpgrowth", "text", 0.05, 0.1, 0, false, 0, 5, 0); err == nil {
+		t.Error("missing -data should fail")
+	}
+	if err := run(path, "y", "p", "", "error", "nope", "hierarchical", "fpgrowth", "text", 0.05, 0.1, 0, false, 0, 5, 0); err == nil {
+		t.Error("bad criterion should fail")
+	}
+	if err := run(path, "y", "p", "", "error", "divergence", "nope", "fpgrowth", "text", 0.05, 0.1, 0, false, 0, 5, 0); err == nil {
+		t.Error("bad mode should fail")
+	}
+	if err := run(path, "y", "p", "", "error", "divergence", "hierarchical", "nope", "text", 0.05, 0.1, 0, false, 0, 5, 0); err == nil {
+		t.Error("bad algorithm should fail")
+	}
+	if err := run(path, "y", "p", "", "error", "divergence", "hierarchical", "fpgrowth", "nope", 0.05, 0.1, 0, false, 0, 5, 0); err == nil {
+		t.Error("bad format should fail")
+	}
+	if err := run(path+".missing", "y", "p", "", "error", "divergence", "hierarchical", "fpgrowth", "text", 0.05, 0.1, 0, false, 0, 5, 0); err == nil {
+		t.Error("missing file should fail")
+	}
+}

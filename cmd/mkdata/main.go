@@ -1,0 +1,124 @@
+// Command mkdata materializes the synthetic evaluation datasets as CSV
+// files, including label/prediction/target columns, so they can be fed to
+// cmd/hdivexplorer or external tools.
+//
+//	mkdata -out data/                       # all eight datasets, paper sizes
+//	mkdata -out data/ -dataset compas -n 2000 -seed 7
+//
+// Classification datasets gain columns `label` (ground truth) and, when an
+// intrinsic model exists (compas, synthetic-peak), `prediction`;
+// folktables gains `income`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+)
+
+var names = []string{"adult", "bank", "compas", "folktables", "german", "intentions", "synthetic-peak", "wine"}
+
+func main() {
+	var (
+		out  = flag.String("out", ".", "output directory")
+		name = flag.String("dataset", "all", "dataset name or 'all'")
+		n    = flag.Int("n", 0, "number of rows (0 = paper size)")
+		seed = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+	todo := names
+	if *name != "all" {
+		todo = []string{*name}
+	}
+	for _, d := range todo {
+		path, rows, err := write(*out, d, datagen.Config{N: *n, Seed: *seed})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mkdata:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d rows\n", path, rows)
+	}
+}
+
+func write(dir, name string, cfg datagen.Config) (string, int, error) {
+	var tab *dataset.Table
+	switch name {
+	case "adult", "bank", "german", "intentions", "wine", "compas", "synthetic-peak":
+		var d datagen.Classified
+		switch name {
+		case "adult":
+			d = datagen.Adult(cfg)
+		case "bank":
+			d = datagen.Bank(cfg)
+		case "german":
+			d = datagen.German(cfg)
+		case "intentions":
+			d = datagen.Intentions(cfg)
+		case "wine":
+			d = datagen.Wine(cfg)
+		case "compas":
+			d = datagen.Compas(cfg)
+		case "synthetic-peak":
+			d = datagen.SyntheticPeak(cfg)
+		}
+		t, err := withBools(d.Table, "label", d.Actual)
+		if err != nil {
+			return "", 0, err
+		}
+		if d.Predicted != nil {
+			if t, err = withBools(t, "prediction", d.Predicted); err != nil {
+				return "", 0, err
+			}
+		}
+		tab = t
+	case "folktables":
+		d := datagen.Folktables(cfg)
+		b := builderFrom(d.Table)
+		b.AddFloat("income", d.Target)
+		t, err := b.Build()
+		if err != nil {
+			return "", 0, err
+		}
+		tab = t
+	default:
+		return "", 0, fmt.Errorf("unknown dataset %q (have %v)", name, names)
+	}
+	path := filepath.Join(dir, name+".csv")
+	if err := tab.WriteCSVFile(path); err != nil {
+		return "", 0, err
+	}
+	return path, tab.NumRows(), nil
+}
+
+// withBools appends a boolean column rendered as true/false strings.
+func withBools(t *dataset.Table, name string, vals []bool) (*dataset.Table, error) {
+	s := make([]string, len(vals))
+	for i, v := range vals {
+		if v {
+			s[i] = "true"
+		} else {
+			s[i] = "false"
+		}
+	}
+	b := builderFrom(t)
+	b.AddCategorical(name, s)
+	return b.Build()
+}
+
+// builderFrom starts a builder containing all columns of t (shared
+// storage).
+func builderFrom(t *dataset.Table) *dataset.Builder {
+	b := dataset.NewBuilder()
+	for _, f := range t.Fields() {
+		if f.Kind == dataset.Continuous {
+			b.AddFloat(f.Name, t.Floats(f.Name))
+		} else {
+			b.AddCategoricalCodes(f.Name, t.Codes(f.Name), t.Levels(f.Name))
+		}
+	}
+	return b
+}

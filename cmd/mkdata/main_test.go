@@ -1,0 +1,59 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+)
+
+func TestWriteAllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range names {
+		path, rows, err := write(dir, name, datagen.Config{N: 120, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rows != 120 {
+			t.Errorf("%s: rows = %d", name, rows)
+		}
+		back, err := dataset.ReadCSVFile(path, dataset.CSVOptions{})
+		if err != nil {
+			t.Fatalf("%s: read back: %v", name, err)
+		}
+		if back.NumRows() != 120 {
+			t.Errorf("%s: read back %d rows", name, back.NumRows())
+		}
+		switch name {
+		case "folktables":
+			if !back.HasColumn("income") {
+				t.Errorf("%s: missing income column", name)
+			}
+		case "compas", "synthetic-peak":
+			if !back.HasColumn("label") || !back.HasColumn("prediction") {
+				t.Errorf("%s: missing label/prediction", name)
+			}
+		default:
+			if !back.HasColumn("label") {
+				t.Errorf("%s: missing label", name)
+			}
+			if back.HasColumn("prediction") {
+				t.Errorf("%s: unexpected prediction column", name)
+			}
+		}
+	}
+}
+
+func TestWriteUnknownDataset(t *testing.T) {
+	if _, _, err := write(t.TempDir(), "nope", datagen.Config{N: 10, Seed: 1}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}
+
+func TestWriteBadDirectory(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "does", "not", "exist")
+	if _, _, err := write(bad, "compas", datagen.Config{N: 10, Seed: 1}); err == nil {
+		t.Error("unwritable directory should fail")
+	}
+}

@@ -1,0 +1,85 @@
+package hdivexplorer_test
+
+import (
+	"fmt"
+
+	hdiv "repro"
+)
+
+// The tiny fixture used by the examples: ten loan decisions where the
+// model errs exactly on the two young large-amount applicants.
+func exampleData() (*hdiv.Table, []bool, []bool) {
+	tab := hdiv.NewTableBuilder().
+		AddFloat("age", []float64{22, 24, 31, 38, 45, 52, 29, 61, 23, 44}).
+		AddFloat("amount", []float64{9000, 8500, 3000, 2000, 1500, 2500, 4000, 1000, 8800, 3500}).
+		AddCategorical("purpose", []string{"car", "car", "home", "home", "car", "home", "car", "home", "car", "home"}).
+		MustBuild()
+	actual := []bool{true, false, true, true, false, true, false, true, true, false}
+	predicted := []bool{false, true, true, true, false, true, false, true, false, false}
+	return tab, actual, predicted
+}
+
+// ExamplePipeline runs the end-to-end H-DivExplorer pipeline and prints
+// the most divergent subgroup of the model's error rate.
+func ExamplePipeline() {
+	tab, actual, predicted := exampleData()
+	rep, err := hdiv.Pipeline(tab, hdiv.ErrorRate(actual, predicted), hdiv.PipelineOptions{
+		TreeSupport: 0.2,
+		MinSupport:  0.2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	top := rep.Top()
+	fmt.Printf("global error rate: %.1f\n", rep.Global)
+	fmt.Printf("top subgroup: {%s} with error rate %.1f\n", top.Itemset, top.Statistic)
+	// Output:
+	// global error rate: 0.3
+	// top subgroup: {age≤24} with error rate 1.0
+}
+
+// ExampleManualCuts explores with a fixed, manually specified
+// discretization (the behaviour of non-hierarchical tools).
+func ExampleManualCuts() {
+	tab, actual, predicted := exampleData()
+	h, err := hdiv.ManualCuts("age", []float64{30, 50})
+	if err != nil {
+		panic(err)
+	}
+	hs := hdiv.NewHierarchySet()
+	hs.Add(h)
+	rep, err := hdiv.Explore(tab, hdiv.ExploreConfig{
+		Outcome:     hdiv.ErrorRate(actual, predicted),
+		Hierarchies: hs,
+		MinSupport:  0.2,
+		Mode:        hdiv.Base,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, sg := range rep.TopK(2) {
+		fmt.Printf("%s Δ=%+.2f\n", sg.Itemset, sg.Divergence)
+	}
+	// Output:
+	// age≤30 Δ=+0.45
+	// age=(30-50] Δ=-0.30
+}
+
+// ExampleItem demonstrates item semantics: half-open intervals for
+// continuous attributes, level sets for categorical ones.
+func ExampleItem() {
+	age := hdiv.ContinuousItem("age", 25, 45)
+	fmt.Println(age, age.MatchesFloat(25), age.MatchesFloat(30), age.MatchesFloat(45.5))
+	// Output:
+	// age=(25-45] false true false
+}
+
+// ExampleOutcome_DivergenceOf computes a subgroup statistic directly.
+func ExampleOutcome_DivergenceOf() {
+	tab, actual, predicted := exampleData()
+	o := hdiv.FalsePositiveRate(actual, predicted)
+	young := hdiv.ContinuousItem("age", 0, 30)
+	fmt.Printf("FPR(age≤30) - FPR(all) = %+.2f\n", o.DivergenceOf(young.Rows(tab)))
+	// Output:
+	// FPR(age≤30) - FPR(all) = +0.25
+}

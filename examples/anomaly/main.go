@@ -1,0 +1,71 @@
+// Injected-anomaly recovery: reproduce the paper's synthetic-peak study
+// (§VI-C) and the baseline comparison (§VI-G).
+//
+// A model's error rate peaks around the point [0, 1, 2] of a 3-attribute
+// space. Recovering the anomaly requires constraining all three attributes
+// at once — which the fixed-discretization explorers cannot afford at a
+// meaningful support threshold, while hierarchical exploration spends its
+// "selectivity budget" across attributes by picking coarser intervals.
+//
+//	go run ./examples/anomaly
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hdiv "repro"
+	"repro/internal/datagen"
+	"repro/internal/fpm"
+	"repro/internal/slicefinder"
+	"repro/internal/sliceline"
+)
+
+func main() {
+	d := datagen.SyntheticPeak(datagen.Config{Seed: 1})
+	o := hdiv.ErrorRate(d.Actual, d.Predicted)
+	fmt.Printf("points: %d, overall error rate: %.3f, anomaly injected at (0, 1, 2)\n\n",
+		d.Table.NumRows(), o.GlobalMean())
+
+	// Base vs hierarchical at two support thresholds (the paper's Fig. 5).
+	for _, s := range []float64{0.05, 0.025} {
+		for _, mode := range []hdiv.Mode{hdiv.Base, hdiv.Hierarchical} {
+			rep, err := hdiv.Pipeline(d.Table, o, hdiv.PipelineOptions{
+				TreeSupport: 0.1, MinSupport: s, Mode: mode,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			top := rep.Top()
+			fmt.Printf("s=%.3f %-13s Δerror=%+.3f sup=%.3f attrs=%d  {%s}\n",
+				s, mode, top.Divergence, top.Support, len(top.Itemset), top.Itemset)
+		}
+	}
+
+	// Baselines on the same leaf items (the paper's §VI-G).
+	hs, err := hdiv.TreeSet(d.Table, o, hdiv.TreeOptions{MinSupport: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := fpm.BaseUniverse(d.Table, hs, o)
+
+	fmt.Println("\nSlice Finder (effect-size search, no support control):")
+	for _, thr := range []float64{0.4, 1.0} {
+		slices := slicefinder.Search(u, o, slicefinder.Options{EffectSize: thr})
+		if len(slices) == 0 {
+			fmt.Printf("  T=%.1f: no slice found\n", thr)
+			continue
+		}
+		top := slices[0]
+		fmt.Printf("  T=%.1f: {%s} sup=%.4f eff=%.2f\n", thr, top.Itemset, top.Support, top.EffectSize)
+	}
+	fmt.Println("  → default T stops at the first, coarser problematic slice; high T returns a sliver")
+
+	fmt.Println("\nSliceLine (α-weighted slice scoring, leaf items):")
+	slices, err := sliceline.TopK(u, o, sliceline.Options{K: 1, MinSupport: 0.05, Alpha: 0.99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  best: {%s} err=%.3f sup=%.3f\n", slices[0].Itemset, slices[0].AvgError, slices[0].Support)
+	fmt.Println("  → matches base DivExplorer: fixed discretization is the shared ceiling")
+}

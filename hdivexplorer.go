@@ -1,0 +1,260 @@
+// Package hdivexplorer is a Go implementation of H-DivExplorer, the
+// hierarchical anomalous-subgroup discovery system of Pastor, Baralis and
+// de Alfaro, "A Hierarchical Approach to Anomalous Subgroup Discovery"
+// (ICDE 2023).
+//
+// Given a dataset and an outcome function (false-positive rate, error rate,
+// a numeric target such as income, …), H-DivExplorer finds interpretable
+// data subgroups — conjunctions of attribute constraints — whose statistic
+// diverges from the whole-dataset value. Continuous attributes are
+// discretized into hierarchies of intervals by divergence-aware trees;
+// exploration then mines generalized itemsets that may mix granularities
+// across attributes, which finds strictly more divergent subgroups than
+// fixed discretizations at the same support threshold.
+//
+// The quickest route is the Pipeline helper:
+//
+//	tab, _ := hdivexplorer.ReadCSVFile("data.csv", hdivexplorer.CSVOptions{})
+//	o := hdivexplorer.FalsePositiveRate(actual, predicted)
+//	rep, _ := hdivexplorer.Pipeline(tab, o, hdivexplorer.PipelineOptions{
+//		TreeSupport: 0.1,
+//		MinSupport:  0.05,
+//	})
+//	fmt.Print(rep.Table(10))
+//
+// For finer control, build hierarchies with the discretization functions
+// (Tree, Quantile, ManualCuts, FlatCategorical, PathTaxonomy), assemble a
+// HierarchySet, and call Explore. The package re-exports the library's
+// types; the internal packages contain the implementations.
+package hdivexplorer
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+	"repro/internal/fpm"
+	"repro/internal/hierarchy"
+	"repro/internal/outcome"
+)
+
+// Dataset substrate.
+type (
+	// Table is a columnar dataset with continuous and categorical columns.
+	Table = dataset.Table
+	// TableBuilder assembles a Table column by column.
+	TableBuilder = dataset.Builder
+	// Field describes one attribute.
+	Field = dataset.Field
+	// Kind distinguishes continuous from categorical attributes.
+	Kind = dataset.Kind
+	// CSVOptions controls CSV parsing.
+	CSVOptions = dataset.CSVOptions
+)
+
+// Attribute kinds.
+const (
+	Continuous  = dataset.Continuous
+	Categorical = dataset.Categorical
+)
+
+// NewTableBuilder returns an empty table builder.
+func NewTableBuilder() *TableBuilder { return dataset.NewBuilder() }
+
+// ReadCSV parses a headed CSV stream, inferring column kinds.
+var ReadCSV = dataset.ReadCSV
+
+// ReadCSVFile parses a headed CSV file, inferring column kinds.
+var ReadCSVFile = dataset.ReadCSVFile
+
+// Outcome functions.
+type (
+	// Outcome is a per-row outcome function o: D → ℝ ∪ {⊥}; subgroup
+	// statistics are means of o over subgroup members with defined outcome.
+	Outcome = outcome.Outcome
+)
+
+// Outcome constructors.
+var (
+	// FalsePositiveRate builds the FPR outcome from actual and predicted
+	// labels.
+	FalsePositiveRate = outcome.FalsePositiveRate
+	// FalseNegativeRate builds the FNR outcome.
+	FalseNegativeRate = outcome.FalseNegativeRate
+	// ErrorRate builds the misclassification outcome.
+	ErrorRate = outcome.ErrorRate
+	// Accuracy builds the accuracy outcome.
+	Accuracy = outcome.Accuracy
+	// Numeric builds an outcome directly from a numeric target column.
+	Numeric = outcome.Numeric
+)
+
+// Items and hierarchies.
+type (
+	// Item is a constraint on one attribute (interval or level set).
+	Item = hierarchy.Item
+	// Itemset is a conjunction of items, at most one per attribute.
+	Itemset = hierarchy.Itemset
+	// Hierarchy is an item hierarchy for one attribute.
+	Hierarchy = hierarchy.Hierarchy
+	// HierarchySet maps attributes to their hierarchies (the paper's Γ).
+	HierarchySet = hierarchy.Set
+)
+
+// Hierarchy constructors.
+var (
+	// ContinuousItem returns the item attr ∈ (lo, hi].
+	ContinuousItem = hierarchy.ContinuousItem
+	// CategoricalItem returns an item covering level codes of attr.
+	CategoricalItem = hierarchy.CategoricalItem
+	// NewHierarchySet returns an empty hierarchy set.
+	NewHierarchySet = hierarchy.NewSet
+	// FlatCategorical builds the depth-1 hierarchy A=a for all levels a.
+	FlatCategorical = hierarchy.FlatCategorical
+	// PathTaxonomy builds a multi-level categorical hierarchy from a path
+	// function (e.g. occupation supercategories, IP prefixes).
+	PathTaxonomy = hierarchy.PathTaxonomy
+)
+
+// Discretization.
+type (
+	// TreeOptions configures the divergence-aware tree discretizer.
+	TreeOptions = discretize.TreeOptions
+	// Criterion selects the tree split gain.
+	Criterion = discretize.Criterion
+)
+
+// Tree split criteria.
+const (
+	// DivergenceGain is the paper's divergence-based split criterion,
+	// applicable to any outcome.
+	DivergenceGain = discretize.DivergenceGain
+	// EntropyGain is the classic entropy criterion for boolean outcomes.
+	EntropyGain = discretize.EntropyGain
+)
+
+// Discretizers.
+var (
+	// Tree builds the item hierarchy for one continuous attribute.
+	Tree = discretize.Tree
+	// TreeSet builds tree hierarchies for every continuous attribute.
+	TreeSet = discretize.TreeSet
+	// Quantile builds a flat equal-frequency discretization.
+	Quantile = discretize.Quantile
+	// UniformWidth builds a flat equal-width discretization.
+	UniformWidth = discretize.UniformWidth
+	// ManualCuts builds a flat discretization from explicit cut points.
+	ManualCuts = discretize.ManualCuts
+)
+
+// Exploration.
+type (
+	// ExploreConfig parameterizes Explore.
+	ExploreConfig = core.Config
+	// Report is an exploration result: subgroups ranked by |divergence|.
+	Report = core.Report
+	// Subgroup is one explored subgroup with support, divergence and
+	// t-value.
+	Subgroup = core.Subgroup
+	// Mode selects base or hierarchical exploration.
+	Mode = core.Mode
+	// Algorithm selects the mining algorithm.
+	Algorithm = fpm.Algorithm
+)
+
+// Exploration modes and algorithms.
+const (
+	// Hierarchical explores generalized itemsets over all hierarchy levels.
+	Hierarchical = core.Hierarchical
+	// Base explores leaf items only (classic DivExplorer).
+	Base = core.Base
+	// FPGrowth selects the FP-tree miner (default).
+	FPGrowth = fpm.FPGrowth
+	// Apriori selects the level-wise miner.
+	Apriori = fpm.Apriori
+)
+
+// Explore runs (H-)DivExplorer over a table with explicit hierarchies.
+var Explore = core.Explore
+
+// DescribeHierarchy renders an item hierarchy annotated with per-node
+// support and divergence (the paper's Figure 1).
+var DescribeHierarchy = core.DescribeHierarchy
+
+// PipelineOptions configures the end-to-end Pipeline helper.
+type PipelineOptions struct {
+	// TreeSupport is the tree-node support st used by the hierarchical
+	// discretizer (default 0.1).
+	TreeSupport float64
+	// Criterion is the tree split gain (default DivergenceGain).
+	Criterion Criterion
+	// MinSupport is the exploration support threshold s (default 0.05).
+	MinSupport float64
+	// MaxLen bounds itemset length (0 = unlimited).
+	MaxLen int
+	// PolarityPrune enables polarity pruning.
+	PolarityPrune bool
+	// Mode selects hierarchical (default) or base exploration.
+	Mode Mode
+	// Algorithm selects the miner (default FPGrowth).
+	Algorithm Algorithm
+	// Workers enables parallel mining (0 or 1 = serial; results are
+	// identical regardless).
+	Workers int
+	// Taxonomies supplies multi-level hierarchies for specific categorical
+	// attributes; all other categorical attributes get flat hierarchies.
+	Taxonomies []*Hierarchy
+	// Exclude lists attributes to leave out of the exploration entirely.
+	Exclude []string
+}
+
+// Pipeline runs the full H-DivExplorer pipeline on a table: divergence-
+// aware tree discretization of every continuous attribute, flat or
+// taxonomic hierarchies for categorical attributes, then (hierarchical)
+// divergence subgroup exploration.
+func Pipeline(t *Table, o *Outcome, opt PipelineOptions) (*Report, error) {
+	if opt.TreeSupport == 0 {
+		opt.TreeSupport = 0.1
+	}
+	if opt.MinSupport == 0 {
+		opt.MinSupport = 0.05
+	}
+	skip := map[string]bool{}
+	for _, e := range opt.Exclude {
+		if !t.HasColumn(e) {
+			return nil, fmt.Errorf("hdivexplorer: excluded attribute %q not in table", e)
+		}
+		skip[e] = true
+	}
+	hs, err := discretize.TreeSet(t, o, discretize.TreeOptions{
+		Criterion:  opt.Criterion,
+		MinSupport: opt.TreeSupport,
+	}, opt.Exclude...)
+	if err != nil {
+		return nil, err
+	}
+	taxed := map[string]bool{}
+	for _, h := range opt.Taxonomies {
+		if skip[h.Attr] {
+			continue
+		}
+		hs.Add(h)
+		taxed[h.Attr] = true
+	}
+	for _, f := range t.Fields() {
+		if f.Kind == dataset.Categorical && !skip[f.Name] && !taxed[f.Name] {
+			hs.Add(hierarchy.FlatCategorical(t, f.Name))
+		}
+	}
+	return core.Explore(t, core.Config{
+		Outcome:       o,
+		Hierarchies:   hs,
+		MinSupport:    opt.MinSupport,
+		MaxLen:        opt.MaxLen,
+		PolarityPrune: opt.PolarityPrune,
+		Algorithm:     opt.Algorithm,
+		Mode:          opt.Mode,
+		Workers:       opt.Workers,
+	})
+}

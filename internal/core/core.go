@@ -1,0 +1,282 @@
+// Package core implements the subgroup explorers: DivExplorer (base,
+// non-hierarchical) and H-DivExplorer (hierarchical/generalized). Given a
+// dataset, an outcome function and a set of item hierarchies, Explore mines
+// all frequent (generalized) itemsets and reports each one's support,
+// statistic value, divergence and Welch t-value, ranked by divergence.
+//
+// The full H-DivExplorer pipeline of the paper is: build item hierarchies
+// for continuous attributes with the tree discretizer (package discretize),
+// add flat or taxonomy hierarchies for categorical attributes, then call
+// Explore in Hierarchical mode. Base mode restricts the item universe to
+// hierarchy leaves, reproducing the behaviour of prior non-hierarchical
+// tools for comparison.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/fpm"
+	"repro/internal/hierarchy"
+	"repro/internal/outcome"
+)
+
+// Mode selects base (leaf items only) or hierarchical (all items)
+// exploration.
+type Mode int
+
+const (
+	// Hierarchical explores generalized itemsets over all hierarchy levels
+	// (H-DivExplorer).
+	Hierarchical Mode = iota
+	// Base explores leaf items only (classic DivExplorer over a fixed
+	// discretization).
+	Base
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Hierarchical:
+		return "hierarchical"
+	case Base:
+		return "base"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes Explore.
+type Config struct {
+	// Outcome is the statistic whose divergence is explored.
+	Outcome *outcome.Outcome
+	// Hierarchies supplies the item universe, one hierarchy per attribute.
+	Hierarchies *hierarchy.Set
+	// MinSupport is the exploration support threshold s.
+	MinSupport float64
+	// MaxLen bounds itemset length (0 = unlimited).
+	MaxLen int
+	// PolarityPrune enables polarity pruning (§V-C).
+	PolarityPrune bool
+	// Algorithm selects the miner; FPGrowth by default.
+	Algorithm fpm.Algorithm
+	// Mode selects hierarchical or base exploration.
+	Mode Mode
+	// Workers enables parallel mining (0 or 1 = serial). Results are
+	// identical regardless of the setting.
+	Workers int
+}
+
+// Subgroup is one explored data subgroup.
+type Subgroup struct {
+	// Itemset is the pattern defining the subgroup.
+	Itemset hierarchy.Itemset
+	// ItemIdx are the universe indices of the items (sorted).
+	ItemIdx []int
+	// Count and Support measure the subgroup size.
+	Count   int
+	Support float64
+	// Statistic is f(S); Divergence is Δf(S) = f(S) − f(D).
+	Statistic  float64
+	Divergence float64
+	// T is the Welch t-value of the divergence against the whole dataset.
+	T float64
+}
+
+// String renders the subgroup compactly.
+func (s *Subgroup) String() string {
+	return fmt.Sprintf("{%s} sup=%.3f Δ=%+.4f t=%.1f", s.Itemset, s.Support, s.Divergence, s.T)
+}
+
+// Report is the result of an exploration.
+type Report struct {
+	// Subgroups holds every frequent itemset, sorted by |divergence|
+	// descending.
+	Subgroups []Subgroup
+	// Global is f(D), the statistic on the whole dataset.
+	Global float64
+	// NumRows is the dataset size.
+	NumRows int
+	// NumItems is the size of the item universe explored.
+	NumItems int
+	// Elapsed is the wall-clock mining time (excluding universe setup).
+	Elapsed time.Duration
+	// Mining reports candidate/frequent counts from the miner.
+	Mining fpm.MiningStats
+
+	// byKey lazily indexes subgroups by canonical itemset key for the
+	// lattice-navigation helpers.
+	byKey map[string]int
+}
+
+// Explore runs (H-)DivExplorer over the table.
+func Explore(t *dataset.Table, cfg Config) (*Report, error) {
+	if cfg.Outcome == nil {
+		return nil, fmt.Errorf("core: Config.Outcome is nil")
+	}
+	if cfg.Hierarchies == nil {
+		return nil, fmt.Errorf("core: Config.Hierarchies is nil")
+	}
+	if err := cfg.Hierarchies.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid hierarchies: %w", err)
+	}
+	var u *fpm.Universe
+	switch cfg.Mode {
+	case Hierarchical:
+		u = fpm.GeneralizedUniverse(t, cfg.Hierarchies, cfg.Outcome)
+	case Base:
+		u = fpm.BaseUniverse(t, cfg.Hierarchies, cfg.Outcome)
+	default:
+		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
+	}
+	return ExploreUniverse(u, cfg)
+}
+
+// ExploreUniverse runs the exploration over a prebuilt item universe; use
+// this to supply a custom item set.
+func ExploreUniverse(u *fpm.Universe, cfg Config) (*Report, error) {
+	start := time.Now()
+	res, err := fpm.Mine(u, cfg.Outcome, fpm.Options{
+		MinSupport:    cfg.MinSupport,
+		MaxLen:        cfg.MaxLen,
+		PolarityPrune: cfg.PolarityPrune,
+		Algorithm:     cfg.Algorithm,
+		Workers:       cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	fpm.SortByDivergence(res.Itemsets, cfg.Outcome, false, false)
+	rep := &Report{
+		Global:   cfg.Outcome.GlobalMean(),
+		NumRows:  u.NumRows,
+		NumItems: len(u.Items),
+		Elapsed:  elapsed,
+		Mining:   res.Stats,
+	}
+	rep.Subgroups = make([]Subgroup, len(res.Itemsets))
+	for i, m := range res.Itemsets {
+		rep.Subgroups[i] = Subgroup{
+			Itemset:    u.Itemset(m.Items),
+			ItemIdx:    m.Items,
+			Count:      m.Count,
+			Support:    m.Support(u.NumRows),
+			Statistic:  m.M.Mean(),
+			Divergence: cfg.Outcome.DivergenceFromMoments(m.M),
+			T:          cfg.Outcome.TValueFromMoments(m.M),
+		}
+	}
+	return rep, nil
+}
+
+// TopK returns the k subgroups with largest |divergence| (fewer if the
+// report is smaller).
+func (r *Report) TopK(k int) []Subgroup {
+	if k > len(r.Subgroups) {
+		k = len(r.Subgroups)
+	}
+	return r.Subgroups[:k]
+}
+
+// MaxAbsDivergence returns the largest |Δ| over all subgroups, 0 if none.
+func (r *Report) MaxAbsDivergence() float64 {
+	if len(r.Subgroups) == 0 {
+		return 0
+	}
+	return math.Abs(r.Subgroups[0].Divergence)
+}
+
+// MaxDivergence returns the most positive divergence (0 if none positive).
+func (r *Report) MaxDivergence() float64 {
+	best := 0.0
+	for i := range r.Subgroups {
+		if d := r.Subgroups[i].Divergence; d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Top returns the single most divergent subgroup, or nil if empty.
+func (r *Report) Top() *Subgroup {
+	if len(r.Subgroups) == 0 {
+		return nil
+	}
+	return &r.Subgroups[0]
+}
+
+// FilterMinT returns the subgroups whose |t| is at least tMin, preserving
+// order.
+func (r *Report) FilterMinT(tMin float64) []Subgroup {
+	var out []Subgroup
+	for _, s := range r.Subgroups {
+		if math.Abs(s.T) >= tMin {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FilterLength returns the subgroups of exactly the given length.
+func (r *Report) FilterLength(n int) []Subgroup {
+	var out []Subgroup
+	for _, s := range r.Subgroups {
+		if len(s.Itemset) == n {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Find returns the subgroup whose itemset renders to the given canonical
+// string (as produced by hierarchy.Itemset.String), or nil.
+func (r *Report) Find(pattern string) *Subgroup {
+	for i := range r.Subgroups {
+		if r.Subgroups[i].Itemset.String() == pattern {
+			return &r.Subgroups[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the top k subgroups as an aligned text table.
+func (r *Report) Table(k int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-60s %8s %10s %8s\n", "itemset", "sup", "Δ", "t")
+	for _, s := range r.TopK(k) {
+		fmt.Fprintf(&b, "%-60s %8.3f %+10.4f %8.1f\n", s.Itemset.String(), s.Support, s.Divergence, s.T)
+	}
+	return b.String()
+}
+
+// DescribeHierarchy renders an item hierarchy with the support and
+// divergence of every node, reproducing the annotated tree of the paper's
+// Figure 1.
+func DescribeHierarchy(t *dataset.Table, h *hierarchy.Hierarchy, o *outcome.Outcome) string {
+	var b strings.Builder
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		n := h.Nodes[i]
+		rows := n.Item.Rows(t)
+		sup := float64(rows.Count()) / float64(t.NumRows())
+		indent := strings.Repeat("  ", depth)
+		if i == 0 {
+			fmt.Fprintf(&b, "%sroot sup=%.2f %s=%.3f\n", indent, sup, o.Name, o.GlobalMean())
+		} else {
+			fmt.Fprintf(&b, "%s%s sup=%.2f Δ=%+.3f\n", indent, n.Item, sup, o.DivergenceOf(rows))
+		}
+		children := append([]int(nil), n.Children...)
+		sort.Ints(children)
+		for _, c := range children {
+			walk(c, depth+1)
+		}
+	}
+	walk(0, 0)
+	return b.String()
+}

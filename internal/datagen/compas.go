@@ -1,0 +1,114 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// Compas generates the compas analog: 6,172 defendants with continuous
+// attributes age, prior (number of prior offenses) and stay (days in jail),
+// and categorical attributes sex, race and charge, together with true
+// two-year recidivism and the prediction of a proprietary-style risk score
+// (high-risk ⇒ predicted recidivist).
+//
+// The score is calibrated so the false-positive rate mirrors the paper's
+// Table I shape: FPR rises steeply with the number of priors (Δ(#prior>8) ≫
+// Δ(#prior>3) > 0), rises for young defendants, and peaks at their
+// intersection — while age and priors are negatively correlated, so the
+// young∩many-priors subgroup is small (sup ≈ 0.05) and reachable only by
+// mixed-granularity exploration.
+func Compas(cfg Config) Classified {
+	n := cfg.n(6_172)
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	age := make([]float64, n)
+	prior := make([]float64, n)
+	stay := make([]float64, n)
+	sex := make([]string, n)
+	race := make([]string, n)
+	charge := make([]string, n)
+	actual := make([]bool, n)
+	pred := make([]bool, n)
+
+	for i := 0; i < n; i++ {
+		age[i] = clamp(18+r.ExpFloat64()*25, 18, 80)
+		prior[i] = samplePriors(r, age[i])
+		// Jail stay: heavy-tailed, longer for defendants with many priors.
+		stay[i] = clamp(r.ExpFloat64()*3*(1+0.3*prior[i]), 0, 800)
+		sex[i] = pick(r, []string{"Male", "Female"}, []float64{0.81, 0.19})
+		race[i] = pick(r,
+			[]string{"Afr-Am", "Caucasian", "Hispanic", "Other"},
+			[]float64{0.51, 0.34, 0.09, 0.06})
+		charge[i] = pick(r, []string{"F", "M"}, []float64{0.64, 0.36})
+
+		// True recidivism: grows with priors, shrinks with age.
+		pRecid := sigmoid(-1.0 + 0.20*minF(prior[i], 15) - 0.03*(age[i]-30))
+		actual[i] = r.Float64() < pRecid
+
+		// Proprietary-style risk score: over-weights priors and youth
+		// relative to the true model, and carries a race-linked offset —
+		// the miscalibration that produces the FPR divergences under study.
+		latent := -2.4 +
+			0.30*minF(prior[i], 15) -
+			0.085*(age[i]-30) +
+			0.45*boolF(stay[i] > 7) +
+			0.25*boolF(sex[i] == "Male") +
+			0.35*boolF(race[i] == "Afr-Am") +
+			0.15*boolF(charge[i] == "F") +
+			1.0*r.NormFloat64()
+		pred[i] = latent > 0.4
+	}
+
+	tab := dataset.NewBuilder().
+		AddFloat("age", age).
+		AddFloat("prior", prior).
+		AddFloat("stay", stay).
+		AddCategorical("sex", sex).
+		AddCategorical("race", race).
+		AddCategorical("charge", charge).
+		MustBuild()
+	return Classified{Table: tab, Actual: actual, Predicted: pred}
+}
+
+// samplePriors draws a prior-offense count whose marginal matches the
+// support profile of the paper's Figure 1 (≈34% zero, 18% one, 19% two or
+// three, 18% four to eight, 11% more than eight) and which is shifted down
+// for young defendants, inducing the negative age–priors correlation the
+// paper highlights.
+func samplePriors(r *rand.Rand, age float64) float64 {
+	u := r.Float64()
+	var p float64
+	switch {
+	case u < 0.32:
+		p = 0
+	case u < 0.49:
+		p = 1
+	case u < 0.58:
+		p = 2
+	case u < 0.67:
+		p = 3
+	case u < 0.85:
+		p = 4 + float64(r.Intn(5)) // 4..8
+	default:
+		p = 9 + float64(r.Intn(12)) // 9..20
+	}
+	if age < 25 && p > 0 && r.Float64() < 0.65 {
+		p = float64(int(p / 3))
+	}
+	return p
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func boolF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,314 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/outcome"
+)
+
+// Table II schema check: every generator must reproduce the paper's
+// attribute counts exactly.
+func TestTableIISchemas(t *testing.T) {
+	cases := []struct {
+		name       string
+		table      *dataset.Table
+		defaultN   int
+		nNum, nCat int
+	}{
+		{"adult", Adult(Config{N: 50, Seed: 1}).Table, 45_222, 4, 7},
+		{"bank", Bank(Config{N: 50, Seed: 1}).Table, 45_211, 7, 8},
+		{"compas", Compas(Config{N: 50, Seed: 1}).Table, 6_172, 3, 3},
+		{"folktables", Folktables(Config{N: 50, Seed: 1}).Table, 195_556, 2, 8},
+		{"german", German(Config{N: 50, Seed: 1}).Table, 1_000, 7, 14},
+		{"intentions", Intentions(Config{N: 50, Seed: 1}).Table, 12_330, 11, 6},
+		{"synthetic-peak", SyntheticPeak(Config{N: 50, Seed: 1}).Table, 10_000, 3, 0},
+		{"wine", Wine(Config{N: 50, Seed: 1}).Table, 9_796, 11, 0},
+	}
+	for _, c := range cases {
+		nNum, nCat := c.table.CountKinds()
+		if nNum != c.nNum || nCat != c.nCat {
+			t.Errorf("%s: (num,cat) = (%d,%d), want (%d,%d)", c.name, nNum, nCat, c.nNum, c.nCat)
+		}
+		if c.table.NumCols() != c.nNum+c.nCat {
+			t.Errorf("%s: NumCols = %d", c.name, c.table.NumCols())
+		}
+	}
+	// Default sizes reproduce the paper's |D|.
+	if got := Compas(Config{Seed: 1}).Table.NumRows(); got != 6_172 {
+		t.Errorf("compas default N = %d", got)
+	}
+	if got := SyntheticPeak(Config{Seed: 1}).Table.NumRows(); got != 10_000 {
+		t.Errorf("peak default N = %d", got)
+	}
+	if got := German(Config{Seed: 1}).Table.NumRows(); got != 1_000 {
+		t.Errorf("german default N = %d", got)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Compas(Config{N: 500, Seed: 7})
+	b := Compas(Config{N: 500, Seed: 7})
+	for i := 0; i < 500; i++ {
+		if a.Table.Floats("age")[i] != b.Table.Floats("age")[i] ||
+			a.Actual[i] != b.Actual[i] || a.Predicted[i] != b.Predicted[i] {
+			t.Fatal("same seed must reproduce identical data")
+		}
+	}
+	c := Compas(Config{N: 500, Seed: 8})
+	same := true
+	for i := 0; i < 500; i++ {
+		if a.Table.Floats("age")[i] != c.Table.Floats("age")[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSyntheticPeakProperties(t *testing.T) {
+	d := SyntheticPeak(Config{Seed: 3})
+	tab := d.Table
+	a, b, c := tab.Floats("a"), tab.Floats("b"), tab.Floats("c")
+	// Values uniform in [-5,5].
+	for i := 0; i < tab.NumRows(); i++ {
+		for _, v := range []float64{a[i], b[i], c[i]} {
+			if v < -5 || v > 5 {
+				t.Fatalf("coordinate %v outside [-5,5]", v)
+			}
+		}
+	}
+	// Error rate near the peak [0,1,2] must be far higher than far away.
+	var nearErr, nearN, farErr, farN float64
+	for i := 0; i < tab.NumRows(); i++ {
+		d2 := (a[i]-0)*(a[i]-0) + (b[i]-1)*(b[i]-1) + (c[i]-2)*(c[i]-2)
+		isErr := 0.0
+		if d.Actual[i] != d.Predicted[i] {
+			isErr = 1
+		}
+		if d2 < 1 {
+			nearErr += isErr
+			nearN++
+		} else if d2 > 16 {
+			farErr += isErr
+			farN++
+		}
+	}
+	if nearN < 10 || farN < 100 {
+		t.Fatal("unexpected point distribution")
+	}
+	if nearErr/nearN < 0.4 {
+		t.Errorf("error rate near peak = %v, want high", nearErr/nearN)
+	}
+	if farErr/farN > 0.05 {
+		t.Errorf("error rate far from peak = %v, want ≈ 0", farErr/farN)
+	}
+	// Class labels are balanced.
+	pos := 0
+	for _, v := range d.Actual {
+		if v {
+			pos++
+		}
+	}
+	if frac := float64(pos) / float64(len(d.Actual)); frac < 0.45 || frac > 0.55 {
+		t.Errorf("class balance = %v", frac)
+	}
+}
+
+// The compas analog must reproduce the monotone FPR-divergence shape of the
+// paper's Table I: Δ(#prior>8) > Δ(#prior>3) > Δ(age<27) > 0, a global FPR
+// below ~0.1, and a small (≈0.05–0.09) young∩many-priors subgroup whose FPR
+// divergence exceeds Δ(#prior>3).
+func TestCompasTableIShape(t *testing.T) {
+	d := Compas(Config{Seed: 1})
+	o := outcome.FalsePositiveRate(d.Actual, d.Predicted)
+	tab := d.Table
+	age, prior := tab.Floats("age"), tab.Floats("prior")
+
+	div := func(f func(i int) bool) (float64, float64) {
+		nAll, fp, neg := 0, 0, 0
+		for i := 0; i < tab.NumRows(); i++ {
+			if !f(i) {
+				continue
+			}
+			nAll++
+			if !d.Actual[i] {
+				neg++
+				if d.Predicted[i] {
+					fp++
+				}
+			}
+		}
+		return float64(fp)/float64(neg) - o.GlobalMean(), float64(nAll) / float64(tab.NumRows())
+	}
+	g := o.GlobalMean()
+	if g < 0.04 || g > 0.12 {
+		t.Errorf("global FPR = %v, want ≈ 0.08", g)
+	}
+	d3, s3 := div(func(i int) bool { return prior[i] > 3 })
+	d8, s8 := div(func(i int) bool { return prior[i] > 8 })
+	dAge, sAge := div(func(i int) bool { return age[i] < 27 })
+	dBoth, sBoth := div(func(i int) bool { return age[i] < 27 && prior[i] > 3 })
+
+	if !(d8 > d3 && d3 > dAge && dAge > 0) {
+		t.Errorf("divergence ordering violated: d8=%v d3=%v dAge=%v", d8, d3, dAge)
+	}
+	if dBoth < d3 {
+		t.Errorf("combo divergence %v should exceed d3 %v", dBoth, d3)
+	}
+	if s3 < 0.2 || s3 > 0.4 || s8 < 0.07 || s8 > 0.17 || sAge < 0.2 || sAge > 0.4 {
+		t.Errorf("supports off: s3=%v s8=%v sAge=%v", s3, s8, sAge)
+	}
+	if sBoth < 0.03 || sBoth > 0.11 {
+		t.Errorf("combo support = %v, want small (≈0.05)", sBoth)
+	}
+}
+
+func TestFolktablesShape(t *testing.T) {
+	d := Folktables(Config{N: 30_000, Seed: 2})
+	tab := d.Table
+	o := outcome.Numeric("income", d.Target)
+
+	// The MGR supercategory must be frequent (> 0.05) while every MGR leaf
+	// occupation is individually infrequent (< 0.05): only hierarchical
+	// exploration can use occupation at s = 0.05.
+	codes := tab.Codes("OCCP")
+	levels := tab.Levels("OCCP")
+	counts := map[string]int{}
+	mgrTotal := 0
+	for _, c := range codes {
+		counts[levels[c]]++
+	}
+	for l, c := range counts {
+		if len(l) >= 4 && l[:4] == "MGR-" {
+			mgrTotal += c
+			if frac := float64(c) / float64(tab.NumRows()); frac >= 0.05 {
+				t.Errorf("leaf occupation %s support %v ≥ 0.05", l, frac)
+			}
+		}
+	}
+	mgrFrac := float64(mgrTotal) / float64(tab.NumRows())
+	if mgrFrac < 0.05 || mgrFrac > 0.15 {
+		t.Errorf("MGR group support = %v, want ≈ 0.08", mgrFrac)
+	}
+
+	// Senior male managers must have strongly positive income divergence.
+	agep := tab.Floats("AGEP")
+	sexCodes := tab.Codes("SEX")
+	maleCode := tab.LevelCode("SEX", "Male")
+	var sub, rest []float64
+	for i := 0; i < tab.NumRows(); i++ {
+		isMGR := len(levels[codes[i]]) >= 4 && levels[codes[i]][:4] == "MGR-"
+		if isMGR && agep[i] >= 35 && sexCodes[i] == maleCode {
+			sub = append(sub, d.Target[i])
+		} else {
+			rest = append(rest, d.Target[i])
+		}
+	}
+	if len(sub) < 100 {
+		t.Fatalf("only %d senior male managers", len(sub))
+	}
+	if div := mean(sub) - o.GlobalMean(); div < 50_000 {
+		t.Errorf("senior-male-manager divergence = %v, want ≫ 0", div)
+	}
+	// Incomes are nonnegative.
+	for _, v := range d.Target {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatal("invalid income")
+		}
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestFolktablesTaxonomies(t *testing.T) {
+	d := Folktables(Config{N: 5_000, Seed: 3})
+	hs := FolktablesTaxonomies(d.Table)
+	if len(hs) != 2 {
+		t.Fatalf("want 2 taxonomies, got %d", len(hs))
+	}
+	for _, h := range hs {
+		if err := h.ValidateOn(d.Table); err != nil {
+			t.Errorf("%s taxonomy invalid: %v", h.Attr, err)
+		}
+		if len(h.Items()) <= len(h.LeafItems()) {
+			t.Errorf("%s taxonomy has no group items", h.Attr)
+		}
+	}
+}
+
+// Label rates of the classification analogs must be non-degenerate so
+// classifiers have something to learn.
+func TestUCILabelRates(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Classified
+		lo   float64
+		hi   float64
+	}{
+		{"adult", Adult(Config{N: 5_000, Seed: 4}), 0.15, 0.5},
+		{"bank", Bank(Config{N: 5_000, Seed: 4}), 0.05, 0.4},
+		{"german", German(Config{Seed: 4}), 0.5, 0.85},
+		{"intentions", Intentions(Config{N: 5_000, Seed: 4}), 0.08, 0.45},
+		{"wine", Wine(Config{N: 5_000, Seed: 4}), 0.4, 0.8},
+	}
+	for _, c := range cases {
+		pos := 0
+		for _, v := range c.d.Actual {
+			if v {
+				pos++
+			}
+		}
+		frac := float64(pos) / float64(len(c.d.Actual))
+		if frac < c.lo || frac > c.hi {
+			t.Errorf("%s positive rate = %v, want in [%v, %v]", c.name, frac, c.lo, c.hi)
+		}
+		if c.d.Predicted != nil {
+			t.Errorf("%s should not carry intrinsic predictions", c.name)
+		}
+	}
+}
+
+// The injected hard regions must have elevated label unpredictability:
+// within the region the label should be ≈ 50/50 regardless of features.
+func TestHardRegionsInjected(t *testing.T) {
+	d := Adult(Config{N: 30_000, Seed: 5})
+	hours := d.Table.Floats("hours")
+	wc := d.Table.Codes("workclass")
+	se := d.Table.LevelCode("workclass", "Self-emp")
+	pos, n := 0, 0
+	for i := 0; i < d.Table.NumRows(); i++ {
+		if wc[i] == se && hours[i] > 50 {
+			n++
+			if d.Actual[i] {
+				pos++
+			}
+		}
+	}
+	if n < 50 {
+		t.Fatalf("hard region too small: %d", n)
+	}
+	if frac := float64(pos) / float64(n); frac < 0.4 || frac > 0.6 {
+		t.Errorf("hard-region label rate = %v, want ≈ 0.5", frac)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	if c.n(123) != 123 {
+		t.Error("zero N should use default")
+	}
+	c.N = 7
+	if c.n(123) != 7 {
+		t.Error("explicit N should win")
+	}
+}

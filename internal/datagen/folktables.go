@@ -1,0 +1,193 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/hierarchy"
+)
+
+// occGroups lists the occupation taxonomy: supercategory → sub-occupations.
+// Each leaf occupation has small support (≲ 2%), while supercategories like
+// MGR reach ≈ 8%, so itemsets constraining occupation at s = 0.05 exist
+// only at the supercategory level — the paper's Table IV finding.
+var occGroups = []struct {
+	group  string
+	subs   []string
+	weight float64
+	effect float64 // additive income effect of the group (USD)
+}{
+	{"MGR", []string{"Financial Managers", "Sales Managers", "Operations Managers", "Marketing Managers"}, 0.08, 52_000},
+	{"MED", []string{"Physicians", "Dentists", "Registered Nurses", "Pharmacists"}, 0.07, 48_000},
+	{"CMM", []string{"Software Developers", "Systems Analysts", "Network Admins"}, 0.07, 42_000},
+	{"FIN", []string{"Accountants", "Financial Analysts"}, 0.05, 30_000},
+	{"ENG", []string{"Civil Engineers", "Mechanical Engineers", "Electrical Engineers"}, 0.05, 36_000},
+	{"EDU", []string{"Elementary Teachers", "Secondary Teachers", "Postsecondary Teachers"}, 0.08, 8_000},
+	{"SAL", []string{"Retail Salespersons", "Sales Reps", "Cashiers"}, 0.12, 2_000},
+	{"OFF", []string{"Secretaries", "Clerks", "Receptionists"}, 0.12, -2_000},
+	{"CON", []string{"Carpenters", "Electricians", "Laborers"}, 0.08, 4_000},
+	{"TRN", []string{"Truck Drivers", "Delivery Drivers"}, 0.07, -1_000},
+	{"SRV", []string{"Cooks", "Waiters", "Janitors", "Home Health Aides"}, 0.14, -9_000},
+	{"PRT", []string{"Police Officers", "Firefighters"}, 0.04, 12_000},
+	{"SCI", []string{"Biologists", "Chemists"}, 0.03, 25_000},
+}
+
+// pobGroups is the geographic place-of-birth taxonomy (region → place).
+var pobGroups = []struct {
+	region string
+	places []string
+	weight float64
+}{
+	{"US", []string{"California", "New York", "Texas", "Florida", "Other State"}, 0.62},
+	{"LATAM", []string{"Mexico", "El Salvador", "Guatemala"}, 0.16},
+	{"ASIA", []string{"China", "India", "Philippines", "Vietnam"}, 0.14},
+	{"EU", []string{"Germany", "United Kingdom", "Italy"}, 0.05},
+	{"AFR", []string{"Nigeria", "Ethiopia"}, 0.03},
+}
+
+var schlLevels = []string{"No HS", "HS diploma", "Some college", "Bachelor", "Master", "Prof beyond bachelor", "Doctorate"}
+var schlWeights = []float64{0.11, 0.26, 0.28, 0.21, 0.09, 0.03, 0.02}
+var schlEffect = map[string]float64{
+	"No HS": -12_000, "HS diploma": 0, "Some college": 6_000, "Bachelor": 28_000,
+	"Master": 42_000, "Prof beyond bachelor": 95_000, "Doctorate": 70_000,
+}
+
+// Folktables generates the folktables analog (income task, CA 2018 shape):
+// 195,556 instances, continuous AGEP (age) and WKHP (weekly work hours),
+// eight categorical attributes including the taxonomic OCCP (occupation)
+// and POBP (place of birth), and a numeric income target whose divergence
+// is explored directly. Income carries the interactions the paper surfaces:
+// older male managers working long hours earn far above the mean.
+func Folktables(cfg Config) Regression {
+	n := cfg.n(195_556)
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	agep := make([]float64, n)
+	wkhp := make([]float64, n)
+	schl := make([]string, n)
+	mar := make([]string, n)
+	sex := make([]string, n)
+	rac := make([]string, n)
+	occp := make([]string, n)
+	pobp := make([]string, n)
+	cow := make([]string, n)
+	relp := make([]string, n)
+	income := make([]float64, n)
+
+	occNames := make([]string, 0, 40)
+	occWeights := make([]float64, 0, 40)
+	occEffect := map[string]float64{}
+	occGroupOf := map[string]string{}
+	for _, g := range occGroups {
+		per := g.weight / float64(len(g.subs))
+		for _, s := range g.subs {
+			name := g.group + "-" + s
+			occNames = append(occNames, name)
+			occWeights = append(occWeights, per)
+			occEffect[name] = g.effect
+			occGroupOf[name] = g.group
+		}
+	}
+	pobNames := make([]string, 0, 20)
+	pobWeights := make([]float64, 0, 20)
+	for _, g := range pobGroups {
+		per := g.weight / float64(len(g.places))
+		for _, p := range g.places {
+			pobNames = append(pobNames, g.region+"-"+p)
+			pobWeights = append(pobWeights, per)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		agep[i] = math.Round(truncNorm(r, 43, 14, 18, 90))
+		schl[i] = pick(r, schlLevels, schlWeights)
+		sex[i] = pick(r, []string{"Male", "Female"}, []float64{0.52, 0.48})
+		rac[i] = pick(r, []string{"White", "Black", "Asian", "Other"}, []float64{0.58, 0.07, 0.17, 0.18})
+		mar[i] = pick(r, []string{"Married", "Never married", "Divorced", "Widowed"},
+			[]float64{0.48, 0.36, 0.12, 0.04})
+		occp[i] = pick(r, occNames, occWeights)
+		// Managers skew male and older, producing the correlated subgroup
+		// structure of Table IV.
+		if occGroupOf[occp[i]] == "MGR" {
+			if sex[i] == "Female" && r.Float64() < 0.35 {
+				sex[i] = "Male"
+			}
+			if agep[i] < 35 && r.Float64() < 0.5 {
+				agep[i] = math.Round(truncNorm(r, 48, 9, 35, 70))
+			}
+		}
+		pobp[i] = pick(r, pobNames, pobWeights)
+		cow[i] = pick(r, []string{"Private", "Government", "Self-employed", "Nonprofit"},
+			[]float64{0.67, 0.15, 0.11, 0.07})
+		relp[i] = pick(r, []string{"Householder", "Spouse", "Child", "Other"},
+			[]float64{0.42, 0.25, 0.18, 0.15})
+
+		// Work hours: mostly full time; managers and professionals overwork.
+		switch {
+		case r.Float64() < 0.18:
+			wkhp[i] = math.Round(clamp(22+8*r.NormFloat64(), 1, 39))
+		default:
+			wkhp[i] = math.Round(clamp(40+6*r.NormFloat64(), 20, 99))
+		}
+		grp := occGroupOf[occp[i]]
+		if grp == "MGR" || grp == "MED" || schl[i] == "Prof beyond bachelor" {
+			wkhp[i] = math.Round(clamp(wkhp[i]+8+6*r.Float64(), 20, 99))
+		}
+
+		// Income model with the paper's interactions.
+		exp := math.Min(agep[i], 62) - 22
+		if exp < 0 {
+			exp = 0
+		}
+		base := 18_000 +
+			schlEffect[schl[i]] +
+			occEffect[occp[i]] +
+			1_000*exp +
+			900*(wkhp[i]-40)
+		if sex[i] == "Male" {
+			base += 9_000
+			if grp == "MGR" && agep[i] >= 35 {
+				base += 55_000 // senior male managers: the Table IV subgroup
+			}
+		}
+		if grp == "MGR" && wkhp[i] >= 44 {
+			base += 25_000
+		}
+		if schl[i] == "Prof beyond bachelor" && wkhp[i] >= 40 {
+			base += 60_000
+		}
+		if mar[i] == "Married" {
+			base += 6_000
+		}
+		income[i] = math.Max(0, base*math.Exp(0.35*r.NormFloat64()))
+	}
+
+	tab := dataset.NewBuilder().
+		AddFloat("AGEP", agep).
+		AddFloat("WKHP", wkhp).
+		AddCategorical("SCHL", schl).
+		AddCategorical("MAR", mar).
+		AddCategorical("SEX", sex).
+		AddCategorical("RAC", rac).
+		AddCategorical("OCCP", occp).
+		AddCategorical("POBP", pobp).
+		AddCategorical("COW", cow).
+		AddCategorical("RELP", relp).
+		MustBuild()
+	return Regression{Table: tab, Target: income}
+}
+
+// FolktablesTaxonomies returns the OCCP and POBP item hierarchies for a
+// folktables table: occupations grouped by supercategory prefix, places of
+// birth by region prefix (the paper's §VI-A categorical hierarchies).
+func FolktablesTaxonomies(t *dataset.Table) []*hierarchy.Hierarchy {
+	prefix := func(level string) []string {
+		return []string{strings.SplitN(level, "-", 2)[0]}
+	}
+	return []*hierarchy.Hierarchy{
+		hierarchy.PathTaxonomy(t, "OCCP", prefix),
+		hierarchy.PathTaxonomy(t, "POBP", prefix),
+	}
+}

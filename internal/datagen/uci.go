@@ -1,0 +1,403 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// The five UCI-style analogs below share a recipe: realistic feature
+// marginals with the paper's Table II schema (|A|, |A|num, |A|cat), a label
+// driven by a learnable latent function of a few features, and an injected
+// hard region where label noise is high. A classifier trained on the data
+// therefore concentrates its errors in identifiable subgroups, which is the
+// structure the divergence explorers are evaluated on.
+
+// Adult generates the adult analog: 45,222 rows, 4 numeric and 7
+// categorical attributes; the label is income > $50k.
+func Adult(cfg Config) Classified {
+	n := cfg.n(45_222)
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	age := make([]float64, n)
+	eduNum := make([]float64, n)
+	capGain := make([]float64, n)
+	hours := make([]float64, n)
+	workclass := make([]string, n)
+	education := make([]string, n)
+	marital := make([]string, n)
+	occupation := make([]string, n)
+	relationship := make([]string, n)
+	race := make([]string, n)
+	sex := make([]string, n)
+	label := make([]bool, n)
+
+	eduLevels := []string{"HS-grad", "Some-college", "Bachelors", "Masters", "Doctorate", "11th", "Assoc"}
+	eduYears := map[string]float64{"HS-grad": 9, "Some-college": 10, "Bachelors": 13, "Masters": 14, "Doctorate": 16, "11th": 7, "Assoc": 11}
+	for i := 0; i < n; i++ {
+		age[i] = math.Round(truncNorm(r, 39, 13, 17, 90))
+		education[i] = pick(r, eduLevels, []float64{0.32, 0.22, 0.17, 0.06, 0.01, 0.12, 0.10})
+		eduNum[i] = eduYears[education[i]]
+		hours[i] = math.Round(clamp(40+12*r.NormFloat64(), 1, 99))
+		if r.Float64() < 0.08 {
+			capGain[i] = math.Round(r.ExpFloat64() * 6_000)
+		}
+		workclass[i] = pick(r, []string{"Private", "Self-emp", "Gov", "Other"}, []float64{0.70, 0.11, 0.14, 0.05})
+		marital[i] = pick(r, []string{"Married", "Never-married", "Divorced", "Widowed"}, []float64{0.46, 0.33, 0.17, 0.04})
+		occupation[i] = pick(r, []string{"Exec-managerial", "Prof-specialty", "Craft-repair", "Sales", "Adm-clerical", "Other-service", "Machine-op", "Transport"},
+			[]float64{0.13, 0.13, 0.13, 0.12, 0.12, 0.11, 0.07, 0.05})
+		relationship[i] = pick(r, []string{"Husband", "Not-in-family", "Own-child", "Unmarried", "Wife"}, []float64{0.40, 0.26, 0.15, 0.11, 0.08})
+		race[i] = pick(r, []string{"White", "Black", "Asian", "Other"}, []float64{0.85, 0.10, 0.03, 0.02})
+		sex[i] = pick(r, []string{"Male", "Female"}, []float64{0.67, 0.33})
+
+		z := -4.2 +
+			0.24*eduNum[i] +
+			0.035*(age[i]-25) +
+			0.03*(hours[i]-40) +
+			0.9*boolF(marital[i] == "Married") +
+			0.6*boolF(occupation[i] == "Exec-managerial" || occupation[i] == "Prof-specialty") +
+			0.4*boolF(sex[i] == "Male") +
+			0.0004*capGain[i]
+		p := sigmoid(z)
+		// Hard region: self-employed with high hours — noisy labels.
+		if workclass[i] == "Self-emp" && hours[i] > 50 {
+			p = 0.5
+		}
+		label[i] = r.Float64() < p
+	}
+
+	tab := dataset.NewBuilder().
+		AddFloat("age", age).
+		AddFloat("education_num", eduNum).
+		AddFloat("capital_gain", capGain).
+		AddFloat("hours", hours).
+		AddCategorical("workclass", workclass).
+		AddCategorical("education", education).
+		AddCategorical("marital", marital).
+		AddCategorical("occupation", occupation).
+		AddCategorical("relationship", relationship).
+		AddCategorical("race", race).
+		AddCategorical("sex", sex).
+		MustBuild()
+	return Classified{Table: tab, Actual: label}
+}
+
+// Bank generates the bank-full analog: 45,211 rows, 7 numeric (month is
+// treated as numeric, as in the paper) and 8 categorical attributes; the
+// label is term-deposit subscription.
+func Bank(cfg Config) Classified {
+	n := cfg.n(45_211)
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	age := make([]float64, n)
+	balance := make([]float64, n)
+	duration := make([]float64, n)
+	campaign := make([]float64, n)
+	pdays := make([]float64, n)
+	previous := make([]float64, n)
+	month := make([]float64, n)
+	job := make([]string, n)
+	maritals := make([]string, n)
+	education := make([]string, n)
+	def := make([]string, n)
+	housing := make([]string, n)
+	loan := make([]string, n)
+	contact := make([]string, n)
+	poutcome := make([]string, n)
+	label := make([]bool, n)
+
+	for i := 0; i < n; i++ {
+		age[i] = math.Round(truncNorm(r, 41, 11, 18, 95))
+		balance[i] = math.Round(1400*math.Exp(0.9*r.NormFloat64()) - 600)
+		duration[i] = math.Round(r.ExpFloat64() * 260)
+		campaign[i] = math.Round(1 + r.ExpFloat64()*1.7)
+		if r.Float64() < 0.18 {
+			pdays[i] = math.Round(r.Float64() * 400)
+			previous[i] = math.Round(1 + r.ExpFloat64()*1.5)
+		} else {
+			pdays[i] = -1
+		}
+		month[i] = float64(1 + r.Intn(12))
+		job[i] = pick(r, []string{"admin", "blue-collar", "technician", "services", "management", "retired", "self-employed", "student", "unemployed"},
+			[]float64{0.23, 0.21, 0.17, 0.09, 0.09, 0.08, 0.06, 0.04, 0.03})
+		maritals[i] = pick(r, []string{"married", "single", "divorced"}, []float64{0.60, 0.28, 0.12})
+		education[i] = pick(r, []string{"secondary", "tertiary", "primary", "unknown"}, []float64{0.51, 0.30, 0.15, 0.04})
+		def[i] = pick(r, []string{"no", "yes"}, []float64{0.98, 0.02})
+		housing[i] = pick(r, []string{"yes", "no"}, []float64{0.56, 0.44})
+		loan[i] = pick(r, []string{"no", "yes"}, []float64{0.84, 0.16})
+		contact[i] = pick(r, []string{"cellular", "telephone", "unknown"}, []float64{0.65, 0.06, 0.29})
+		poutcome[i] = pick(r, []string{"unknown", "failure", "success", "other"}, []float64{0.82, 0.11, 0.03, 0.04})
+
+		z := -3.4 +
+			0.004*duration[i] +
+			1.6*boolF(poutcome[i] == "success") +
+			0.5*boolF(job[i] == "student" || job[i] == "retired") +
+			0.3*boolF(month[i] == 3 || month[i] == 9 || month[i] == 10) -
+			0.12*campaign[i] -
+			0.5*boolF(housing[i] == "yes") +
+			0.0001*clamp(balance[i], -2_000, 20_000)
+		p := sigmoid(z)
+		// Hard region: long calls in May (month 5) convert unpredictably.
+		if month[i] == 5 && duration[i] > 400 {
+			p = 0.5
+		}
+		label[i] = r.Float64() < p
+	}
+
+	tab := dataset.NewBuilder().
+		AddFloat("age", age).
+		AddFloat("balance", balance).
+		AddFloat("duration", duration).
+		AddFloat("campaign", campaign).
+		AddFloat("pdays", pdays).
+		AddFloat("previous", previous).
+		AddFloat("month", month).
+		AddCategorical("job", job).
+		AddCategorical("marital", maritals).
+		AddCategorical("education", education).
+		AddCategorical("default", def).
+		AddCategorical("housing", housing).
+		AddCategorical("loan", loan).
+		AddCategorical("contact", contact).
+		AddCategorical("poutcome", poutcome).
+		MustBuild()
+	return Classified{Table: tab, Actual: label}
+}
+
+// German generates the german-credit analog: 1,000 rows, 7 numeric and 14
+// categorical attributes; the label is good credit risk.
+func German(cfg Config) Classified {
+	n := cfg.n(1_000)
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	duration := make([]float64, n)
+	amount := make([]float64, n)
+	installment := make([]float64, n)
+	residence := make([]float64, n)
+	age := make([]float64, n)
+	credits := make([]float64, n)
+	dependents := make([]float64, n)
+	cat := make([][]string, 14)
+	for j := range cat {
+		cat[j] = make([]string, n)
+	}
+	label := make([]bool, n)
+
+	catSpec := []struct {
+		name    string
+		levels  []string
+		weights []float64
+	}{
+		{"status", []string{"<0DM", "0-200DM", ">=200DM", "none"}, []float64{0.27, 0.27, 0.06, 0.40}},
+		{"credit_history", []string{"critical", "paid", "delayed", "existing"}, []float64{0.29, 0.53, 0.09, 0.09}},
+		{"purpose", []string{"car", "furniture", "radio/tv", "business", "education", "other"}, []float64{0.33, 0.18, 0.28, 0.10, 0.06, 0.05}},
+		{"savings", []string{"<100DM", "100-500DM", "500-1000DM", ">=1000DM", "unknown"}, []float64{0.60, 0.10, 0.06, 0.05, 0.19}},
+		{"employment", []string{"<1y", "1-4y", "4-7y", ">=7y", "unemployed"}, []float64{0.17, 0.34, 0.17, 0.25, 0.07}},
+		{"personal_status", []string{"male-single", "female", "male-married", "male-divorced"}, []float64{0.55, 0.31, 0.09, 0.05}},
+		{"other_debtors", []string{"none", "guarantor", "co-applicant"}, []float64{0.91, 0.05, 0.04}},
+		{"property", []string{"real_estate", "savings_ins", "car", "unknown"}, []float64{0.28, 0.23, 0.33, 0.15}},
+		{"other_installment", []string{"none", "bank", "stores"}, []float64{0.81, 0.14, 0.05}},
+		{"housing", []string{"own", "rent", "free"}, []float64{0.71, 0.18, 0.11}},
+		{"job", []string{"skilled", "unskilled", "management", "unemployed-nonres"}, []float64{0.63, 0.20, 0.15, 0.02}},
+		{"telephone", []string{"none", "yes"}, []float64{0.60, 0.40}},
+		{"foreign_worker", []string{"yes", "no"}, []float64{0.96, 0.04}},
+		{"sex", []string{"male", "female"}, []float64{0.69, 0.31}},
+	}
+
+	for i := 0; i < n; i++ {
+		duration[i] = math.Round(clamp(4+r.ExpFloat64()*17, 4, 72))
+		amount[i] = math.Round(3_000 * math.Exp(0.8*r.NormFloat64()))
+		installment[i] = float64(1 + r.Intn(4))
+		residence[i] = float64(1 + r.Intn(4))
+		age[i] = math.Round(truncNorm(r, 35, 11, 19, 75))
+		credits[i] = float64(1 + r.Intn(3))
+		dependents[i] = float64(1 + r.Intn(2))
+		for j, spec := range catSpec {
+			cat[j][i] = pick(r, spec.levels, spec.weights)
+		}
+		z := 1.6 -
+			0.03*duration[i] -
+			0.00008*amount[i] +
+			0.02*(age[i]-35) +
+			0.8*boolF(cat[0][i] == "none") - // no checking account → good proxy
+			0.7*boolF(cat[0][i] == "<0DM") +
+			0.5*boolF(cat[3][i] == ">=1000DM") +
+			0.4*boolF(cat[1][i] == "critical")
+		p := sigmoid(z)
+		// Hard region: young applicants with large loans.
+		if age[i] < 28 && amount[i] > 5_000 {
+			p = 0.5
+		}
+		label[i] = r.Float64() < p
+	}
+
+	b := dataset.NewBuilder().
+		AddFloat("duration", duration).
+		AddFloat("amount", amount).
+		AddFloat("installment_rate", installment).
+		AddFloat("residence_since", residence).
+		AddFloat("age", age).
+		AddFloat("existing_credits", credits).
+		AddFloat("num_dependents", dependents)
+	for j, spec := range catSpec {
+		b.AddCategorical(spec.name, cat[j])
+	}
+	return Classified{Table: b.MustBuild(), Actual: label}
+}
+
+// Intentions generates the online-shoppers-intentions analog: 12,330 rows,
+// 11 numeric (month numeric, as in the paper) and 6 categorical attributes;
+// the label is purchase completion.
+func Intentions(cfg Config) Classified {
+	n := cfg.n(12_330)
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	num := make([][]float64, 11)
+	for j := range num {
+		num[j] = make([]float64, n)
+	}
+	osys := make([]string, n)
+	browser := make([]string, n)
+	region := make([]string, n)
+	traffic := make([]string, n)
+	visitor := make([]string, n)
+	weekend := make([]string, n)
+	label := make([]bool, n)
+
+	for i := 0; i < n; i++ {
+		admin := math.Round(r.ExpFloat64() * 2.3)
+		adminDur := admin * (10 + r.ExpFloat64()*60)
+		info := math.Round(r.ExpFloat64() * 0.5)
+		infoDur := info * (10 + r.ExpFloat64()*50)
+		prod := math.Round(1 + r.ExpFloat64()*31)
+		prodDur := prod * (15 + r.ExpFloat64()*45)
+		bounce := clamp(r.ExpFloat64()*0.022, 0, 0.2)
+		exit := clamp(bounce+r.ExpFloat64()*0.02, 0, 0.2)
+		pageVal := 0.0
+		if r.Float64() < 0.22 {
+			pageVal = r.ExpFloat64() * 26
+		}
+		special := 0.0
+		if r.Float64() < 0.1 {
+			special = []float64{0.2, 0.4, 0.6, 0.8, 1.0}[r.Intn(5)]
+		}
+		month := float64(1 + r.Intn(12))
+		vals := []float64{admin, adminDur, info, infoDur, prod, prodDur, bounce, exit, pageVal, special, month}
+		for j := range num {
+			num[j][i] = vals[j]
+		}
+		osys[i] = pick(r, []string{"Windows", "Mac", "Linux", "Android", "iOS"}, []float64{0.53, 0.21, 0.05, 0.12, 0.09})
+		browser[i] = pick(r, []string{"Chrome", "Safari", "Firefox", "Edge", "Other"}, []float64{0.60, 0.18, 0.10, 0.08, 0.04})
+		region[i] = pick(r, []string{"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"},
+			[]float64{0.39, 0.09, 0.19, 0.10, 0.03, 0.07, 0.06, 0.04, 0.03})
+		traffic[i] = pick(r, []string{"T1", "T2", "T3", "T4", "T5", "T6"}, []float64{0.33, 0.32, 0.17, 0.09, 0.05, 0.04})
+		visitor[i] = pick(r, []string{"Returning", "New", "Other"}, []float64{0.86, 0.13, 0.01})
+		weekend[i] = pick(r, []string{"FALSE", "TRUE"}, []float64{0.77, 0.23})
+
+		z := -3.0 +
+			0.09*pageVal +
+			0.008*prod -
+			30*exit +
+			0.5*boolF(visitor[i] == "New") +
+			0.4*boolF(month == 11 || month == 12) +
+			0.001*prodDur/60
+		p := sigmoid(z)
+		// Hard region: high page values on weekends are unpredictable.
+		if weekend[i] == "TRUE" && pageVal > 20 {
+			p = 0.5
+		}
+		label[i] = r.Float64() < p
+	}
+
+	tab := dataset.NewBuilder().
+		AddFloat("administrative", num[0]).
+		AddFloat("administrative_duration", num[1]).
+		AddFloat("informational", num[2]).
+		AddFloat("informational_duration", num[3]).
+		AddFloat("product_related", num[4]).
+		AddFloat("product_related_duration", num[5]).
+		AddFloat("bounce_rates", num[6]).
+		AddFloat("exit_rates", num[7]).
+		AddFloat("page_values", num[8]).
+		AddFloat("special_day", num[9]).
+		AddFloat("month", num[10]).
+		AddCategorical("operating_system", osys).
+		AddCategorical("browser", browser).
+		AddCategorical("region", region).
+		AddCategorical("traffic_type", traffic).
+		AddCategorical("visitor_type", visitor).
+		AddCategorical("weekend", weekend).
+		MustBuild()
+	return Classified{Table: tab, Actual: label}
+}
+
+// Wine generates the wine-quality analog (red + white combined): 9,796
+// rows, 11 numeric attributes, no categorical ones; the label is quality
+// score > 5.
+func Wine(cfg Config) Classified {
+	n := cfg.n(9_796)
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	fixedAcid := make([]float64, n)
+	volAcid := make([]float64, n)
+	citric := make([]float64, n)
+	sugar := make([]float64, n)
+	chlorides := make([]float64, n)
+	freeSO2 := make([]float64, n)
+	totalSO2 := make([]float64, n)
+	density := make([]float64, n)
+	ph := make([]float64, n)
+	sulphates := make([]float64, n)
+	alcohol := make([]float64, n)
+	label := make([]bool, n)
+
+	for i := 0; i < n; i++ {
+		white := r.Float64() < 0.75 // the combined dataset is ~3/4 white
+		if white {
+			fixedAcid[i] = truncNorm(r, 6.9, 0.8, 3.8, 14)
+			volAcid[i] = truncNorm(r, 0.28, 0.10, 0.08, 1.1)
+			sugar[i] = clamp(r.ExpFloat64()*6, 0.6, 65)
+			totalSO2[i] = truncNorm(r, 138, 42, 9, 440)
+		} else {
+			fixedAcid[i] = truncNorm(r, 8.3, 1.7, 4.6, 16)
+			volAcid[i] = truncNorm(r, 0.53, 0.18, 0.12, 1.6)
+			sugar[i] = clamp(r.ExpFloat64()*2.5, 0.9, 15)
+			totalSO2[i] = truncNorm(r, 46, 32, 6, 290)
+		}
+		citric[i] = clamp(truncNorm(r, 0.32, 0.15, 0, 1.7), 0, 1.7)
+		chlorides[i] = clamp(0.05+0.03*r.ExpFloat64(), 0.01, 0.6)
+		freeSO2[i] = clamp(totalSO2[i]*(0.2+0.15*r.Float64()), 1, 290)
+		alcohol[i] = truncNorm(r, 10.5, 1.2, 8, 14.9)
+		density[i] = 1.002 - 0.0009*alcohol[i] + 0.0004*sugar[i]/10 + 0.0005*r.NormFloat64()
+		ph[i] = truncNorm(r, 3.2, 0.16, 2.7, 4.0)
+		sulphates[i] = clamp(truncNorm(r, 0.53, 0.15, 0.2, 2.0), 0.2, 2.0)
+
+		z := -5.2 +
+			0.55*alcohol[i] -
+			3.2*volAcid[i] +
+			0.8*sulphates[i] -
+			0.02*clamp(totalSO2[i]-150, 0, 300)/10
+		p := sigmoid(z)
+		// Hard region: very sweet, low-alcohol wines split tasters.
+		if sugar[i] > 12 && alcohol[i] < 10 {
+			p = 0.5
+		}
+		label[i] = r.Float64() < p
+	}
+
+	tab := dataset.NewBuilder().
+		AddFloat("fixed_acidity", fixedAcid).
+		AddFloat("volatile_acidity", volAcid).
+		AddFloat("citric_acid", citric).
+		AddFloat("residual_sugar", sugar).
+		AddFloat("chlorides", chlorides).
+		AddFloat("free_so2", freeSO2).
+		AddFloat("total_so2", totalSO2).
+		AddFloat("density", density).
+		AddFloat("ph", ph).
+		AddFloat("sulphates", sulphates).
+		AddFloat("alcohol", alcohol).
+		MustBuild()
+	return Classified{Table: tab, Actual: label}
+}

@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ColumnSummary describes one column for Describe.
+type ColumnSummary struct {
+	Field Field
+	// Continuous columns: value statistics over non-NaN entries.
+	Min, Max, Mean, Std float64
+	Missing             int // NaN count
+	// Categorical columns: number of levels and the most frequent one.
+	Levels   int
+	TopLevel string
+	TopCount int
+}
+
+// Summarize computes per-column summaries.
+func (t *Table) Summarize() []ColumnSummary {
+	out := make([]ColumnSummary, 0, t.NumCols())
+	for _, f := range t.Fields() {
+		s := ColumnSummary{Field: f}
+		if f.Kind == Continuous {
+			vals := t.Floats(f.Name)
+			s.Min, s.Max = math.Inf(1), math.Inf(-1)
+			var sum, sumSq float64
+			n := 0
+			for _, v := range vals {
+				if math.IsNaN(v) {
+					s.Missing++
+					continue
+				}
+				n++
+				sum += v
+				sumSq += v * v
+				s.Min = math.Min(s.Min, v)
+				s.Max = math.Max(s.Max, v)
+			}
+			if n > 0 {
+				s.Mean = sum / float64(n)
+				if n > 1 {
+					v := (sumSq - sum*sum/float64(n)) / float64(n-1)
+					if v < 0 {
+						v = 0
+					}
+					s.Std = math.Sqrt(v)
+				}
+			} else {
+				s.Min, s.Max, s.Mean = math.NaN(), math.NaN(), math.NaN()
+			}
+		} else {
+			levels := t.Levels(f.Name)
+			s.Levels = len(levels)
+			counts := make([]int, len(levels))
+			for _, c := range t.Codes(f.Name) {
+				counts[c]++
+			}
+			best := 0
+			for c := range counts {
+				if counts[c] > counts[best] {
+					best = c
+				}
+			}
+			if len(levels) > 0 {
+				s.TopLevel = levels[best]
+				s.TopCount = counts[best]
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Describe renders a per-column summary table (the df.describe() of this
+// substrate).
+func (t *Table) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d rows × %d columns\n", t.NumRows(), t.NumCols())
+	fmt.Fprintf(&b, "%-20s %-12s %12s %12s %12s %12s\n", "column", "kind", "min/levels", "max/top", "mean/top-n", "std/missing")
+	for _, s := range t.Summarize() {
+		if s.Field.Kind == Continuous {
+			fmt.Fprintf(&b, "%-20s %-12s %12.4g %12.4g %12.4g %12.4g\n",
+				s.Field.Name, "continuous", s.Min, s.Max, s.Mean, s.Std)
+			if s.Missing > 0 {
+				fmt.Fprintf(&b, "%-20s %-12s %12s %12s %12s %11dNaN\n", "", "", "", "", "", s.Missing)
+			}
+		} else {
+			fmt.Fprintf(&b, "%-20s %-12s %12d %12s %12d %12s\n",
+				s.Field.Name, "categorical", s.Levels, truncate(s.TopLevel, 12), s.TopCount, "")
+		}
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// LevelCounts returns the occurrence count of every level of a categorical
+// column, sorted by count descending (ties by level name).
+func (t *Table) LevelCounts(name string) []struct {
+	Level string
+	Count int
+} {
+	levels := t.Levels(name)
+	counts := make([]int, len(levels))
+	for _, c := range t.Codes(name) {
+		counts[c]++
+	}
+	out := make([]struct {
+		Level string
+		Count int
+	}, len(levels))
+	for c, l := range levels {
+		out[c] = struct {
+			Level string
+			Count int
+		}{l, counts[c]}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Level < out[b].Level
+	})
+	return out
+}

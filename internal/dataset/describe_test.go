@@ -1,0 +1,74 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeContinuous(t *testing.T) {
+	tab := NewBuilder().
+		AddFloat("x", []float64{1, 2, 3, 4, math.NaN()}).
+		MustBuild()
+	s := tab.Summarize()[0]
+	if s.Min != 1 || s.Max != 4 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-2.5) > 1e-12 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Std-math.Sqrt(5.0/3.0)) > 1e-12 {
+		t.Errorf("std = %v", s.Std)
+	}
+	if s.Missing != 1 {
+		t.Errorf("missing = %d", s.Missing)
+	}
+}
+
+func TestSummarizeAllNaN(t *testing.T) {
+	tab := NewBuilder().AddFloat("x", []float64{math.NaN(), math.NaN()}).MustBuild()
+	s := tab.Summarize()[0]
+	if !math.IsNaN(s.Mean) || s.Missing != 2 {
+		t.Errorf("all-NaN summary = %+v", s)
+	}
+}
+
+func TestSummarizeCategorical(t *testing.T) {
+	tab := NewBuilder().
+		AddCategorical("c", []string{"a", "b", "a", "a", "c"}).
+		MustBuild()
+	s := tab.Summarize()[0]
+	if s.Levels != 3 || s.TopLevel != "a" || s.TopCount != 3 {
+		t.Errorf("categorical summary = %+v", s)
+	}
+}
+
+func TestDescribeRenders(t *testing.T) {
+	tab := NewBuilder().
+		AddFloat("x", []float64{1, 2, 3}).
+		AddCategorical("c", []string{"hello", "a-very-long-level-name", "a-very-long-level-name"}).
+		MustBuild()
+	d := tab.Describe()
+	if !strings.Contains(d, "3 rows × 2 columns") {
+		t.Errorf("header missing:\n%s", d)
+	}
+	if !strings.Contains(d, "continuous") || !strings.Contains(d, "categorical") {
+		t.Errorf("kinds missing:\n%s", d)
+	}
+	if !strings.Contains(d, "…") {
+		t.Errorf("long level not truncated:\n%s", d)
+	}
+}
+
+func TestLevelCounts(t *testing.T) {
+	tab := NewBuilder().
+		AddCategorical("c", []string{"b", "a", "b", "c", "b", "a"}).
+		MustBuild()
+	lc := tab.LevelCounts("c")
+	if lc[0].Level != "b" || lc[0].Count != 3 {
+		t.Errorf("LevelCounts[0] = %+v", lc[0])
+	}
+	if lc[1].Level != "a" || lc[2].Level != "c" {
+		t.Errorf("LevelCounts order = %+v", lc)
+	}
+}

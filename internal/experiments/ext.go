@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/discretize"
+	"repro/internal/treebaseline"
+)
+
+// ExtTreeRow compares the combined-tree baseline with H-DivExplorer on one
+// (dataset, s) point.
+type ExtTreeRow struct {
+	Dataset  string
+	S        float64
+	TreeBest float64 // best |Δ| over the combined tree's leaves
+	HierBest float64 // hierarchical exploration max |Δ|
+	TreeTop  string
+	HierTop  string
+}
+
+// ExtCombinedTree is an extension experiment beyond the paper's figures:
+// it quantifies the §V-A discussion by comparing the combined-tree
+// alternative (one divergence-driven decision tree over all attributes;
+// leaves = subgroups — the approach of the paper's tree-based related
+// work) against hierarchical exploration at matched support, on
+// synthetic-peak and compas. Both directions of the paper's trade-off are
+// observable: on the isotropic synthetic-peak anomaly the exhaustive
+// lattice search wins, while on compas the combined tree's *conditional*
+// refinement (different cuts of the same attribute in different branches —
+// the dependence-capturing advantage §V-A concedes) can reach higher
+// divergence than any itemset over the global per-attribute vocabulary.
+// The combined tree still returns a partition (no overlapping candidates,
+// no per-attribute hierarchy, no granularity control), which is the
+// paper's reason to prefer individual trees.
+func ExtCombinedTree(cfg Config) ([]ExtTreeRow, error) {
+	var out []ExtTreeRow
+	for _, name := range []string{"synthetic-peak", "compas"} {
+		w, err := Load(name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		hs, err := w.Hierarchies(0.1, discretize.DivergenceGain)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range []float64{0.05, 0.025} {
+			leaves, err := treebaseline.Grow(w.Table, w.Outcome, treebaseline.Options{MinSupport: s})
+			if err != nil {
+				return nil, err
+			}
+			row := ExtTreeRow{Dataset: name, S: s}
+			for _, l := range leaves {
+				if v := math.Abs(l.Divergence); v > row.TreeBest {
+					row.TreeBest = v
+					row.TreeTop = l.Itemset.String()
+				}
+			}
+			rep, err := core.Explore(w.Table, core.Config{
+				Outcome: w.Outcome, Hierarchies: hs, MinSupport: s, Mode: core.Hierarchical,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.HierBest = rep.MaxAbsDivergence()
+			if top := rep.Top(); top != nil {
+				row.HierTop = top.Itemset.String()
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// RenderExtCombinedTree renders the extension comparison.
+func RenderExtCombinedTree(rows []ExtTreeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %6s %10s %10s\n", "dataset", "s", "tree-maxΔ", "hier-maxΔ")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %6.3f %10.4g %10.4g\n", r.Dataset, r.S, r.TreeBest, r.HierBest)
+		fmt.Fprintf(&b, "    tree: {%s}\n    hier: {%s}\n", r.TreeTop, r.HierTop)
+	}
+	return b.String()
+}

@@ -1,0 +1,234 @@
+package fpm
+
+import (
+	"sort"
+
+	"repro/internal/outcome"
+	"repro/internal/stats"
+)
+
+// fpNode is one node of an FP-tree. Beyond the usual support count, each
+// node carries the outcome moments of the transactions (rows) flowing
+// through it, which is what lets divergence fall out of the mining
+// recursion with no extra dataset pass.
+type fpNode struct {
+	item     int
+	count    int
+	m        stats.Moments
+	parent   *fpNode
+	children map[int]*fpNode
+	next     *fpNode // header-list chain of nodes with the same item
+}
+
+// fpTree is an FP-tree plus its header table.
+type fpTree struct {
+	root    *fpNode
+	headers map[int]*fpNode
+	tails   map[int]*fpNode
+	// order lists the tree's items from most to least frequent; transactions
+	// are inserted in this order.
+	order []int
+	rank  map[int]int
+}
+
+func newFPTree(order []int) *fpTree {
+	rank := make(map[int]int, len(order))
+	for r, it := range order {
+		rank[it] = r
+	}
+	return &fpTree{
+		root:    &fpNode{item: -1, children: map[int]*fpNode{}},
+		headers: map[int]*fpNode{},
+		tails:   map[int]*fpNode{},
+		order:   order,
+		rank:    rank,
+	}
+}
+
+// insert adds a transaction (items already filtered to the tree's
+// universe and sorted by rank) with the given weight and moments.
+func (t *fpTree) insert(items []int, count int, m stats.Moments) {
+	node := t.root
+	for _, it := range items {
+		child, ok := node.children[it]
+		if !ok {
+			child = &fpNode{item: it, parent: node, children: map[int]*fpNode{}}
+			node.children[it] = child
+			if t.headers[it] == nil {
+				t.headers[it] = child
+			} else {
+				t.tails[it].next = child
+			}
+			t.tails[it] = child
+		}
+		child.count += count
+		child.m.AddN(m)
+		node = child
+	}
+}
+
+// weightedPath is one conditional-pattern-base entry: the ancestor items of
+// an occurrence, with the occurrence's count and moments.
+type weightedPath struct {
+	items []int
+	count int
+	m     stats.Moments
+}
+
+// mineFPGrowth mines all frequent generalized itemsets via recursive
+// conditional FP-trees, in the style of FP-tax: the conditional pattern
+// base of an item excludes items of the same attribute (its hierarchy
+// ancestors/descendants), which enforces the one-item-per-attribute rule of
+// generalized itemsets.
+func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int) *Result {
+	res := &Result{}
+
+	// Global frequent items, ranked by support descending (ties by index).
+	type freq struct{ item, count int }
+	var fr []freq
+	for i := range u.Items {
+		res.Stats.Candidates++
+		if c := u.Rows[i].Count(); c >= minCount {
+			fr = append(fr, freq{i, c})
+		}
+	}
+	sort.Slice(fr, func(a, b int) bool {
+		if fr[a].count != fr[b].count {
+			return fr[a].count > fr[b].count
+		}
+		return fr[a].item < fr[b].item
+	})
+	order := make([]int, len(fr))
+	for i, f := range fr {
+		order[i] = f.item
+	}
+
+	tree := newFPTree(order)
+
+	// Build per-row transactions: the frequent items covering each row, in
+	// rank order. Iterating items (not rows) keeps this cache-friendly.
+	perRow := make([][]int, u.NumRows)
+	for _, it := range order {
+		u.Rows[it].ForEach(func(r int) {
+			perRow[r] = append(perRow[r], it)
+		})
+	}
+	for r, items := range perRow {
+		if len(items) == 0 {
+			continue
+		}
+		var m stats.Moments
+		if o.Valid.Get(r) {
+			m.Add(o.Values[r])
+		}
+		tree.insert(items, 1, m)
+	}
+
+	// branch mines the suffix {item}+suffix rooted at one header item of
+	// tree t, appending to the local accumulator. Branches of distinct
+	// top-level items are independent, which is what the parallel path
+	// exploits.
+	var local func(acc *fpLocal, t *fpTree, idx int, suffix []int)
+	local = func(acc *fpLocal, t *fpTree, idx int, suffix []int) {
+		it := t.order[idx]
+		head := t.headers[it]
+		if head == nil {
+			return
+		}
+		total := 0
+		var m stats.Moments
+		for n := head; n != nil; n = n.next {
+			total += n.count
+			m.AddN(n.m)
+		}
+		if total < minCount {
+			return
+		}
+		itemset := append([]int{it}, suffix...)
+		sorted := append([]int(nil), itemset...)
+		sort.Ints(sorted)
+		acc.itemsets = append(acc.itemsets, MinedItemset{Items: sorted, Count: total, M: m})
+
+		if opt.MaxLen > 0 && len(itemset) >= opt.MaxLen {
+			return
+		}
+
+		// Conditional pattern base: ancestors of each occurrence,
+		// excluding items of it's attribute (generalized-itemset rule)
+		// and, under polarity pruning, items of opposite polarity.
+		var base []weightedPath
+		condCount := map[int]int{}
+		for n := head; n != nil; n = n.next {
+			var path []int
+			for p := n.parent; p.item >= 0; p = p.parent {
+				if u.AttrID[p.item] == u.AttrID[it] {
+					continue
+				}
+				if opt.PolarityPrune && u.Polarity[p.item] != u.Polarity[it] {
+					continue
+				}
+				path = append(path, p.item)
+			}
+			if len(path) == 0 {
+				continue
+			}
+			base = append(base, weightedPath{items: path, count: n.count, m: n.m})
+			for _, pi := range path {
+				condCount[pi] += n.count
+			}
+		}
+		if len(base) == 0 {
+			return
+		}
+		// Conditional universe: items frequent within the base, keeping
+		// the parent tree's rank order.
+		var condOrder []int
+		for _, oi := range t.order {
+			acc.candidates++
+			if condCount[oi] >= minCount {
+				condOrder = append(condOrder, oi)
+			}
+		}
+		if len(condOrder) == 0 {
+			return
+		}
+		cond := newFPTree(condOrder)
+		for _, wp := range base {
+			kept := wp.items[:0]
+			for _, pi := range wp.items {
+				if condCount[pi] >= minCount {
+					kept = append(kept, pi)
+				}
+			}
+			if len(kept) == 0 {
+				continue
+			}
+			sort.Slice(kept, func(a, b int) bool { return cond.rank[kept[a]] < cond.rank[kept[b]] })
+			cond.insert(kept, wp.count, wp.m)
+		}
+		for i := len(cond.order) - 1; i >= 0; i-- {
+			local(acc, cond, i, itemset)
+		}
+	}
+
+	// Top-level branches, least-frequent first, optionally in parallel.
+	// Each branch accumulates locally; concatenating in branch order makes
+	// the output identical to the serial traversal.
+	nBranch := len(tree.order)
+	locals := make([]fpLocal, nBranch)
+	parallelFor(nBranch, opt.Workers, func(j int) {
+		idx := nBranch - 1 - j
+		local(&locals[j], tree, idx, nil)
+	})
+	for j := range locals {
+		res.Itemsets = append(res.Itemsets, locals[j].itemsets...)
+		res.Stats.Candidates += locals[j].candidates
+	}
+	return res
+}
+
+// fpLocal accumulates one FP-Growth branch's results.
+type fpLocal struct {
+	itemsets   []MinedItemset
+	candidates int
+}

@@ -1,0 +1,634 @@
+package fpm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+	"repro/internal/hierarchy"
+	"repro/internal/outcome"
+	"repro/internal/stats"
+)
+
+// randomUniverse builds a small random dataset with two continuous and one
+// categorical attribute, tree-discretized hierarchies, and an error-rate
+// outcome. It is the shared fixture for equivalence tests.
+func randomUniverse(t *testing.T, seed int64, n int, generalized bool) (*Universe, *outcome.Outcome) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]string, n)
+	actual := make([]bool, n)
+	pred := make([]bool, n)
+	cats := []string{"red", "green", "blue"}
+	for i := 0; i < n; i++ {
+		a[i] = r.Float64() * 10
+		b[i] = r.NormFloat64() * 3
+		c[i] = cats[r.Intn(len(cats))]
+		actual[i] = r.Intn(2) == 0
+		// Error concentrates where a is large and c is red.
+		errP := 0.1
+		if a[i] > 7 {
+			errP += 0.4
+		}
+		if c[i] == "red" {
+			errP += 0.2
+		}
+		pred[i] = actual[i]
+		if r.Float64() < errP {
+			pred[i] = !pred[i]
+		}
+	}
+	tab := dataset.NewBuilder().
+		AddFloat("a", a).
+		AddFloat("b", b).
+		AddCategorical("c", c).
+		MustBuild()
+	o := outcome.ErrorRate(actual, pred)
+	hs, err := discretize.TreeSet(tab, o, discretize.TreeOptions{MinSupport: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs.Add(hierarchy.FlatCategorical(tab, "c"))
+	if generalized {
+		return GeneralizedUniverse(tab, hs, o), o
+	}
+	return BaseUniverse(tab, hs, o), o
+}
+
+// mineBrute enumerates every itemset (one item per attribute) by exhaustive
+// recursion, as a correctness oracle.
+func mineBrute(u *Universe, o *outcome.Outcome, opt Options, minCount int) []MinedItemset {
+	var out []MinedItemset
+	var rec func(start int, items []int, rows *bitvec.Vector)
+	rec = func(start int, items []int, rows *bitvec.Vector) {
+		for i := start; i < len(u.Items); i++ {
+			conflict := false
+			for _, j := range items {
+				if u.AttrID[j] == u.AttrID[i] {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			if opt.PolarityPrune && len(items) >= 1 {
+				mismatch := false
+				for _, j := range items {
+					if u.Polarity[j] != u.Polarity[i] {
+						mismatch = true
+						break
+					}
+				}
+				if mismatch {
+					continue
+				}
+			}
+			var newRows *bitvec.Vector
+			if rows == nil {
+				newRows = u.Rows[i].Clone()
+			} else {
+				newRows = rows.Clone().And(u.Rows[i])
+			}
+			count := newRows.Count()
+			if count < minCount {
+				continue
+			}
+			newItems := append(append([]int{}, items...), i)
+			out = append(out, MinedItemset{Items: newItems, Count: count, M: momentsOf(newRows, o)})
+			if opt.MaxLen == 0 || len(newItems) < opt.MaxLen {
+				rec(i+1, newItems, newRows)
+			}
+		}
+	}
+	rec(0, nil, nil)
+	return out
+}
+
+func canonicalize(items []MinedItemset) map[string]MinedItemset {
+	m := map[string]MinedItemset{}
+	for _, it := range items {
+		s := append([]int(nil), it.Items...)
+		sort.Ints(s)
+		m[fmt.Sprint(s)] = it
+	}
+	return m
+}
+
+func momentsClose(a, b stats.Moments) bool {
+	return a.N == b.N && math.Abs(a.Sum-b.Sum) < 1e-9 && math.Abs(a.SumSq-b.SumSq) < 1e-6
+}
+
+func TestAprioriMatchesFPGrowth(t *testing.T) {
+	for _, generalized := range []bool{false, true} {
+		for _, prune := range []bool{false, true} {
+			for _, s := range []float64{0.02, 0.05, 0.1} {
+				name := fmt.Sprintf("gen=%v/prune=%v/s=%v", generalized, prune, s)
+				u, o := randomUniverse(t, 42, 800, generalized)
+				ra, err := Mine(u, o, Options{MinSupport: s, PolarityPrune: prune, Algorithm: Apriori})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				rf, err := Mine(u, o, Options{MinSupport: s, PolarityPrune: prune, Algorithm: FPGrowth})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				ma, mf := canonicalize(ra.Itemsets), canonicalize(rf.Itemsets)
+				if len(ma) != len(mf) {
+					t.Errorf("%s: apriori %d itemsets, fp-growth %d", name, len(ma), len(mf))
+				}
+				for k, va := range ma {
+					vf, ok := mf[k]
+					if !ok {
+						t.Errorf("%s: itemset %v missing from fp-growth", name, u.Itemset(va.Items))
+						continue
+					}
+					if va.Count != vf.Count || !momentsClose(va.M, vf.M) {
+						t.Errorf("%s: itemset %v stats differ: apriori (%d,%+v) vs fp (%d,%+v)",
+							name, u.Itemset(va.Items), va.Count, va.M, vf.Count, vf.M)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMinersMatchBruteForce(t *testing.T) {
+	for _, generalized := range []bool{false, true} {
+		for _, prune := range []bool{false, true} {
+			u, o := randomUniverse(t, 7, 400, generalized)
+			opt := Options{MinSupport: 0.05, PolarityPrune: prune}
+			minCount := int(math.Ceil(opt.MinSupport * float64(u.NumRows)))
+			want := canonicalize(mineBrute(u, o, opt, minCount))
+			for _, alg := range []Algorithm{Apriori, FPGrowth} {
+				opt.Algorithm = alg
+				res, err := Mine(u, o, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := canonicalize(res.Itemsets)
+				if len(got) != len(want) {
+					t.Errorf("gen=%v prune=%v %v: %d itemsets, brute force %d",
+						generalized, prune, alg, len(got), len(want))
+				}
+				for k, w := range want {
+					g, ok := got[k]
+					if !ok {
+						t.Errorf("gen=%v prune=%v %v: missing %v", generalized, prune, alg, u.Itemset(w.Items))
+						continue
+					}
+					if g.Count != w.Count || !momentsClose(g.M, w.M) {
+						t.Errorf("gen=%v prune=%v %v: stats differ for %v", generalized, prune, alg, u.Itemset(w.Items))
+					}
+				}
+			}
+		}
+	}
+}
+
+// The paper's superset guarantee: for the same support threshold, the
+// hierarchical exploration finds itemsets at least as divergent as the base
+// exploration, because generalized itemsets are a superset of base itemsets.
+func TestGeneralizedSupersetGuarantee(t *testing.T) {
+	for _, s := range []float64{0.02, 0.05, 0.1} {
+		ub, o := randomUniverse(t, 99, 1000, false)
+		ug, _ := randomUniverse(t, 99, 1000, true)
+		rb, err := Mine(ub, o, Options{MinSupport: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rg, err := Mine(ug, o, Options{MinSupport: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxAbs := func(r *Result) float64 {
+			best := 0.0
+			for _, m := range r.Itemsets {
+				if d := math.Abs(o.DivergenceFromMoments(m.M)); d > best {
+					best = d
+				}
+			}
+			return best
+		}
+		if len(rg.Itemsets) < len(rb.Itemsets) {
+			t.Errorf("s=%v: generalized found %d < base %d itemsets", s, len(rg.Itemsets), len(rb.Itemsets))
+		}
+		if maxAbs(rg)+1e-12 < maxAbs(rb) {
+			t.Errorf("s=%v: generalized max |Δ| %v < base %v", s, maxAbs(rg), maxAbs(rb))
+		}
+	}
+}
+
+func TestPolarityPruneKeepsSingletons(t *testing.T) {
+	u, o := randomUniverse(t, 5, 500, true)
+	full, err := Mine(u, o, Options{MinSupport: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Mine(u, o, Options{MinSupport: 0.05, PolarityPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	singles := func(r *Result) int {
+		c := 0
+		for _, m := range r.Itemsets {
+			if len(m.Items) == 1 {
+				c++
+			}
+		}
+		return c
+	}
+	if singles(full) != singles(pruned) {
+		t.Errorf("pruning changed singleton count: %d vs %d", singles(full), singles(pruned))
+	}
+	if len(pruned.Itemsets) > len(full.Itemsets) {
+		t.Error("pruned search returned more itemsets than complete search")
+	}
+	// Every pruned itemset of length ≥ 2 is polarity-uniform.
+	for _, m := range pruned.Itemsets {
+		if len(m.Items) < 2 {
+			continue
+		}
+		p := u.Polarity[m.Items[0]]
+		for _, it := range m.Items[1:] {
+			if u.Polarity[it] != p {
+				t.Fatalf("pruned result contains mixed-polarity itemset %v", u.Itemset(m.Items))
+			}
+		}
+	}
+	// Pruned results are a subset of complete results with identical stats.
+	fullMap := canonicalize(full.Itemsets)
+	for k, g := range canonicalize(pruned.Itemsets) {
+		w, ok := fullMap[k]
+		if !ok {
+			t.Fatalf("pruned itemset %v absent from complete search", u.Itemset(g.Items))
+		}
+		if g.Count != w.Count || !momentsClose(g.M, w.M) {
+			t.Fatalf("pruned stats differ for %v", u.Itemset(g.Items))
+		}
+	}
+}
+
+func TestMaxLen(t *testing.T) {
+	u, o := randomUniverse(t, 11, 500, true)
+	for _, alg := range []Algorithm{Apriori, FPGrowth} {
+		res, err := Mine(u, o, Options{MinSupport: 0.05, MaxLen: 2, Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range res.Itemsets {
+			if len(m.Items) > 2 {
+				t.Errorf("%v: itemset %v exceeds MaxLen", alg, u.Itemset(m.Items))
+			}
+		}
+		// MaxLen=2 results must equal the length ≤ 2 slice of the full run.
+		fullRes, err := Mine(u, o, Options{MinSupport: 0.05, Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for _, m := range fullRes.Itemsets {
+			if len(m.Items) <= 2 {
+				want++
+			}
+		}
+		if len(res.Itemsets) != want {
+			t.Errorf("%v: MaxLen=2 found %d itemsets, want %d", alg, len(res.Itemsets), want)
+		}
+	}
+}
+
+func TestOneItemPerAttribute(t *testing.T) {
+	u, o := randomUniverse(t, 13, 600, true)
+	res, err := Mine(u, o, Options{MinSupport: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Itemsets {
+		seen := map[int]bool{}
+		for _, it := range m.Items {
+			if seen[u.AttrID[it]] {
+				t.Fatalf("itemset %v uses attribute %q twice", u.Itemset(m.Items), u.Attr(u.AttrID[it]))
+			}
+			seen[u.AttrID[it]] = true
+		}
+	}
+}
+
+func TestSupportMonotone(t *testing.T) {
+	u, o := randomUniverse(t, 17, 600, true)
+	prev := -1
+	for _, s := range []float64{0.2, 0.1, 0.05, 0.02} {
+		res, err := Mine(u, o, Options{MinSupport: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		minCount := int(math.Ceil(s * float64(u.NumRows)))
+		for _, m := range res.Itemsets {
+			if m.Count < minCount {
+				t.Fatalf("s=%v: itemset with count %d < %d", s, m.Count, minCount)
+			}
+		}
+		if prev >= 0 && len(res.Itemsets) < prev {
+			t.Errorf("lowering support reduced itemset count: %d -> %d", prev, len(res.Itemsets))
+		}
+		prev = len(res.Itemsets)
+	}
+}
+
+func TestMineErrors(t *testing.T) {
+	u, o := randomUniverse(t, 1, 100, false)
+	if _, err := Mine(u, o, Options{MinSupport: 0}); err == nil {
+		t.Error("MinSupport 0 should fail")
+	}
+	if _, err := Mine(u, o, Options{MinSupport: 1.5}); err == nil {
+		t.Error("MinSupport > 1 should fail")
+	}
+	if _, err := Mine(u, o, Options{MinSupport: 0.1, Algorithm: Algorithm(9)}); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+	short := outcome.Numeric("x", []float64{1, 2, 3})
+	if _, err := Mine(u, short, Options{MinSupport: 0.1}); err == nil {
+		t.Error("outcome length mismatch should fail")
+	}
+}
+
+func TestUniverseBasics(t *testing.T) {
+	u, _ := randomUniverse(t, 3, 200, true)
+	if u.NumAttrs() != 3 {
+		t.Errorf("NumAttrs = %d, want 3", u.NumAttrs())
+	}
+	names := map[string]bool{}
+	for id := 0; id < u.NumAttrs(); id++ {
+		names[u.Attr(id)] = true
+	}
+	if !names["a"] || !names["b"] || !names["c"] {
+		t.Errorf("attrs = %v", names)
+	}
+	if err := u.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	its := u.Itemset([]int{0, len(u.Items) - 1})
+	if len(its) != 2 {
+		t.Error("Itemset materialization wrong")
+	}
+}
+
+func TestSupportHelper(t *testing.T) {
+	m := MinedItemset{Count: 25}
+	if got := m.Support(100); got != 0.25 {
+		t.Errorf("Support = %v, want 0.25", got)
+	}
+}
+
+func TestSortByDivergence(t *testing.T) {
+	u, o := randomUniverse(t, 23, 500, true)
+	res, err := Mine(u, o, Options{MinSupport: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := append([]MinedItemset(nil), res.Itemsets...)
+	SortByDivergence(items, o, false, false)
+	for i := 1; i < len(items); i++ {
+		da := math.Abs(o.DivergenceFromMoments(items[i-1].M))
+		db := math.Abs(o.DivergenceFromMoments(items[i].M))
+		if db > da+1e-12 {
+			t.Fatalf("abs sort violated at %d: %v < %v", i, da, db)
+		}
+	}
+	SortByDivergence(items, o, true, true)
+	for i := 1; i < len(items); i++ {
+		if o.DivergenceFromMoments(items[i].M) > o.DivergenceFromMoments(items[i-1].M)+1e-12 {
+			t.Fatal("signed positive sort violated")
+		}
+	}
+	SortByDivergence(items, o, true, false)
+	for i := 1; i < len(items); i++ {
+		if o.DivergenceFromMoments(items[i].M) < o.DivergenceFromMoments(items[i-1].M)-1e-12 {
+			t.Fatal("signed negative sort violated")
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if Apriori.String() != "apriori" || FPGrowth.String() != "fp-growth" {
+		t.Error("Algorithm.String wrong")
+	}
+	if Algorithm(7).String() == "" {
+		t.Error("unknown algorithm should render")
+	}
+}
+
+// Mined moments must agree with a direct recomputation from the itemset's
+// rows — the "no additional pass" bookkeeping is exact.
+func TestMinedMomentsMatchDirect(t *testing.T) {
+	u, o := randomUniverse(t, 31, 700, true)
+	res, err := Mine(u, o, Options{MinSupport: 0.05, Algorithm: FPGrowth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Itemsets {
+		rows := u.Rows[m.Items[0]].Clone()
+		for _, it := range m.Items[1:] {
+			rows.And(u.Rows[it])
+		}
+		if rows.Count() != m.Count {
+			t.Fatalf("count mismatch for %v: %d vs %d", u.Itemset(m.Items), rows.Count(), m.Count)
+		}
+		direct := momentsOf(rows, o)
+		if !momentsClose(direct, m.M) {
+			t.Fatalf("moments mismatch for %v", u.Itemset(m.Items))
+		}
+	}
+}
+
+// Parallel mining must produce byte-identical results to serial mining,
+// in the same order, for both algorithms and all pruning modes.
+func TestParallelMatchesSerial(t *testing.T) {
+	u, o := randomUniverse(t, 51, 900, true)
+	for _, alg := range []Algorithm{Apriori, FPGrowth} {
+		for _, prune := range []bool{false, true} {
+			serial, err := Mine(u, o, Options{MinSupport: 0.03, Algorithm: alg, PolarityPrune: prune})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 16} {
+				par, err := Mine(u, o, Options{MinSupport: 0.03, Algorithm: alg, PolarityPrune: prune, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(par.Itemsets) != len(serial.Itemsets) {
+					t.Fatalf("%v workers=%d: %d itemsets vs %d serial",
+						alg, workers, len(par.Itemsets), len(serial.Itemsets))
+				}
+				for i := range serial.Itemsets {
+					a, b := serial.Itemsets[i], par.Itemsets[i]
+					if fmt.Sprint(a.Items) != fmt.Sprint(b.Items) || a.Count != b.Count || !momentsClose(a.M, b.M) {
+						t.Fatalf("%v workers=%d: itemset %d differs (order or stats)", alg, workers, i)
+					}
+				}
+				if par.Stats.Candidates != serial.Stats.Candidates {
+					t.Errorf("%v workers=%d: candidate count %d vs %d",
+						alg, workers, par.Stats.Candidates, serial.Stats.Candidates)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelForCoversAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		n := 57
+		hit := make([]atomicBool, n)
+		parallelFor(n, workers, func(i int) { hit[i].Store(true) })
+		for i := range hit {
+			if !hit[i].Load() {
+				t.Fatalf("workers=%d: index %d not visited", workers, i)
+			}
+		}
+	}
+	// n == 0 and n == 1 edge cases.
+	parallelFor(0, 4, func(int) { t.Fatal("should not be called") })
+	called := 0
+	parallelFor(1, 4, func(int) { called++ })
+	if called != 1 {
+		t.Fatal("n=1 not called exactly once")
+	}
+}
+
+// atomicBool wraps atomic.Bool for pre-1.19-style field embedding clarity.
+type atomicBool = atomic.Bool
+
+func BenchmarkMineFPGrowth(b *testing.B) {
+	u, o := benchUniverse(b, 20_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine(u, o, Options{MinSupport: 0.05}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMineApriori(b *testing.B) {
+	u, o := benchUniverse(b, 20_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine(u, o, Options{MinSupport: 0.05, Algorithm: Apriori}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinePolarityPruned(b *testing.B) {
+	u, o := benchUniverse(b, 20_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine(u, o, Options{MinSupport: 0.05, PolarityPrune: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchUniverse(b *testing.B, n int) (*Universe, *outcome.Outcome) {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	a := make([]float64, n)
+	c := make([]float64, n)
+	g := make([]string, n)
+	actual := make([]bool, n)
+	pred := make([]bool, n)
+	for i := 0; i < n; i++ {
+		a[i] = r.Float64() * 10
+		c[i] = r.NormFloat64()
+		g[i] = []string{"u", "v", "w"}[r.Intn(3)]
+		actual[i] = r.Intn(2) == 0
+		pred[i] = actual[i]
+		if a[i] > 8 && r.Float64() < 0.4 {
+			pred[i] = !pred[i]
+		}
+	}
+	tab := dataset.NewBuilder().AddFloat("a", a).AddFloat("c", c).AddCategorical("g", g).MustBuild()
+	o := outcome.ErrorRate(actual, pred)
+	hs, err := discretize.TreeSet(tab, o, discretize.TreeOptions{MinSupport: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs.Add(hierarchy.FlatCategorical(tab, "g"))
+	return GeneralizedUniverse(tab, hs, o), o
+}
+
+// Property (testing/quick): for random small universes, random supports and
+// random pruning settings, both miners agree with brute force exactly.
+func TestQuickMinersMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 50 + r.Intn(150)
+		// Random dataset: 2 continuous, 1 categorical attribute.
+		a := make([]float64, n)
+		c := make([]float64, n)
+		g := make([]string, n)
+		actual := make([]bool, n)
+		pred := make([]bool, n)
+		for i := 0; i < n; i++ {
+			a[i] = r.Float64() * 10
+			c[i] = r.NormFloat64()
+			g[i] = []string{"u", "v", "w"}[r.Intn(3)]
+			actual[i] = r.Intn(2) == 0
+			pred[i] = r.Intn(2) == 0
+		}
+		tab := dataset.NewBuilder().AddFloat("a", a).AddFloat("c", c).AddCategorical("g", g).MustBuild()
+		o := outcome.ErrorRate(actual, pred)
+		hs, err := discretize.TreeSet(tab, o, discretize.TreeOptions{MinSupport: 0.1 + 0.2*r.Float64()})
+		if err != nil {
+			return false
+		}
+		hs.Add(hierarchy.FlatCategorical(tab, "g"))
+		var u *Universe
+		if r.Intn(2) == 0 {
+			u = GeneralizedUniverse(tab, hs, o)
+		} else {
+			u = BaseUniverse(tab, hs, o)
+		}
+		opt := Options{
+			MinSupport:    0.02 + 0.2*r.Float64(),
+			PolarityPrune: r.Intn(2) == 0,
+			MaxLen:        r.Intn(4), // 0..3
+		}
+		minCount := int(math.Ceil(opt.MinSupport * float64(u.NumRows)))
+		if minCount < 1 {
+			minCount = 1
+		}
+		want := canonicalize(mineBrute(u, o, opt, minCount))
+		for _, alg := range []Algorithm{Apriori, FPGrowth} {
+			opt.Algorithm = alg
+			opt.Workers = r.Intn(3) // 0..2
+			res, err := Mine(u, o, opt)
+			if err != nil {
+				return false
+			}
+			got := canonicalize(res.Itemsets)
+			if len(got) != len(want) {
+				return false
+			}
+			for k, w := range want {
+				gv, ok := got[k]
+				if !ok || gv.Count != w.Count || !momentsClose(gv.M, w.M) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

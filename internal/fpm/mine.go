@@ -1,0 +1,328 @@
+package fpm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitvec"
+	"repro/internal/outcome"
+	"repro/internal/stats"
+)
+
+// Algorithm selects the mining algorithm.
+type Algorithm int
+
+const (
+	// FPGrowth mines via a generalized FP-tree (the default; fastest).
+	FPGrowth Algorithm = iota
+	// Apriori mines level-wise with candidate generation over row bitsets.
+	Apriori
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case FPGrowth:
+		return "fp-growth"
+	case Apriori:
+		return "apriori"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures a mining run.
+type Options struct {
+	// MinSupport is the exploration support threshold s ∈ (0, 1].
+	MinSupport float64
+	// MaxLen bounds itemset length; 0 means unlimited.
+	MaxLen int
+	// PolarityPrune enables the paper's polarity-pruning heuristic: itemsets
+	// of length ≥ 2 only combine items whose individual divergence has the
+	// same sign. Length-1 itemsets are always kept.
+	PolarityPrune bool
+	// Algorithm selects Apriori or FPGrowth.
+	Algorithm Algorithm
+	// Workers enables parallel mining with the given number of goroutines.
+	// 0 or 1 runs serially. Results are identical and deterministically
+	// ordered regardless of Workers.
+	Workers int
+}
+
+// MiningStats reports work done by a mining run.
+type MiningStats struct {
+	// Candidates is the number of itemsets whose support was evaluated.
+	Candidates int
+	// Frequent is the number of frequent itemsets found.
+	Frequent int
+}
+
+// Result is the output of Mine: all frequent itemsets (length ≥ 1) with
+// their support counts and outcome moments.
+type Result struct {
+	Itemsets []MinedItemset
+	Stats    MiningStats
+	NumRows  int
+}
+
+// Mine runs frequent generalized itemset mining with integrated divergence
+// accumulation over the universe.
+func Mine(u *Universe, o *outcome.Outcome, opt Options) (*Result, error) {
+	if opt.MinSupport <= 0 || opt.MinSupport > 1 {
+		return nil, fmt.Errorf("fpm: MinSupport %v out of (0, 1]", opt.MinSupport)
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	if o.Len() != u.NumRows {
+		return nil, fmt.Errorf("fpm: outcome has %d rows, universe %d", o.Len(), u.NumRows)
+	}
+	minCount := int(math.Ceil(opt.MinSupport * float64(u.NumRows)))
+	if minCount < 1 {
+		minCount = 1
+	}
+	var res *Result
+	switch opt.Algorithm {
+	case Apriori:
+		res = mineApriori(u, o, opt, minCount)
+	case FPGrowth:
+		res = mineFPGrowth(u, o, opt, minCount)
+	default:
+		return nil, fmt.Errorf("fpm: unknown algorithm %v", opt.Algorithm)
+	}
+	res.NumRows = u.NumRows
+	res.Stats.Frequent = len(res.Itemsets)
+	return res, nil
+}
+
+// momentsOf computes the outcome moments over the rows of a bitset,
+// restricted to rows with a defined outcome.
+func momentsOf(rows *bitvec.Vector, o *outcome.Outcome) (m stats.Moments) {
+	rows.ForEach(func(i int) {
+		if o.Valid.Get(i) {
+			m.Add(o.Values[i])
+		}
+	})
+	return m
+}
+
+// mineApriori is the level-wise candidate-generation miner. Level k
+// candidates join two frequent (k−1)-itemsets sharing their first k−2
+// items; the two differing items must constrain different attributes (the
+// generalized-itemset rule) and, under polarity pruning, share polarity.
+// Candidates with an infrequent (k−1)-subset are pruned before counting.
+func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int) *Result {
+	res := &Result{}
+
+	type entry struct {
+		items []int
+		rows  *bitvec.Vector
+	}
+
+	// Level 1.
+	var level []entry
+	for i := range u.Items {
+		res.Stats.Candidates++
+		if u.Rows[i].Count() < minCount {
+			continue
+		}
+		level = append(level, entry{items: []int{i}, rows: u.Rows[i]})
+		res.Itemsets = append(res.Itemsets, MinedItemset{
+			Items: []int{i},
+			Count: u.Rows[i].Count(),
+			M:     momentsOf(u.Rows[i], o),
+		})
+	}
+
+	frequent := map[string]bool{}
+	for _, e := range level {
+		frequent[key(e.items)] = true
+	}
+
+	for k := 2; opt.MaxLen == 0 || k <= opt.MaxLen; k++ {
+		// Phase 1: candidate generation. The level is sorted
+		// lexicographically by construction (level 1 is index-ordered;
+		// joins preserve order), enabling prefix grouping.
+		type candidate struct {
+			items []int
+			base  int // index into level of the prefix entry
+			extra int // the appended item
+		}
+		var cands []candidate
+		for a := 0; a < len(level); a++ {
+			ea := level[a]
+			for b := a + 1; b < len(level); b++ {
+				eb := level[b]
+				if !samePrefix(ea.items, eb.items) {
+					break // sorted: no further b shares ea's prefix
+				}
+				x, y := ea.items[k-2], eb.items[k-2]
+				if u.AttrID[x] == u.AttrID[y] {
+					continue
+				}
+				if opt.PolarityPrune && !polarityCompatible(u, ea.items, y) {
+					continue
+				}
+				cand := append(append([]int{}, ea.items...), y)
+				if k > 2 && !allSubsetsFrequent(cand, frequent) {
+					continue
+				}
+				cands = append(cands, candidate{items: cand, base: a, extra: y})
+			}
+		}
+		res.Stats.Candidates += len(cands)
+
+		// Phase 2: support counting and divergence accumulation, optionally
+		// parallel. Evaluation of distinct candidates is independent;
+		// results land in a fixed-position slice so the output order is
+		// deterministic regardless of Workers.
+		evaluated := make([]*entry, len(cands))
+		moments := make([]stats.Moments, len(cands))
+		eval := func(i int) {
+			c := cands[i]
+			rows := level[c.base].rows.Clone().And(u.Rows[c.extra])
+			if rows.Count() < minCount {
+				return
+			}
+			evaluated[i] = &entry{items: c.items, rows: rows}
+			moments[i] = momentsOf(rows, o)
+		}
+		parallelFor(len(cands), opt.Workers, eval)
+
+		var next []entry
+		nextKeys := map[string]bool{}
+		for i, e := range evaluated {
+			if e == nil {
+				continue
+			}
+			next = append(next, *e)
+			nextKeys[key(e.items)] = true
+			res.Itemsets = append(res.Itemsets, MinedItemset{
+				Items: e.items,
+				Count: e.rows.Count(),
+				M:     moments[i],
+			})
+		}
+		if len(next) == 0 {
+			break
+		}
+		level = next
+		frequent = nextKeys
+	}
+	return res
+}
+
+// parallelFor runs fn(0..n-1) across at most workers goroutines; workers
+// ≤ 1 runs inline. fn invocations must be independent.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// polarityCompatible reports whether appending item y to the itemset keeps
+// all polarities equal. Single items are exempt (length-1 itemsets are
+// always kept), so the check binds from length 2 upward.
+func polarityCompatible(u *Universe, items []int, y int) bool {
+	for _, x := range items {
+		if u.Polarity[x] != u.Polarity[y] {
+			return false
+		}
+	}
+	return true
+}
+
+func samePrefix(a, b []int) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func allSubsetsFrequent(cand []int, frequent map[string]bool) bool {
+	sub := make([]int, 0, len(cand)-1)
+	for drop := 0; drop < len(cand); drop++ {
+		sub = sub[:0]
+		for i, v := range cand {
+			if i != drop {
+				sub = append(sub, v)
+			}
+		}
+		if !frequent[key(sub)] {
+			return false
+		}
+	}
+	return true
+}
+
+// key encodes a sorted index slice as a map key.
+func key(items []int) string {
+	b := make([]byte, 0, len(items)*3)
+	for _, v := range items {
+		for v >= 0x80 {
+			b = append(b, byte(v)|0x80)
+			v >>= 7
+		}
+		b = append(b, byte(v))
+	}
+	return string(b)
+}
+
+// SortByDivergence orders mined itemsets for reporting: by |divergence|
+// descending by default. Ties break toward smaller length, then higher
+// support, then lexicographic items for determinism.
+func SortByDivergence(items []MinedItemset, o *outcome.Outcome, signed bool, positive bool) {
+	div := func(m *MinedItemset) float64 {
+		d := o.DivergenceFromMoments(m.M)
+		if math.IsNaN(d) {
+			return math.Inf(-1)
+		}
+		if !signed {
+			return math.Abs(d)
+		}
+		if positive {
+			return d
+		}
+		return -d
+	}
+	sort.SliceStable(items, func(a, b int) bool {
+		da, db := div(&items[a]), div(&items[b])
+		if da != db {
+			return da > db
+		}
+		if len(items[a].Items) != len(items[b].Items) {
+			return len(items[a].Items) < len(items[b].Items)
+		}
+		if items[a].Count != items[b].Count {
+			return items[a].Count > items[b].Count
+		}
+		return key(items[a].Items) < key(items[b].Items)
+	})
+}

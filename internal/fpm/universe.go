@@ -1,0 +1,124 @@
+// Package fpm implements the frequent-pattern mining core of DivExplorer
+// and H-DivExplorer: Apriori and FP-Growth, extended in three ways.
+//
+//   - Generalized itemsets: the item universe may contain items at several
+//     granularity levels of the same attribute (from an item hierarchy); an
+//     itemset uses at most one item per attribute, so items of one attribute
+//     are never combined even when their domains overlap.
+//   - Divergence accumulation: while counting supports, the miners also
+//     accumulate the outcome moments (n, Σo, Σo²) of every frequent itemset,
+//     so divergence and Welch t-values are available with no extra dataset
+//     pass — the key efficiency property of DivExplorer.
+//   - Polarity pruning: optionally, only items whose individual divergence
+//     has the same sign are combined (the paper's §V-C heuristic), pruning
+//     the search space roughly by 2^(n−1) for n continuous attributes.
+package fpm
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+	"repro/internal/hierarchy"
+	"repro/internal/outcome"
+	"repro/internal/stats"
+)
+
+// Universe is the prepared item universe over which mining runs: per item,
+// its covered row bitset, attribute group, and divergence polarity.
+type Universe struct {
+	Items    []*hierarchy.Item
+	Rows     []*bitvec.Vector // Rows[i] = rows satisfying Items[i]
+	AttrID   []int            // attribute group of each item
+	Polarity []int8           // sign of the item's individual divergence (+1 / -1)
+	NumRows  int
+	attrs    []string
+}
+
+// NewUniverse precomputes row bitsets, attribute groups and polarities for
+// the given items. The outcome determines polarity: items whose individual
+// divergence is ≥ 0 get polarity +1, otherwise -1.
+func NewUniverse(t *dataset.Table, items []*hierarchy.Item, o *outcome.Outcome) *Universe {
+	u := &Universe{
+		Items:    items,
+		Rows:     make([]*bitvec.Vector, len(items)),
+		AttrID:   make([]int, len(items)),
+		Polarity: make([]int8, len(items)),
+		NumRows:  t.NumRows(),
+	}
+	attrIndex := map[string]int{}
+	for i, it := range items {
+		u.Rows[i] = it.Rows(t)
+		id, ok := attrIndex[it.Attr]
+		if !ok {
+			id = len(u.attrs)
+			attrIndex[it.Attr] = id
+			u.attrs = append(u.attrs, it.Attr)
+		}
+		u.AttrID[i] = id
+		if d := o.DivergenceOf(u.Rows[i]); d < 0 {
+			u.Polarity[i] = -1
+		} else {
+			u.Polarity[i] = 1
+		}
+	}
+	return u
+}
+
+// NumAttrs returns the number of distinct attributes among the items.
+func (u *Universe) NumAttrs() int { return len(u.attrs) }
+
+// Attr returns the attribute name for an attribute group id.
+func (u *Universe) Attr(id int) string { return u.attrs[id] }
+
+// Itemset materializes a mined index set as a hierarchy.Itemset.
+func (u *Universe) Itemset(idx []int) hierarchy.Itemset {
+	out := make(hierarchy.Itemset, len(idx))
+	for i, j := range idx {
+		out[i] = u.Items[j]
+	}
+	return out
+}
+
+// Validate performs sanity checks: items exist, bitset lengths match, and
+// no two items of the same attribute have identical index.
+func (u *Universe) Validate() error {
+	for i, it := range u.Items {
+		if it == nil {
+			return fmt.Errorf("fpm: nil item at %d", i)
+		}
+		if u.Rows[i].Len() != u.NumRows {
+			return fmt.Errorf("fpm: item %d bitset length %d, want %d", i, u.Rows[i].Len(), u.NumRows)
+		}
+	}
+	return nil
+}
+
+// GeneralizedUniverse builds the universe for hierarchical exploration: all
+// non-root items of every hierarchy in the set.
+func GeneralizedUniverse(t *dataset.Table, hs *hierarchy.Set, o *outcome.Outcome) *Universe {
+	return NewUniverse(t, hs.AllItems(), o)
+}
+
+// BaseUniverse builds the universe for base (non-hierarchical) exploration:
+// leaf items only, i.e. a conventional non-overlapping discretization.
+func BaseUniverse(t *dataset.Table, hs *hierarchy.Set, o *outcome.Outcome) *Universe {
+	return NewUniverse(t, hs.AllLeafItems(), o)
+}
+
+// MinedItemset is one frequent itemset with its accumulated divergence
+// statistics.
+type MinedItemset struct {
+	// Items are sorted universe indices.
+	Items []int
+	// Count is the absolute support count (#rows satisfying all items).
+	Count int
+	// M holds the outcome moments over the itemset's rows with defined
+	// outcome: M.N = non-⊥ members, M.Sum = Σo, M.SumSq = Σo².
+	M stats.Moments
+}
+
+// Support returns the relative support given the dataset size.
+func (m *MinedItemset) Support(numRows int) float64 {
+	return float64(m.Count) / float64(numRows)
+}

@@ -1,0 +1,77 @@
+package hierarchy
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// FDViolation measures how far the functional dependency attr → byAttr is
+// from holding on the table: the fraction of rows whose byAttr value
+// differs from the majority byAttr value of their attr level. 0 means the
+// dependency holds exactly (every attr level maps to a single byAttr
+// level); TANE-style approximate dependencies accept small positive
+// values.
+func FDViolation(t *dataset.Table, attr, byAttr string) float64 {
+	_, violations := fdMajority(t, attr, byAttr)
+	return float64(violations) / float64(t.NumRows())
+}
+
+// fdMajority computes, per attr code, the majority byAttr code, and the
+// number of rows disagreeing with their level's majority.
+func fdMajority(t *dataset.Table, attr, byAttr string) (map[int]int, int) {
+	ac := t.Codes(attr)
+	bc := t.Codes(byAttr)
+	counts := map[int]map[int]int{}
+	for i := range ac {
+		m, ok := counts[ac[i]]
+		if !ok {
+			m = map[int]int{}
+			counts[ac[i]] = m
+		}
+		m[bc[i]]++
+	}
+	mapping := make(map[int]int, len(counts))
+	violations := 0
+	for a, m := range counts {
+		bestCode, bestCount, total := -1, -1, 0
+		for b, c := range m {
+			total += c
+			if c > bestCount || (c == bestCount && b < bestCode) {
+				bestCode, bestCount = b, c
+			}
+		}
+		mapping[a] = bestCode
+		violations += total - bestCount
+	}
+	return mapping, violations
+}
+
+// FromFunctionalDependency derives an item hierarchy for a categorical
+// attribute by grouping its levels under the values of a coarser attribute
+// that it (approximately) functionally determines — the paper's §II route
+// for revealing hierarchies from data, e.g. city → state. The dependency
+// attr → byAttr must hold up to maxViolation (fraction of disagreeing
+// rows); rows that disagree are grouped by their level's majority byAttr
+// value, preserving the partition property.
+func FromFunctionalDependency(t *dataset.Table, attr, byAttr string, maxViolation float64) (*Hierarchy, error) {
+	if t.KindOf(attr) != dataset.Categorical || t.KindOf(byAttr) != dataset.Categorical {
+		return nil, fmt.Errorf("hierarchy: FD derivation requires categorical attributes")
+	}
+	if attr == byAttr {
+		return nil, fmt.Errorf("hierarchy: FD derivation needs two distinct attributes")
+	}
+	mapping, violations := fdMajority(t, attr, byAttr)
+	if rate := float64(violations) / float64(t.NumRows()); rate > maxViolation {
+		return nil, fmt.Errorf("hierarchy: dependency %s→%s violated on %.1f%% of rows (max %.1f%%)",
+			attr, byAttr, rate*100, maxViolation*100)
+	}
+	byLevels := t.Levels(byAttr)
+	groupOf := make(map[string]string, len(mapping))
+	for code, level := range t.Levels(attr) {
+		groupOf[level] = byLevels[mapping[code]]
+	}
+	return PathTaxonomy(t, attr, func(level string) []string {
+		return []string{groupOf[level]}
+	}), nil
+}

@@ -1,0 +1,114 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// cityStateTable builds the canonical FD example: city → state.
+func cityStateTable(violations int) *dataset.Table {
+	cities := []string{"SF", "LA", "NYC", "Buffalo", "Austin"}
+	states := map[string]string{"SF": "CA", "LA": "CA", "NYC": "NY", "Buffalo": "NY", "Austin": "TX"}
+	n := 200
+	r := rand.New(rand.NewSource(1))
+	city := make([]string, n)
+	state := make([]string, n)
+	for i := 0; i < n; i++ {
+		city[i] = cities[r.Intn(len(cities))]
+		state[i] = states[city[i]]
+	}
+	for i := 0; i < violations; i++ {
+		state[i] = "TX" // corrupt some rows
+	}
+	return dataset.NewBuilder().
+		AddCategorical("city", city).
+		AddCategorical("state", state).
+		MustBuild()
+}
+
+func TestFDViolationExact(t *testing.T) {
+	tab := cityStateTable(0)
+	if got := FDViolation(tab, "city", "state"); got != 0 {
+		t.Errorf("exact FD violation = %v, want 0", got)
+	}
+	// state → city does NOT hold (a state has several cities).
+	if got := FDViolation(tab, "state", "city"); got == 0 {
+		t.Error("reverse dependency should be violated")
+	}
+}
+
+func TestFromFunctionalDependencyExact(t *testing.T) {
+	tab := cityStateTable(0)
+	h, err := FromFunctionalDependency(tab, "city", "state", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ValidateOn(tab); err != nil {
+		t.Fatal(err)
+	}
+	// Leaves: the 5 cities. Groups: CA and NY (TX has a single city and is
+	// collapsed).
+	if got := len(h.LeafItems()); got != 5 {
+		t.Errorf("leaves = %d, want 5", got)
+	}
+	groups := 0
+	var ca *Item
+	for i := range h.Nodes {
+		if i != 0 && !h.IsLeaf(i) {
+			groups++
+			if h.Nodes[i].Item.Label == "city=CA" {
+				ca = h.Nodes[i].Item
+			}
+		}
+	}
+	if groups != 2 {
+		t.Errorf("groups = %d, want 2 (CA, NY)", groups)
+	}
+	if ca == nil {
+		t.Fatal("no CA group")
+	}
+	// The CA group must cover exactly the SF and LA rows.
+	caRows := ca.Rows(tab)
+	cityCodes := tab.Codes("city")
+	sf, la := tab.LevelCode("city", "SF"), tab.LevelCode("city", "LA")
+	for i := 0; i < tab.NumRows(); i++ {
+		want := cityCodes[i] == sf || cityCodes[i] == la
+		if caRows.Get(i) != want {
+			t.Fatalf("CA group coverage wrong at row %d", i)
+		}
+	}
+}
+
+func TestFromFunctionalDependencyApproximate(t *testing.T) {
+	tab := cityStateTable(10) // 5% corrupted rows
+	if _, err := FromFunctionalDependency(tab, "city", "state", 0.01); err == nil {
+		t.Error("5% violation should exceed a 1% tolerance")
+	}
+	h, err := FromFunctionalDependency(tab, "city", "state", 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hierarchy still partitions (grouping is by majority mapping).
+	if err := h.ValidateOn(tab); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromFunctionalDependencyErrors(t *testing.T) {
+	tab := cityStateTable(0)
+	if _, err := FromFunctionalDependency(tab, "city", "city", 0); err == nil {
+		t.Error("same attribute should fail")
+	}
+	num := dataset.NewBuilder().
+		AddFloat("x", []float64{1, 2}).
+		AddCategorical("c", []string{"a", "b"}).
+		MustBuild()
+	if _, err := FromFunctionalDependency(num, "x", "c", 0); err == nil {
+		t.Error("continuous attr should fail")
+	}
+	if _, err := FromFunctionalDependency(num, "c", "x", 0); err == nil {
+		t.Error("continuous byAttr should fail")
+	}
+}

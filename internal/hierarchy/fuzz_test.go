@@ -1,0 +1,28 @@
+package hierarchy
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzHierarchyJSON asserts the hierarchy decoder never panics and never
+// accepts a structurally invalid hierarchy (decoded hierarchies always
+// pass Validate).
+func FuzzHierarchyJSON(f *testing.F) {
+	if raw, err := json.Marshal(buildAgeHierarchy()); err == nil {
+		f.Add(string(raw))
+	}
+	f.Add(`{"attr":"x","nodes":[{"item":{"attr":"x","kind":"continuous","lo":"-inf","hi":"+inf"},"parent":-1}]}`)
+	f.Add(`{"attr":"x","nodes":[]}`)
+	f.Add(`{}`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, input string) {
+		var h Hierarchy
+		if err := json.Unmarshal([]byte(input), &h); err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("decoder accepted invalid hierarchy: %v\ninput: %q", err, input)
+		}
+	})
+}

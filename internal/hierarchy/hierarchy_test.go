@@ -1,0 +1,558 @@
+package hierarchy
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func inf() float64 { return math.Inf(1) }
+
+func TestContinuousItemMatching(t *testing.T) {
+	it := ContinuousItem("age", 25, 45) // (25, 45]
+	cases := []struct {
+		v    float64
+		want bool
+	}{
+		{25, false}, {25.0001, true}, {45, true}, {45.0001, false}, {30, true},
+		{math.NaN(), false},
+	}
+	for _, c := range cases {
+		if got := it.MatchesFloat(c.v); got != c.want {
+			t.Errorf("MatchesFloat(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	if it.MatchesCode(0) {
+		t.Error("continuous item should not match codes")
+	}
+}
+
+func TestItemString(t *testing.T) {
+	cases := []struct {
+		it   *Item
+		want string
+	}{
+		{ContinuousItem("age", math.Inf(-1), 27), "age≤27"},
+		{ContinuousItem("age", 27, inf()), "age>27"},
+		{ContinuousItem("age", 25, 32), "age=(25-32]"},
+		{ContinuousItem("age", math.Inf(-1), inf()), "age=*"},
+		{CategoricalItem("sex", "sex=Male", 0), "sex=Male"},
+	}
+	for _, c := range cases {
+		if got := c.it.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCategoricalItemDedup(t *testing.T) {
+	it := CategoricalItem("x", "x=g", 3, 1, 3, 2)
+	want := []int{1, 2, 3}
+	if len(it.Codes) != 3 {
+		t.Fatalf("Codes = %v, want %v", it.Codes, want)
+	}
+	for i := range want {
+		if it.Codes[i] != want[i] {
+			t.Fatalf("Codes = %v, want %v", it.Codes, want)
+		}
+	}
+	if !it.MatchesCode(2) || it.MatchesCode(0) {
+		t.Error("MatchesCode wrong")
+	}
+	if it.MatchesFloat(1) {
+		t.Error("categorical item should not match floats")
+	}
+}
+
+func TestSubsumesItem(t *testing.T) {
+	outer := ContinuousItem("a", 0, 10)
+	inner := ContinuousItem("a", 2, 5)
+	if !outer.SubsumesItem(inner) {
+		t.Error("outer should subsume inner")
+	}
+	if inner.SubsumesItem(outer) {
+		t.Error("inner should not subsume outer")
+	}
+	if !outer.SubsumesItem(outer) {
+		t.Error("subsumption should be reflexive")
+	}
+	otherAttr := ContinuousItem("b", 2, 5)
+	if outer.SubsumesItem(otherAttr) {
+		t.Error("different attributes never subsume")
+	}
+	g := CategoricalItem("c", "g", 1, 2, 3)
+	l := CategoricalItem("c", "l", 2)
+	if !g.SubsumesItem(l) || l.SubsumesItem(g) {
+		t.Error("categorical subsumption wrong")
+	}
+}
+
+func sampleTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	return dataset.NewBuilder().
+		AddFloat("age", []float64{20, 30, 40, 50, math.NaN()}).
+		AddCategorical("occ", []string{"MGR-Sales", "MGR-Fin", "MED-Dent", "MGR-Sales", "MED-Nurse"}).
+		MustBuild()
+}
+
+func TestItemRows(t *testing.T) {
+	tab := sampleTable(t)
+	it := ContinuousItem("age", 25, 45)
+	rows := it.Rows(tab)
+	if got := rows.Indices(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Rows = %v, want [1 2]", got)
+	}
+	mgr := CategoricalItem("occ", "occ=MGR", tab.LevelCode("occ", "MGR-Sales"), tab.LevelCode("occ", "MGR-Fin"))
+	if got := mgr.Rows(tab).Indices(); len(got) != 3 {
+		t.Errorf("MGR rows = %v, want 3 rows", got)
+	}
+}
+
+func TestItemsetValidAndRows(t *testing.T) {
+	tab := sampleTable(t)
+	a := ContinuousItem("age", 25, 45)
+	b := CategoricalItem("occ", "occ=MGR-Fin", tab.LevelCode("occ", "MGR-Fin"))
+	s := Itemset{a, b}
+	if !s.Valid() {
+		t.Error("itemset should be valid")
+	}
+	dup := Itemset{a, ContinuousItem("age", 0, 10)}
+	if dup.Valid() {
+		t.Error("two items on same attribute should be invalid")
+	}
+	rows := s.Rows(tab)
+	if got := rows.Indices(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("itemset rows = %v, want [1]", got)
+	}
+	empty := Itemset{}
+	if empty.Rows(tab).Count() != tab.NumRows() {
+		t.Error("empty itemset should cover all rows")
+	}
+}
+
+func TestItemsetStringSorted(t *testing.T) {
+	s := Itemset{ContinuousItem("b", 0, 1), ContinuousItem("a", 1, inf())}
+	if got := s.String(); got != "a>1, b=(0-1]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func buildAgeHierarchy() *Hierarchy {
+	h := NewRooted("age", ContinuousItem("age", math.Inf(-1), inf()))
+	left := h.AddChild(0, ContinuousItem("age", math.Inf(-1), 35))
+	h.AddChild(0, ContinuousItem("age", 35, inf()))
+	h.AddChild(left, ContinuousItem("age", math.Inf(-1), 25))
+	h.AddChild(left, ContinuousItem("age", 25, 35))
+	return h
+}
+
+func TestHierarchyStructure(t *testing.T) {
+	h := buildAgeHierarchy()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(h.Items()) != 4 {
+		t.Errorf("Items = %d, want 4", len(h.Items()))
+	}
+	leaves := h.LeafItems()
+	if len(leaves) != 3 {
+		t.Errorf("LeafItems = %d, want 3", len(leaves))
+	}
+	if h.Depth(0) != 0 || h.Depth(1) != 1 || h.Depth(3) != 2 {
+		t.Error("Depth wrong")
+	}
+	anc := h.Ancestors(3)
+	if len(anc) != 2 || anc[0] != 1 || anc[1] != 0 {
+		t.Errorf("Ancestors(3) = %v", anc)
+	}
+	if !h.IsLeaf(2) || h.IsLeaf(1) {
+		t.Error("IsLeaf wrong")
+	}
+	if !strings.Contains(h.String(), "age≤25") {
+		t.Error("String should render nodes")
+	}
+}
+
+func TestValidateDetectsGap(t *testing.T) {
+	h := NewRooted("x", ContinuousItem("x", math.Inf(-1), inf()))
+	h.AddChild(0, ContinuousItem("x", math.Inf(-1), 1))
+	h.AddChild(0, ContinuousItem("x", 2, inf())) // gap (1,2]
+	if err := h.Validate(); err == nil {
+		t.Error("gap should fail validation")
+	}
+}
+
+func TestValidateDetectsOverlap(t *testing.T) {
+	h := NewRooted("x", ContinuousItem("x", math.Inf(-1), inf()))
+	h.AddChild(0, ContinuousItem("x", math.Inf(-1), 2))
+	h.AddChild(0, ContinuousItem("x", 1, inf()))
+	if err := h.Validate(); err == nil {
+		t.Error("overlap should fail validation")
+	}
+}
+
+func TestValidateDetectsWrongEnds(t *testing.T) {
+	h := NewRooted("x", ContinuousItem("x", 0, 10))
+	h.AddChild(0, ContinuousItem("x", 0, 5))
+	h.AddChild(0, ContinuousItem("x", 5, 9)) // ends short of parent
+	if err := h.Validate(); err == nil {
+		t.Error("short coverage should fail validation")
+	}
+}
+
+func TestValidateCategoricalPartition(t *testing.T) {
+	h := NewRooted("c", CategoricalItem("c", "all", 0, 1, 2))
+	h.AddChild(0, CategoricalItem("c", "g1", 0, 1))
+	h.AddChild(0, CategoricalItem("c", "g2", 2))
+	if err := h.Validate(); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+	bad := NewRooted("c", CategoricalItem("c", "all", 0, 1, 2))
+	bad.AddChild(0, CategoricalItem("c", "g1", 0, 1))
+	bad.AddChild(0, CategoricalItem("c", "g2", 1, 2)) // duplicate coverage of 1
+	if err := bad.Validate(); err == nil {
+		t.Error("duplicate code coverage should fail")
+	}
+	short := NewRooted("c", CategoricalItem("c", "all", 0, 1, 2))
+	short.AddChild(0, CategoricalItem("c", "g1", 0))
+	if err := short.Validate(); err == nil {
+		t.Error("incomplete code coverage should fail")
+	}
+}
+
+func TestValidateWrongAttribute(t *testing.T) {
+	h := NewRooted("a", ContinuousItem("b", math.Inf(-1), inf()))
+	if err := h.Validate(); err == nil {
+		t.Error("item attr mismatch should fail")
+	}
+}
+
+func TestValidateOn(t *testing.T) {
+	tab := sampleTable(t)
+	h := buildAgeHierarchy()
+	if err := h.ValidateOn(tab); err != nil {
+		t.Fatalf("ValidateOn: %v", err)
+	}
+}
+
+func TestFlatCategorical(t *testing.T) {
+	tab := sampleTable(t)
+	h := FlatCategorical(tab, "occ")
+	if err := h.ValidateOn(tab); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.LeafItems()) != 4 {
+		t.Errorf("leaf items = %d, want 4 levels", len(h.LeafItems()))
+	}
+	// Flat: items == leaf items.
+	if len(h.Items()) != len(h.LeafItems()) {
+		t.Error("flat hierarchy should have no internal items")
+	}
+}
+
+func TestPathTaxonomy(t *testing.T) {
+	tab := sampleTable(t)
+	h := PathTaxonomy(tab, "occ", func(level string) []string {
+		return []string{strings.SplitN(level, "-", 2)[0]}
+	})
+	if err := h.ValidateOn(tab); err != nil {
+		t.Fatal(err)
+	}
+	// Leaves: 4 occupation levels; groups: MGR and MED.
+	if got := len(h.LeafItems()); got != 4 {
+		t.Errorf("leaves = %d, want 4", got)
+	}
+	if got := len(h.Items()); got != 6 {
+		t.Errorf("items = %d, want 6 (4 leaves + 2 groups)", got)
+	}
+	// The MGR group must cover all three MGR rows.
+	var mgr *Item
+	for _, it := range h.Items() {
+		if it.Label == "occ=MGR" {
+			mgr = it
+		}
+	}
+	if mgr == nil {
+		t.Fatal("no MGR group item")
+	}
+	if mgr.Rows(tab).Count() != 3 {
+		t.Errorf("MGR rows = %d, want 3", mgr.Rows(tab).Count())
+	}
+}
+
+func TestPathTaxonomyCollapsesUnaryGroups(t *testing.T) {
+	tab := dataset.NewBuilder().
+		AddCategorical("c", []string{"A-1", "A-2", "B-1"}).
+		MustBuild()
+	h := PathTaxonomy(tab, "c", func(level string) []string {
+		return []string{strings.SplitN(level, "-", 2)[0]}
+	})
+	if err := h.ValidateOn(tab); err != nil {
+		t.Fatal(err)
+	}
+	// Group B has a single level; it must be collapsed, keeping group A only.
+	groups := 0
+	for i := range h.Nodes {
+		if i != 0 && !h.IsLeaf(i) {
+			groups++
+		}
+	}
+	if groups != 1 {
+		t.Errorf("internal groups = %d, want 1 (B collapsed)", groups)
+	}
+}
+
+func TestIPPathTaxonomy(t *testing.T) {
+	ips := []string{"118.114.119.88", "118.114.119.2", "118.114.3.1", "118.9.1.1", "10.0.0.1", "10.0.0.2"}
+	tab := dataset.NewBuilder().AddCategorical("ip", ips).MustBuild()
+	h := PathTaxonomy(tab, "ip", func(ip string) []string {
+		parts := strings.Split(ip, ".")
+		out := make([]string, 3)
+		for i := 1; i <= 3; i++ {
+			out[i-1] = strings.Join(parts[:i], ".")
+		}
+		return out
+	})
+	if err := h.ValidateOn(tab); err != nil {
+		t.Fatal(err)
+	}
+	// An address must belong to each of its prefixes.
+	var p118, p118114, p118114119 *Item
+	for _, it := range h.Items() {
+		switch it.Label {
+		case "ip=118":
+			p118 = it
+		case "ip=118.114":
+			p118114 = it
+		case "ip=118.114.119":
+			p118114119 = it
+		}
+	}
+	if p118 == nil || p118114 == nil || p118114119 == nil {
+		t.Fatal("missing prefix items")
+	}
+	if p118.Rows(tab).Count() != 4 || p118114.Rows(tab).Count() != 3 || p118114119.Rows(tab).Count() != 2 {
+		t.Errorf("prefix coverage wrong: %d/%d/%d",
+			p118.Rows(tab).Count(), p118114.Rows(tab).Count(), p118114119.Rows(tab).Count())
+	}
+}
+
+func TestIntervalHierarchyFromCuts(t *testing.T) {
+	h, err := IntervalHierarchyFromCuts("x", [][]float64{{0}, {-1, 0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Layer 1: x≤0, x>0. Layer 2 refines into x≤-1,(−1,0],(0,1],x>1.
+	if got := len(h.LeafItems()); got != 4 {
+		t.Errorf("leaves = %d, want 4", got)
+	}
+	if got := len(h.Items()); got != 6 {
+		t.Errorf("items = %d, want 6", got)
+	}
+}
+
+func TestIntervalHierarchyFromCutsErrors(t *testing.T) {
+	if _, err := IntervalHierarchyFromCuts("x", [][]float64{{1, 0}}); err == nil {
+		t.Error("unsorted cuts should fail")
+	}
+	if _, err := IntervalHierarchyFromCuts("x", [][]float64{{0}, {1, 2}}); err == nil {
+		t.Error("non-refining layer should fail")
+	}
+}
+
+func TestSet(t *testing.T) {
+	tab := sampleTable(t)
+	s := NewSet()
+	s.Add(buildAgeHierarchy())
+	s.Add(FlatCategorical(tab, "occ"))
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Attrs(); len(got) != 2 || got[0] != "age" || got[1] != "occ" {
+		t.Errorf("Attrs = %v", got)
+	}
+	if got := len(s.AllItems()); got != 8 {
+		t.Errorf("AllItems = %d, want 8", got)
+	}
+	if got := len(s.AllLeafItems()); got != 7 {
+		t.Errorf("AllLeafItems = %d, want 7", got)
+	}
+	// Replacing a hierarchy keeps insertion order and count.
+	s.Add(buildAgeHierarchy())
+	if got := s.Attrs(); len(got) != 2 {
+		t.Errorf("Attrs after replace = %v", got)
+	}
+}
+
+// Property: for a random binary interval hierarchy, every internal node's
+// row set equals the disjoint union of its children's row sets.
+func TestQuickIntervalPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 50 + r.Intn(200)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64()*20 - 10
+		}
+		tab := dataset.NewBuilder().AddFloat("x", vals).MustBuild()
+
+		h := NewRooted("x", ContinuousItem("x", math.Inf(-1), inf()))
+		// Randomly split leaves a few times, tracking the items' true
+		// (possibly infinite) bounds so children always tile their parent.
+		type leaf struct {
+			node   int
+			lo, hi float64 // the node item's bounds
+		}
+		leaves := []leaf{{0, math.Inf(-1), inf()}}
+		for k := 0; k < 5; k++ {
+			i := r.Intn(len(leaves))
+			l := leaves[i]
+			cutLo, cutHi := math.Max(l.lo, -10), math.Min(l.hi, 10)
+			if cutHi-cutLo < 0.5 {
+				continue
+			}
+			cut := cutLo + (cutHi-cutLo)*(0.25+0.5*r.Float64())
+			a := h.AddChild(l.node, ContinuousItem("x", l.lo, cut))
+			b := h.AddChild(l.node, ContinuousItem("x", cut, l.hi))
+			leaves[i] = leaf{a, l.lo, cut}
+			leaves = append(leaves, leaf{b, cut, l.hi})
+		}
+		if err := h.Validate(); err != nil {
+			return false
+		}
+		return h.ValidateOn(tab) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: item subsumption implies row-set containment.
+func TestQuickSubsumptionImpliesContainment(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 20 + r.Intn(100)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64() * 10
+		}
+		tab := dataset.NewBuilder().AddFloat("x", vals).MustBuild()
+		lo := r.Float64() * 5
+		hi := lo + r.Float64()*5
+		outer := ContinuousItem("x", lo, hi)
+		ilo := lo + r.Float64()*(hi-lo)/2
+		ihi := ilo + r.Float64()*(hi-ilo)
+		inner := ContinuousItem("x", ilo, ihi)
+		if !outer.SubsumesItem(inner) {
+			return false
+		}
+		return inner.Rows(tab).IsSubsetOf(outer.Rows(tab))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddChildPanics(t *testing.T) {
+	h := NewRooted("x", ContinuousItem("x", math.Inf(-1), inf()))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad parent index")
+		}
+	}()
+	h.AddChild(5, ContinuousItem("x", 0, 1))
+}
+
+func TestValidateEmptyHierarchy(t *testing.T) {
+	h := &Hierarchy{Attr: "x"}
+	if err := h.Validate(); err == nil {
+		t.Error("empty hierarchy should fail validation")
+	}
+}
+
+func TestCategoricalSortedCodesInvariant(t *testing.T) {
+	// CategoricalItem must keep codes sorted for MatchesCode's binary search.
+	it := CategoricalItem("c", "g", 9, 3, 7, 1)
+	if !sort.IntsAreSorted(it.Codes) {
+		t.Error("codes not sorted")
+	}
+	for _, c := range []int{1, 3, 7, 9} {
+		if !it.MatchesCode(c) {
+			t.Errorf("MatchesCode(%d) = false", c)
+		}
+	}
+}
+
+func TestRebindAcrossDictionaries(t *testing.T) {
+	// Two tables with the same levels in different first-appearance order.
+	t1 := dataset.NewBuilder().
+		AddCategorical("g", []string{"a", "b", "c", "a"}).
+		MustBuild()
+	t2 := dataset.NewBuilder().
+		AddCategorical("g", []string{"c", "a", "b", "b"}).
+		MustBuild()
+	h := FlatCategorical(t1, "g")
+	for _, it := range h.Items() {
+		r1 := it.Rows(t1).Count()
+		bound := it.Rebind(t2)
+		// The rebound item must cover exactly the rows of t2 whose level
+		// name matches, not the rows whose code happens to coincide.
+		want := 0
+		codes2, levels2 := t2.Codes("g"), t2.Levels("g")
+		for _, c := range codes2 {
+			for _, name := range it.Names {
+				if levels2[c] == name {
+					want++
+				}
+			}
+		}
+		if got := bound.Rows(t2).Count(); got != want {
+			t.Errorf("%v rebound covers %d rows of t2, want %d (t1 had %d)", it, got, want, r1)
+		}
+		// Unrebound evaluation on t2 is generally wrong — that is the bug
+		// Rebind exists to fix.
+	}
+	// A level absent from the target covers no rows.
+	t3 := dataset.NewBuilder().AddCategorical("g", []string{"x", "y"}).MustBuild()
+	itemA := h.Items()[0]
+	if itemA.Rebind(t3).Rows(t3).Count() != 0 {
+		t.Error("absent level should cover no rows")
+	}
+	// Continuous items rebind to themselves.
+	ci := ContinuousItem("v", 0, 1)
+	if ci.Rebind(t3) != ci {
+		t.Error("continuous Rebind should be identity")
+	}
+	// Nameless categorical items rebind to themselves.
+	anon := CategoricalItem("g", "g=?", 0)
+	if anon.Rebind(t3) != anon {
+		t.Error("nameless Rebind should be identity")
+	}
+}
+
+func TestNamesSurviveJSON(t *testing.T) {
+	tab := sampleTable(t)
+	h := FlatCategorical(tab, "occ")
+	raw, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Hierarchy
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range back.Items() {
+		if len(it.Names) == 0 {
+			t.Fatalf("item %d lost names through JSON", i)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package hierarchy
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// The JSON encoding persists item hierarchies so a discretization computed
+// on one run (or one dataset snapshot) can be reused on another — the
+// production workflow for monitoring a model over time with stable
+// subgroup definitions. Infinities are encoded as the strings "-inf" and
+// "+inf" because JSON has no literal for them.
+
+type itemJSON struct {
+	Attr  string   `json:"attr"`
+	Kind  string   `json:"kind"` // "continuous" | "categorical"
+	Lo    *string  `json:"lo,omitempty"`
+	Hi    *string  `json:"hi,omitempty"`
+	Codes []int    `json:"codes,omitempty"`
+	Names []string `json:"names,omitempty"`
+	Label string   `json:"label,omitempty"`
+}
+
+type nodeJSON struct {
+	Item     itemJSON `json:"item"`
+	Parent   int      `json:"parent"`
+	Children []int    `json:"children,omitempty"`
+}
+
+type hierarchyJSON struct {
+	Attr  string     `json:"attr"`
+	Nodes []nodeJSON `json:"nodes"`
+}
+
+func encodeBound(v float64) *string {
+	var s string
+	switch {
+	case math.IsInf(v, -1):
+		s = "-inf"
+	case math.IsInf(v, 1):
+		s = "+inf"
+	default:
+		s = fmt.Sprintf("%g", v)
+	}
+	return &s
+}
+
+func decodeBound(s *string) (float64, error) {
+	if s == nil {
+		return 0, fmt.Errorf("hierarchy: missing interval bound")
+	}
+	switch *s {
+	case "-inf":
+		return math.Inf(-1), nil
+	case "+inf":
+		return math.Inf(1), nil
+	default:
+		var v float64
+		if _, err := fmt.Sscanf(*s, "%g", &v); err != nil {
+			return 0, fmt.Errorf("hierarchy: bad bound %q: %w", *s, err)
+		}
+		return v, nil
+	}
+}
+
+// MarshalJSON encodes the hierarchy, preserving structure, interval bounds
+// (including infinities), level codes and labels.
+func (h *Hierarchy) MarshalJSON() ([]byte, error) {
+	out := hierarchyJSON{Attr: h.Attr, Nodes: make([]nodeJSON, len(h.Nodes))}
+	for i, n := range h.Nodes {
+		ij := itemJSON{Attr: n.Item.Attr, Label: n.Item.Label}
+		if n.Item.Kind == dataset.Continuous {
+			ij.Kind = "continuous"
+			ij.Lo = encodeBound(n.Item.Lo)
+			ij.Hi = encodeBound(n.Item.Hi)
+		} else {
+			ij.Kind = "categorical"
+			ij.Codes = n.Item.Codes
+			ij.Names = n.Item.Names
+		}
+		out.Nodes[i] = nodeJSON{Item: ij, Parent: n.Parent, Children: n.Children}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes a hierarchy previously encoded with MarshalJSON
+// and validates its partition property.
+func (h *Hierarchy) UnmarshalJSON(data []byte) error {
+	var in hierarchyJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	out := Hierarchy{Attr: in.Attr, Nodes: make([]Node, len(in.Nodes))}
+	for i, nj := range in.Nodes {
+		it := &Item{Attr: nj.Item.Attr, Label: nj.Item.Label}
+		switch nj.Item.Kind {
+		case "continuous":
+			it.Kind = dataset.Continuous
+			lo, err := decodeBound(nj.Item.Lo)
+			if err != nil {
+				return err
+			}
+			hi, err := decodeBound(nj.Item.Hi)
+			if err != nil {
+				return err
+			}
+			it.Lo, it.Hi = lo, hi
+		case "categorical":
+			it.Kind = dataset.Categorical
+			it.Codes = nj.Item.Codes
+			it.Names = nj.Item.Names
+		default:
+			return fmt.Errorf("hierarchy: unknown item kind %q", nj.Item.Kind)
+		}
+		for _, c := range nj.Children {
+			if c < 0 || c >= len(in.Nodes) {
+				return fmt.Errorf("hierarchy: child index %d out of range", c)
+			}
+		}
+		out.Nodes[i] = Node{Item: it, Parent: nj.Parent, Children: nj.Children}
+	}
+	if err := out.Validate(); err != nil {
+		return fmt.Errorf("hierarchy: decoded hierarchy invalid: %w", err)
+	}
+	*h = out
+	return nil
+}
+
+// MarshalSetJSON encodes a whole hierarchy set as a JSON object mapping
+// attribute names to hierarchies, in insertion order.
+func MarshalSetJSON(s *Set) ([]byte, error) {
+	ordered := make([]json.RawMessage, 0, len(s.Attrs()))
+	names := s.Attrs()
+	for _, a := range names {
+		raw, err := json.Marshal(s.ByAttr[a])
+		if err != nil {
+			return nil, err
+		}
+		ordered = append(ordered, raw)
+	}
+	return json.Marshal(struct {
+		Attrs       []string          `json:"attrs"`
+		Hierarchies []json.RawMessage `json:"hierarchies"`
+	}{names, ordered})
+}
+
+// UnmarshalSetJSON decodes a hierarchy set encoded by MarshalSetJSON.
+func UnmarshalSetJSON(data []byte) (*Set, error) {
+	var in struct {
+		Attrs       []string          `json:"attrs"`
+		Hierarchies []json.RawMessage `json:"hierarchies"`
+	}
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, err
+	}
+	if len(in.Attrs) != len(in.Hierarchies) {
+		return nil, fmt.Errorf("hierarchy: %d attrs but %d hierarchies", len(in.Attrs), len(in.Hierarchies))
+	}
+	s := NewSet()
+	for i, raw := range in.Hierarchies {
+		var h Hierarchy
+		if err := json.Unmarshal(raw, &h); err != nil {
+			return nil, err
+		}
+		if h.Attr != in.Attrs[i] {
+			return nil, fmt.Errorf("hierarchy: attr order mismatch: %q vs %q", h.Attr, in.Attrs[i])
+		}
+		s.Add(&h)
+	}
+	return s, nil
+}

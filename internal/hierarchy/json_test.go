@@ -1,0 +1,133 @@
+package hierarchy
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestHierarchyJSONRoundTrip(t *testing.T) {
+	h := buildAgeHierarchy()
+	raw, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Hierarchy
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Attr != h.Attr || len(back.Nodes) != len(h.Nodes) {
+		t.Fatalf("structure mismatch: %d nodes vs %d", len(back.Nodes), len(h.Nodes))
+	}
+	for i := range h.Nodes {
+		a, b := h.Nodes[i], back.Nodes[i]
+		if a.Parent != b.Parent || len(a.Children) != len(b.Children) {
+			t.Fatalf("node %d structure differs", i)
+		}
+		if a.Item.String() != b.Item.String() {
+			t.Fatalf("node %d item %q != %q", i, a.Item.String(), b.Item.String())
+		}
+		if a.Item.Lo != b.Item.Lo || a.Item.Hi != b.Item.Hi {
+			t.Fatalf("node %d bounds differ", i)
+		}
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyJSONInfinities(t *testing.T) {
+	h := NewRooted("x", ContinuousItem("x", math.Inf(-1), math.Inf(1)))
+	raw, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"-inf"`) || !strings.Contains(string(raw), `"+inf"`) {
+		t.Errorf("infinities not encoded: %s", raw)
+	}
+	var back Hierarchy
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(back.Nodes[0].Item.Lo, -1) || !math.IsInf(back.Nodes[0].Item.Hi, 1) {
+		t.Error("infinities not decoded")
+	}
+}
+
+func TestCategoricalHierarchyJSON(t *testing.T) {
+	tab := dataset.NewBuilder().
+		AddCategorical("occ", []string{"MGR-Sales", "MGR-Fin", "MED-Dent", "MED-Nurse"}).
+		MustBuild()
+	h := PathTaxonomy(tab, "occ", func(level string) []string {
+		return []string{strings.SplitN(level, "-", 2)[0]}
+	})
+	raw, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Hierarchy
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.ValidateOn(tab); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Items()) != len(h.Items()) {
+		t.Error("item count changed through JSON")
+	}
+}
+
+func TestHierarchyJSONRejectsInvalid(t *testing.T) {
+	var h Hierarchy
+	cases := []string{
+		`{"attr":"x","nodes":[{"item":{"attr":"x","kind":"weird"},"parent":-1}]}`,
+		// gap between children
+		`{"attr":"x","nodes":[
+		   {"item":{"attr":"x","kind":"continuous","lo":"-inf","hi":"+inf"},"parent":-1,"children":[1,2]},
+		   {"item":{"attr":"x","kind":"continuous","lo":"-inf","hi":"1"},"parent":0},
+		   {"item":{"attr":"x","kind":"continuous","lo":"2","hi":"+inf"},"parent":0}]}`,
+		// missing bound
+		`{"attr":"x","nodes":[{"item":{"attr":"x","kind":"continuous","hi":"+inf"},"parent":-1}]}`,
+		// child index out of range
+		`{"attr":"x","nodes":[{"item":{"attr":"x","kind":"continuous","lo":"-inf","hi":"+inf"},"parent":-1,"children":[7]}]}`,
+		`not json`,
+	}
+	for i, c := range cases {
+		if err := json.Unmarshal([]byte(c), &h); err == nil {
+			t.Errorf("case %d: invalid hierarchy accepted", i)
+		}
+	}
+}
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	tab := sampleTable(t)
+	s := NewSet()
+	s.Add(buildAgeHierarchy())
+	s.Add(FlatCategorical(tab, "occ"))
+	raw, err := MarshalSetJSON(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSetJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Attrs()) != 2 || back.Attrs()[0] != "age" || back.Attrs()[1] != "occ" {
+		t.Errorf("Attrs = %v", back.Attrs())
+	}
+	if len(back.AllItems()) != len(s.AllItems()) {
+		t.Error("item universe changed through JSON")
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalSetJSON([]byte(`{"attrs":["a"],"hierarchies":[]}`)); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := UnmarshalSetJSON([]byte(`nope`)); err == nil {
+		t.Error("bad JSON should fail")
+	}
+}

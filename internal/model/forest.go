@@ -1,0 +1,122 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// ForestOptions configures random-forest training.
+type ForestOptions struct {
+	// NumTrees is the ensemble size (default 50).
+	NumTrees int
+	// MaxDepth bounds each tree (0 = unlimited).
+	MaxDepth int
+	// MinLeaf is the minimum rows per leaf (default 1).
+	MinLeaf int
+	// FeatureFraction is the per-split feature sample; 0 means sqrt(p)/p,
+	// the usual random-forest default.
+	FeatureFraction float64
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// Forest is a bagged ensemble of decision trees with majority voting.
+type Forest struct {
+	trees []*Tree
+}
+
+// TrainForest fits a random forest: each tree is trained on a bootstrap
+// sample of the rows with per-split feature subsampling.
+func TrainForest(t *dataset.Table, features []string, labels []bool, opt ForestOptions) (*Forest, error) {
+	if len(labels) != t.NumRows() {
+		return nil, fmt.Errorf("model: %d labels for %d rows", len(labels), t.NumRows())
+	}
+	if opt.NumTrees <= 0 {
+		opt.NumTrees = 50
+	}
+	if opt.MinLeaf <= 0 {
+		opt.MinLeaf = 1
+	}
+	frac := opt.FeatureFraction
+	if frac <= 0 {
+		frac = math.Sqrt(float64(len(features))) / float64(len(features))
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	f := &Forest{}
+	n := t.NumRows()
+	for k := 0; k < opt.NumTrees; k++ {
+		// Bootstrap sample of row indices.
+		sample := make([]int, n)
+		for i := range sample {
+			sample[i] = rng.Intn(n)
+		}
+		boot := t.FilterRows(sample)
+		bootLabels := make([]bool, n)
+		for i, r := range sample {
+			bootLabels[i] = labels[r]
+		}
+		tr, err := TrainTree(boot, features, bootLabels, TreeOptions{
+			MaxDepth:        opt.MaxDepth,
+			MinLeaf:         opt.MinLeaf,
+			FeatureFraction: frac,
+			rng:             rand.New(rand.NewSource(rng.Int63())),
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.trees = append(f.trees, tr)
+	}
+	return f, nil
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// PredictProb returns the mean positive-class probability over the
+// ensemble for every row.
+func (f *Forest) PredictProb(t *dataset.Table) ([]float64, error) {
+	sum := make([]float64, t.NumRows())
+	for _, tr := range f.trees {
+		p, err := tr.PredictProb(t)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range p {
+			sum[i] += v
+		}
+	}
+	for i := range sum {
+		sum[i] /= float64(len(f.trees))
+	}
+	return sum, nil
+}
+
+// Predict returns the majority-vote class prediction for every row.
+func (f *Forest) Predict(t *dataset.Table) ([]bool, error) {
+	p, err := f.PredictProb(t)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(p))
+	for i, v := range p {
+		out[i] = v >= 0.5
+	}
+	return out, nil
+}
+
+// Accuracy returns the fraction of predictions matching the labels.
+func Accuracy(pred, labels []bool) float64 {
+	if len(pred) != len(labels) {
+		panic(fmt.Sprintf("model: %d predictions vs %d labels", len(pred), len(labels)))
+	}
+	ok := 0
+	for i := range pred {
+		if pred[i] == labels[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(pred))
+}

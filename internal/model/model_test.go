@@ -1,0 +1,269 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+// xorData builds a dataset whose label is an XOR of a continuous threshold
+// and a categorical value — learnable by a depth-2 tree but not depth-1.
+func xorData(n int, seed int64) (*dataset.Table, []bool) {
+	r := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	c := make([]string, n)
+	labels := make([]bool, n)
+	for i := 0; i < n; i++ {
+		x[i] = r.Float64() * 10
+		if r.Intn(2) == 0 {
+			c[i] = "a"
+		} else {
+			c[i] = "b"
+		}
+		labels[i] = (x[i] > 5) != (c[i] == "a")
+	}
+	t := dataset.NewBuilder().AddFloat("x", x).AddCategorical("c", c).MustBuild()
+	return t, labels
+}
+
+func TestTreeLearnsThreshold(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	n := 1000
+	x := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range x {
+		x[i] = r.Float64() * 10
+		labels[i] = x[i] > 3.7
+	}
+	tab := dataset.NewBuilder().AddFloat("x", x).MustBuild()
+	tr, err := TrainTree(tab, []string{"x"}, labels, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := tr.Predict(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(pred, labels); acc < 0.999 {
+		t.Errorf("accuracy = %v, want ~1 for a pure threshold", acc)
+	}
+	if tr.Depth() != 1 {
+		t.Errorf("Depth = %d, want 1", tr.Depth())
+	}
+}
+
+func TestTreeLearnsXOR(t *testing.T) {
+	tab, labels := xorData(2000, 2)
+	tr, err := TrainTree(tab, []string{"x", "c"}, labels, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := tr.Predict(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(pred, labels); acc < 0.99 {
+		t.Errorf("XOR accuracy = %v", acc)
+	}
+	if tr.Depth() < 2 {
+		t.Errorf("XOR needs depth ≥ 2, got %d", tr.Depth())
+	}
+}
+
+func TestTreeMaxDepth(t *testing.T) {
+	tab, labels := xorData(500, 3)
+	tr, err := TrainTree(tab, []string{"x", "c"}, labels, TreeOptions{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Depth() > 1 {
+		t.Errorf("Depth = %d > MaxDepth 1", tr.Depth())
+	}
+}
+
+func TestTreeMinLeaf(t *testing.T) {
+	tab, labels := xorData(100, 4)
+	tr, err := TrainTree(tab, []string{"x", "c"}, labels, TreeOptions{MinLeaf: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With MinLeaf 40 of 100 rows, at most one split level is possible.
+	if tr.Depth() > 1 {
+		t.Errorf("Depth = %d with MinLeaf 40", tr.Depth())
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	tab, labels := xorData(50, 5)
+	if _, err := TrainTree(tab, nil, labels, TreeOptions{}); err == nil {
+		t.Error("no features should fail")
+	}
+	if _, err := TrainTree(tab, []string{"nope"}, labels, TreeOptions{}); err == nil {
+		t.Error("missing feature should fail")
+	}
+	if _, err := TrainTree(tab, []string{"x"}, labels[:10], TreeOptions{}); err == nil {
+		t.Error("label length mismatch should fail")
+	}
+}
+
+func TestPredictOnDifferentTable(t *testing.T) {
+	tab, labels := xorData(1000, 6)
+	tr, err := TrainTree(tab, []string{"x", "c"}, labels, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, testLabels := xorData(500, 7)
+	pred, err := tr.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(pred, testLabels); acc < 0.97 {
+		t.Errorf("holdout accuracy = %v", acc)
+	}
+	// Missing feature column on the prediction table must error.
+	noC, _ := test.Select("x")
+	if _, err := tr.Predict(noC); err == nil {
+		t.Error("prediction without feature column should fail")
+	}
+}
+
+func TestNaNGoesLeftDeterministically(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	labels := []bool{false, false, false, false, false, true, true, true, true, true}
+	tab := dataset.NewBuilder().AddFloat("x", x).MustBuild()
+	tr, err := TrainTree(tab, []string{"x"}, labels, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nanTab := dataset.NewBuilder().AddFloat("x", []float64{math.NaN(), math.NaN()}).MustBuild()
+	p1, err := tr.Predict(nanTab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := tr.Predict(nanTab)
+	if p1[0] != p2[0] || p1[0] != p1[1] {
+		t.Error("NaN routing must be deterministic")
+	}
+}
+
+func TestForestBeatsOrMatchesNoise(t *testing.T) {
+	// Noisy XOR: forest should still reach high accuracy on clean holdout
+	// structure.
+	r := rand.New(rand.NewSource(8))
+	n := 2000
+	x := make([]float64, n)
+	c := make([]string, n)
+	labels := make([]bool, n)
+	for i := 0; i < n; i++ {
+		x[i] = r.Float64() * 10
+		if r.Intn(2) == 0 {
+			c[i] = "a"
+		} else {
+			c[i] = "b"
+		}
+		labels[i] = (x[i] > 5) != (c[i] == "a")
+		if r.Float64() < 0.1 {
+			labels[i] = !labels[i]
+		}
+	}
+	tab := dataset.NewBuilder().AddFloat("x", x).AddCategorical("c", c).MustBuild()
+	f, err := TrainForest(tab, []string{"x", "c"}, labels, ForestOptions{NumTrees: 15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumTrees() != 15 {
+		t.Errorf("NumTrees = %d", f.NumTrees())
+	}
+	pred, err := f.Predict(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bayes-optimal training accuracy is ~0.9 under 10% label noise.
+	if acc := Accuracy(pred, labels); acc < 0.85 {
+		t.Errorf("forest accuracy = %v", acc)
+	}
+}
+
+func TestForestDeterministicWithSeed(t *testing.T) {
+	tab, labels := xorData(500, 9)
+	var preds [2][]bool
+	for i := 0; i < 2; i++ {
+		f, err := TrainForest(tab, []string{"x", "c"}, labels, ForestOptions{NumTrees: 5, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		preds[i], err = f.Predict(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range preds[0] {
+		if preds[0][i] != preds[1][i] {
+			t.Fatal("same seed must give identical forests")
+		}
+	}
+}
+
+func TestForestDefaults(t *testing.T) {
+	tab, labels := xorData(200, 10)
+	f, err := TrainForest(tab, []string{"x", "c"}, labels, ForestOptions{Seed: 1, NumTrees: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := f.PredictProb(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %v out of range", p)
+		}
+	}
+	if _, err := TrainForest(tab, []string{"x"}, labels[:5], ForestOptions{}); err == nil {
+		t.Error("label mismatch should fail")
+	}
+}
+
+func TestAccuracyPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Accuracy([]bool{true}, []bool{true, false})
+}
+
+func TestGiniProperties(t *testing.T) {
+	if gini(0, 0) != 0 || gini(5, 0) != 0 || gini(0, 5) != 0 {
+		t.Error("pure/empty nodes must have zero impurity")
+	}
+	if g := gini(5, 5); math.Abs(g-0.5) > 1e-12 {
+		t.Errorf("gini(5,5) = %v, want 0.5", g)
+	}
+	f := func(pos, neg uint8) bool {
+		g := gini(int(pos), int(neg))
+		return g >= 0 && g <= 0.5+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a split never increases weighted Gini beyond the parent's.
+func TestQuickSplitNeverWorsensGini(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		posL, negL, posR, negR := int(a), int(b), int(c), int(d)
+		if posL+negL == 0 || posR+negR == 0 {
+			return true
+		}
+		parent := gini(posL+posR, negL+negR)
+		child := weightedChildGini(posL, negL, posR, negR)
+		return child <= parent+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

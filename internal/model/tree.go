@@ -1,0 +1,339 @@
+// Package model provides the classifier substrate used by the experiment
+// pipeline: a CART-style decision tree and a bagged random forest. The
+// paper's quantitative experiments train "a random forest classifier with
+// default parameters" on each UCI dataset and explore the divergence of its
+// error rate; this package plays that role for the synthetic analogs.
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// TreeOptions configures decision-tree induction.
+type TreeOptions struct {
+	// MaxDepth bounds tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinLeaf is the minimum number of training rows per leaf (default 1).
+	MinLeaf int
+	// FeatureFraction is the fraction of features sampled at each split;
+	// 0 means all features (single trees) — forests override it.
+	FeatureFraction float64
+	// rng drives feature subsampling; nil means deterministic full search.
+	rng *rand.Rand
+}
+
+// node is one decision-tree node.
+type node struct {
+	leaf    bool
+	value   bool    // majority class at this node
+	prob    float64 // fraction of positive training rows
+	feature int     // column index in the feature schema
+	isCat   bool
+	thresh  float64 // continuous: go left iff v <= thresh (NaN goes left)
+	level   string  // categorical: go left iff the row's level equals this
+	left    *node
+	right   *node
+}
+
+// Tree is a trained decision tree.
+type Tree struct {
+	root     *node
+	features []dataset.Field
+}
+
+// TrainTree fits a CART tree with Gini impurity on the given feature
+// columns and boolean labels.
+func TrainTree(t *dataset.Table, features []string, labels []bool, opt TreeOptions) (*Tree, error) {
+	cols, fields, err := featureColumns(t, features)
+	if err != nil {
+		return nil, err
+	}
+	if len(labels) != t.NumRows() {
+		return nil, fmt.Errorf("model: %d labels for %d rows", len(labels), t.NumRows())
+	}
+	if opt.MinLeaf <= 0 {
+		opt.MinLeaf = 1
+	}
+	rows := make([]int, t.NumRows())
+	for i := range rows {
+		rows[i] = i
+	}
+	tr := &Tree{features: fields}
+	tr.root = grow(cols, labels, rows, opt, 0)
+	return tr, nil
+}
+
+// column holds one feature column in a split-friendly layout.
+type column struct {
+	field      dataset.Field
+	floats     []float64
+	codes      []int
+	levels     []string
+	levelIndex map[string]int
+}
+
+func featureColumns(t *dataset.Table, features []string) ([]column, []dataset.Field, error) {
+	if len(features) == 0 {
+		return nil, nil, fmt.Errorf("model: no features")
+	}
+	cols := make([]column, len(features))
+	fields := make([]dataset.Field, len(features))
+	for i, name := range features {
+		if !t.HasColumn(name) {
+			return nil, nil, fmt.Errorf("model: no column %q", name)
+		}
+		k := t.KindOf(name)
+		fields[i] = dataset.Field{Name: name, Kind: k}
+		if k == dataset.Continuous {
+			cols[i] = column{field: fields[i], floats: t.Floats(name)}
+		} else {
+			levels := t.Levels(name)
+			idx := make(map[string]int, len(levels))
+			for code, l := range levels {
+				idx[l] = code
+			}
+			cols[i] = column{field: fields[i], codes: t.Codes(name), levels: levels, levelIndex: idx}
+		}
+	}
+	return cols, fields, nil
+}
+
+func grow(cols []column, labels []bool, rows []int, opt TreeOptions, depth int) *node {
+	pos := 0
+	for _, r := range rows {
+		if labels[r] {
+			pos++
+		}
+	}
+	n := &node{
+		leaf:  true,
+		value: 2*pos >= len(rows),
+		prob:  float64(pos) / float64(len(rows)),
+	}
+	if pos == 0 || pos == len(rows) || len(rows) < 2*opt.MinLeaf {
+		return n
+	}
+	if opt.MaxDepth > 0 && depth >= opt.MaxDepth {
+		return n
+	}
+
+	// Feature subsample.
+	feat := make([]int, len(cols))
+	for i := range feat {
+		feat[i] = i
+	}
+	if opt.FeatureFraction > 0 && opt.FeatureFraction < 1 && opt.rng != nil {
+		k := int(math.Ceil(opt.FeatureFraction * float64(len(cols))))
+		opt.rng.Shuffle(len(feat), func(a, b int) { feat[a], feat[b] = feat[b], feat[a] })
+		feat = feat[:k]
+	}
+
+	best := split{gain: 0}
+	parentGini := gini(pos, len(rows)-pos)
+	for _, fi := range feat {
+		var s split
+		if cols[fi].field.Kind == dataset.Continuous {
+			s = bestContinuousSplit(cols[fi], labels, rows, opt.MinLeaf, parentGini)
+		} else {
+			s = bestCategoricalSplit(cols[fi], labels, rows, opt.MinLeaf, parentGini)
+		}
+		if s.gain > best.gain {
+			best = s
+			best.feature = fi
+		}
+	}
+	if best.gain <= 1e-12 {
+		return n
+	}
+
+	var left, right []int
+	for _, r := range rows {
+		if goesLeft(&cols[best.feature], r, best) {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) < opt.MinLeaf || len(right) < opt.MinLeaf {
+		return n
+	}
+	n.leaf = false
+	n.feature = best.feature
+	n.isCat = best.isCat
+	n.thresh = best.thresh
+	n.level = best.level
+	n.left = grow(cols, labels, left, opt, depth+1)
+	n.right = grow(cols, labels, right, opt, depth+1)
+	return n
+}
+
+type split struct {
+	gain    float64
+	feature int
+	isCat   bool
+	thresh  float64
+	level   string
+}
+
+// goesLeft routes a row at a split. Categorical splits are matched by level
+// name, not dictionary code, so a tree predicts correctly on tables whose
+// dictionaries assign different codes to the same levels.
+func goesLeft(c *column, row int, s split) bool {
+	if s.isCat {
+		code, ok := c.levelIndex[s.level]
+		return ok && c.codes[row] == code
+	}
+	v := c.floats[row]
+	return math.IsNaN(v) || v <= s.thresh
+}
+
+// gini returns the Gini impurity of a (pos, neg) node.
+func gini(pos, neg int) float64 {
+	n := float64(pos + neg)
+	if n == 0 {
+		return 0
+	}
+	p := float64(pos) / n
+	return 2 * p * (1 - p)
+}
+
+// weightedChildGini returns the size-weighted Gini of a binary split.
+func weightedChildGini(posL, negL, posR, negR int) float64 {
+	nL, nR := float64(posL+negL), float64(posR+negR)
+	n := nL + nR
+	return nL/n*gini(posL, negL) + nR/n*gini(posR, negR)
+}
+
+func bestContinuousSplit(c column, labels []bool, rows []int, minLeaf int, parentGini float64) split {
+	// Sort rows by value; NaNs first (they always go left).
+	idx := append([]int(nil), rows...)
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := c.floats[idx[a]], c.floats[idx[b]]
+		if math.IsNaN(va) {
+			return !math.IsNaN(vb)
+		}
+		if math.IsNaN(vb) {
+			return false
+		}
+		return va < vb
+	})
+	totalPos := 0
+	for _, r := range idx {
+		if labels[r] {
+			totalPos++
+		}
+	}
+	best := split{gain: 0}
+	posL, nL := 0, 0
+	for i := 0; i < len(idx)-1; i++ {
+		r := idx[i]
+		nL++
+		if labels[r] {
+			posL++
+		}
+		v, next := c.floats[r], c.floats[idx[i+1]]
+		if math.IsNaN(next) || v == next || math.IsNaN(v) && math.IsNaN(next) {
+			continue
+		}
+		if nL < minLeaf || len(idx)-nL < minLeaf {
+			continue
+		}
+		g := parentGini - weightedChildGini(posL, nL-posL, totalPos-posL, len(idx)-nL-(totalPos-posL))
+		if g > best.gain {
+			thresh := v
+			if math.IsNaN(thresh) {
+				// All left rows so far are NaN: split "NaN vs rest".
+				thresh = math.Inf(-1)
+			}
+			best = split{gain: g, thresh: thresh}
+		}
+	}
+	return best
+}
+
+func bestCategoricalSplit(c column, labels []bool, rows []int, minLeaf int, parentGini float64) split {
+	posBy := make([]int, len(c.levels))
+	cntBy := make([]int, len(c.levels))
+	totalPos := 0
+	for _, r := range rows {
+		cntBy[c.codes[r]]++
+		if labels[r] {
+			posBy[c.codes[r]]++
+			totalPos++
+		}
+	}
+	best := split{gain: 0, isCat: true}
+	for code := range c.levels {
+		nL := cntBy[code]
+		if nL < minLeaf || len(rows)-nL < minLeaf {
+			continue
+		}
+		posL := posBy[code]
+		g := parentGini - weightedChildGini(posL, nL-posL, totalPos-posL, len(rows)-nL-(totalPos-posL))
+		if g > best.gain {
+			best = split{gain: g, isCat: true, level: c.levels[code]}
+		}
+	}
+	return best
+}
+
+// Predict returns the tree's class prediction for every row of the table,
+// which must contain the training feature columns.
+func (tr *Tree) Predict(t *dataset.Table) ([]bool, error) {
+	probs, err := tr.PredictProb(t)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(probs))
+	for i, p := range probs {
+		out[i] = p >= 0.5
+	}
+	return out, nil
+}
+
+// PredictProb returns the positive-class probability for every row.
+func (tr *Tree) PredictProb(t *dataset.Table) ([]float64, error) {
+	names := make([]string, len(tr.features))
+	for i, f := range tr.features {
+		names[i] = f.Name
+	}
+	cols, _, err := featureColumns(t, names)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, t.NumRows())
+	for r := range out {
+		n := tr.root
+		for !n.leaf {
+			s := split{isCat: n.isCat, thresh: n.thresh, level: n.level, feature: n.feature}
+			if goesLeft(&cols[n.feature], r, s) {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		out[r] = n.prob
+	}
+	return out, nil
+}
+
+// Depth returns the maximum depth of the tree (a single leaf has depth 0).
+func (tr *Tree) Depth() int {
+	var d func(n *node) int
+	d = func(n *node) int {
+		if n.leaf {
+			return 0
+		}
+		l, r := d(n.left), d(n.right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return d(tr.root)
+}

@@ -1,0 +1,203 @@
+// Package outcome implements the paper's outcome functions o: D → ℝ ∪ {⊥}.
+// A statistic f over a subgroup S is the mean of o over the members of S
+// whose outcome is defined; the divergence of S is f(S) − f(D). Boolean
+// outcome functions (values in {0,1}) express rates such as the
+// false-positive rate; numeric outcomes express quantities such as income.
+package outcome
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/stats"
+)
+
+// Outcome holds per-row outcome values and the mask of rows where the
+// outcome is defined (not ⊥).
+type Outcome struct {
+	// Name identifies the statistic, e.g. "FPR" or "income".
+	Name string
+	// Values[i] is o(x_i); meaningful only where Valid.Get(i).
+	Values []float64
+	// Valid marks rows with a defined outcome.
+	Valid *bitvec.Vector
+	// Boolean records whether every defined value is 0 or 1, enabling the
+	// entropy-based split criterion.
+	Boolean bool
+
+	global stats.Moments
+}
+
+// New assembles an Outcome from raw values and a validity mask, computing
+// the global moments and the boolean flag. values and valid must have the
+// same length.
+func New(name string, values []float64, valid *bitvec.Vector) (*Outcome, error) {
+	if len(values) != valid.Len() {
+		return nil, fmt.Errorf("outcome: %d values, %d validity bits", len(values), valid.Len())
+	}
+	o := &Outcome{Name: name, Values: values, Valid: valid, Boolean: true}
+	valid.ForEach(func(i int) {
+		v := values[i]
+		if math.IsNaN(v) {
+			panic(fmt.Sprintf("outcome: NaN value at valid row %d", i))
+		}
+		if v != 0 && v != 1 {
+			o.Boolean = false
+		}
+		o.global.Add(v)
+	})
+	if o.global.N == 0 {
+		return nil, fmt.Errorf("outcome %q: no valid rows", name)
+	}
+	return o, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(name string, values []float64, valid *bitvec.Vector) *Outcome {
+	o, err := New(name, values, valid)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// Len returns the number of dataset rows.
+func (o *Outcome) Len() int { return len(o.Values) }
+
+// GlobalMoments returns the moments of the outcome over the whole dataset.
+func (o *Outcome) GlobalMoments() stats.Moments { return o.global }
+
+// GlobalMean returns f(D), the statistic on the entire dataset.
+func (o *Outcome) GlobalMean() float64 { return o.global.Mean() }
+
+// MomentsOf returns the outcome moments over the rows of the given bitset,
+// restricted to valid rows.
+func (o *Outcome) MomentsOf(rows *bitvec.Vector) stats.Moments {
+	var m stats.Moments
+	// Iterate rows ∩ valid without allocating: walk the smaller pattern.
+	rows.ForEach(func(i int) {
+		if o.Valid.Get(i) {
+			m.Add(o.Values[i])
+		}
+	})
+	return m
+}
+
+// StatOf returns f(S) for the subgroup defined by rows, or NaN when no
+// member has a defined outcome.
+func (o *Outcome) StatOf(rows *bitvec.Vector) float64 {
+	return o.MomentsOf(rows).Mean()
+}
+
+// DivergenceOf returns Δf(S) = f(S) − f(D) for the subgroup, or NaN when
+// f(S) is undefined.
+func (o *Outcome) DivergenceOf(rows *bitvec.Vector) float64 {
+	return o.StatOf(rows) - o.GlobalMean()
+}
+
+// TValueOf returns the Welch t-statistic between the subgroup outcome
+// sample and the whole-dataset outcome sample, the significance measure
+// used by DivExplorer.
+func (o *Outcome) TValueOf(rows *bitvec.Vector) float64 {
+	return stats.WelchT(o.MomentsOf(rows), o.global)
+}
+
+// DivergenceFromMoments returns Δf given precomputed subgroup moments, as
+// accumulated inside the mining algorithms.
+func (o *Outcome) DivergenceFromMoments(m stats.Moments) float64 {
+	return m.Mean() - o.GlobalMean()
+}
+
+// TValueFromMoments returns the Welch t-value given precomputed subgroup
+// moments.
+func (o *Outcome) TValueFromMoments(m stats.Moments) float64 {
+	return stats.WelchT(m, o.global)
+}
+
+// FalsePositiveRate builds the FPR outcome: defined on actual-negative
+// instances, 1 where the model predicted positive (a false positive), 0
+// where it predicted negative (a true negative). f(S) is then the
+// false-positive rate of S.
+func FalsePositiveRate(actual, predicted []bool) *Outcome {
+	return rateOutcome("FPR", actual, predicted, false, func(pred bool) float64 {
+		if pred {
+			return 1
+		}
+		return 0
+	})
+}
+
+// FalseNegativeRate builds the FNR outcome: defined on actual-positive
+// instances, 1 where the model predicted negative.
+func FalseNegativeRate(actual, predicted []bool) *Outcome {
+	return rateOutcome("FNR", actual, predicted, true, func(pred bool) float64 {
+		if pred {
+			return 0
+		}
+		return 1
+	})
+}
+
+func rateOutcome(name string, actual, predicted []bool, definedOn bool, value func(pred bool) float64) *Outcome {
+	if len(actual) != len(predicted) {
+		panic(fmt.Sprintf("outcome: %d actual vs %d predicted", len(actual), len(predicted)))
+	}
+	vals := make([]float64, len(actual))
+	valid := bitvec.New(len(actual))
+	for i := range actual {
+		if actual[i] == definedOn {
+			valid.Set(i)
+			vals[i] = value(predicted[i])
+		}
+	}
+	return MustNew(name, vals, valid)
+}
+
+// ErrorRate builds the misclassification outcome: defined everywhere, 1
+// where prediction differs from the actual label.
+func ErrorRate(actual, predicted []bool) *Outcome {
+	if len(actual) != len(predicted) {
+		panic(fmt.Sprintf("outcome: %d actual vs %d predicted", len(actual), len(predicted)))
+	}
+	vals := make([]float64, len(actual))
+	for i := range actual {
+		if actual[i] != predicted[i] {
+			vals[i] = 1
+		}
+	}
+	return MustNew("error", vals, bitvec.NewFull(len(actual)))
+}
+
+// Accuracy builds the accuracy outcome: defined everywhere, 1 where the
+// prediction matches the actual label.
+func Accuracy(actual, predicted []bool) *Outcome {
+	if len(actual) != len(predicted) {
+		panic(fmt.Sprintf("outcome: %d actual vs %d predicted", len(actual), len(predicted)))
+	}
+	vals := make([]float64, len(actual))
+	for i := range actual {
+		if actual[i] == predicted[i] {
+			vals[i] = 1
+		}
+	}
+	return MustNew("accuracy", vals, bitvec.NewFull(len(actual)))
+}
+
+// Numeric builds an outcome directly from a numeric target (e.g. income in
+// folktables). NaN values are treated as ⊥.
+func Numeric(name string, values []float64) *Outcome {
+	valid := bitvec.New(len(values))
+	for i, v := range values {
+		if !math.IsNaN(v) {
+			valid.Set(i)
+		}
+	}
+	return MustNew(name, values, valid)
+}
+
+// fullMask returns an all-ones validity mask of length n.
+func fullMask(n int) *bitvec.Vector { return bitvec.NewFull(n) }
+
+// emptyMask returns an all-zeros validity mask of length n.
+func emptyMask(n int) *bitvec.Vector { return bitvec.New(n) }

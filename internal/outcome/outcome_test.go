@@ -1,0 +1,233 @@
+package outcome
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitvec"
+)
+
+func TestFalsePositiveRate(t *testing.T) {
+	//            TN     FP    (pos: ⊥)  FP     TN
+	actual := []bool{false, false, true, false, false}
+	pred := []bool{false, true, true, true, false}
+	o := FalsePositiveRate(actual, pred)
+	if o.Name != "FPR" {
+		t.Errorf("Name = %q", o.Name)
+	}
+	if !o.Boolean {
+		t.Error("FPR should be boolean")
+	}
+	if o.Valid.Count() != 4 {
+		t.Fatalf("valid = %d, want 4 (actual negatives)", o.Valid.Count())
+	}
+	if got := o.GlobalMean(); got != 0.5 {
+		t.Errorf("GlobalMean = %v, want 0.5 (2 FP / 4 neg)", got)
+	}
+	// Subgroup of rows {1,3}: both FP → f=1, Δ=0.5.
+	rows := bitvec.FromIndices(5, []int{1, 3})
+	if got := o.StatOf(rows); got != 1 {
+		t.Errorf("StatOf = %v, want 1", got)
+	}
+	if got := o.DivergenceOf(rows); got != 0.5 {
+		t.Errorf("DivergenceOf = %v, want 0.5", got)
+	}
+}
+
+func TestFalseNegativeRate(t *testing.T) {
+	actual := []bool{true, true, true, false}
+	pred := []bool{false, true, false, false}
+	o := FalseNegativeRate(actual, pred)
+	if o.Valid.Count() != 3 {
+		t.Fatalf("valid = %d, want 3 (actual positives)", o.Valid.Count())
+	}
+	if got := o.GlobalMean(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("GlobalMean = %v, want 2/3", got)
+	}
+}
+
+func TestErrorRateAndAccuracy(t *testing.T) {
+	actual := []bool{true, false, true, false}
+	pred := []bool{true, true, false, false}
+	e := ErrorRate(actual, pred)
+	a := Accuracy(actual, pred)
+	if e.Valid.Count() != 4 || a.Valid.Count() != 4 {
+		t.Fatal("error/accuracy must be defined everywhere")
+	}
+	if e.GlobalMean() != 0.5 || a.GlobalMean() != 0.5 {
+		t.Errorf("means = %v, %v, want 0.5, 0.5", e.GlobalMean(), a.GlobalMean())
+	}
+	all := bitvec.NewFull(4)
+	for i := 0; i < 4; i++ {
+		sum := e.Values[i] + a.Values[i]
+		if sum != 1 {
+			t.Errorf("row %d: error+accuracy = %v, want 1", i, sum)
+		}
+	}
+	if e.DivergenceOf(all) != 0 {
+		t.Error("whole-dataset divergence must be 0")
+	}
+}
+
+func TestNumeric(t *testing.T) {
+	vals := []float64{10, 20, math.NaN(), 30}
+	o := Numeric("income", vals)
+	if o.Boolean {
+		t.Error("numeric outcome should not be boolean")
+	}
+	if o.Valid.Count() != 3 {
+		t.Fatalf("valid = %d, want 3", o.Valid.Count())
+	}
+	if got := o.GlobalMean(); got != 20 {
+		t.Errorf("GlobalMean = %v, want 20", got)
+	}
+	// NaN row contributes nothing even when included in the subgroup.
+	rows := bitvec.FromIndices(4, []int{2, 3})
+	if got := o.StatOf(rows); got != 30 {
+		t.Errorf("StatOf = %v, want 30", got)
+	}
+	if got := o.MomentsOf(rows).N; got != 1 {
+		t.Errorf("MomentsOf.N = %d, want 1", got)
+	}
+}
+
+func TestNumericBooleanDetection(t *testing.T) {
+	if !Numeric("b", []float64{0, 1, 1, 0}).Boolean {
+		t.Error("0/1 numeric outcome should be flagged boolean")
+	}
+	if Numeric("n", []float64{0, 0.5}).Boolean {
+		t.Error("non-0/1 outcome must not be boolean")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New("x", []float64{1, 2}, bitvec.New(3)); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := New("x", []float64{1, 2}, bitvec.New(2)); err == nil {
+		t.Error("no valid rows should fail")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustNew("x", []float64{1}, bitvec.New(1))
+}
+
+func TestMismatchedLengthsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"FPR":   func() { FalsePositiveRate([]bool{true}, []bool{true, false}) },
+		"FNR":   func() { FalseNegativeRate([]bool{true, false}, []bool{true}) },
+		"Error": func() { ErrorRate([]bool{true}, nil) },
+		"Acc":   func() { Accuracy(nil, []bool{true}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDivergenceFromMomentsMatchesDirect(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 500
+	actual := make([]bool, n)
+	pred := make([]bool, n)
+	for i := range actual {
+		actual[i] = r.Intn(2) == 0
+		pred[i] = r.Intn(2) == 0
+	}
+	o := ErrorRate(actual, pred)
+	rows := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(3) == 0 {
+			rows.Set(i)
+		}
+	}
+	m := o.MomentsOf(rows)
+	if got, want := o.DivergenceFromMoments(m), o.DivergenceOf(rows); math.Abs(got-want) > 1e-12 {
+		t.Errorf("DivergenceFromMoments = %v, direct = %v", got, want)
+	}
+	if got, want := o.TValueFromMoments(m), o.TValueOf(rows); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TValueFromMoments = %v, direct = %v", got, want)
+	}
+}
+
+// Property: divergence of the full dataset is always 0, and divergence of
+// any subgroup lies within [min−mean, max−mean] of the outcome values.
+func TestQuickDivergenceBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(200)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64() * 100
+		}
+		o := Numeric("v", vals)
+		full := bitvec.NewFull(n)
+		if math.Abs(o.DivergenceOf(full)) > 1e-9 {
+			return false
+		}
+		rows := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				rows.Set(i)
+			}
+		}
+		if rows.Count() == 0 {
+			return true
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range vals {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		d := o.DivergenceOf(rows)
+		return d >= lo-o.GlobalMean()-1e-9 && d <= hi-o.GlobalMean()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FPR and FNR validity masks partition the rows (every row is an
+// actual positive or an actual negative).
+func TestQuickFPRFNRPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(100)
+		actual := make([]bool, n)
+		pred := make([]bool, n)
+		hasPos, hasNeg := false, false
+		for i := range actual {
+			actual[i] = r.Intn(2) == 0
+			pred[i] = r.Intn(2) == 0
+			if actual[i] {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true // constructors require at least one valid row
+		}
+		fpr := FalsePositiveRate(actual, pred)
+		fnr := FalseNegativeRate(actual, pred)
+		if fpr.Valid.Intersects(fnr.Valid) {
+			return false
+		}
+		return fpr.Valid.Count()+fnr.Valid.Count() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package outcome
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TopKMembership builds the ranking outcome of the paper's companion work
+// on biased subgroups in rankings (reference [24]): o(x) = 1 when x ranks
+// within the top k by score, 0 otherwise, defined everywhere. The
+// divergence of a subgroup is then its over- or under-representation in
+// the top k relative to the population rate k/n — e.g. which applicant
+// subgroups a ranker systematically keeps out of the first page.
+//
+// Ties at the k-th score are broken by row order, matching a stable
+// ranking of the input.
+func TopKMembership(scores []float64, k int, higherIsBetter bool) (*Outcome, error) {
+	n := len(scores)
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("outcome: top-k k=%d out of [1, %d]", k, n)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if higherIsBetter {
+			return scores[order[a]] > scores[order[b]]
+		}
+		return scores[order[a]] < scores[order[b]]
+	})
+	vals := make([]float64, n)
+	for _, i := range order[:k] {
+		vals[i] = 1
+	}
+	return New("top-k", vals, fullMask(n))
+}
+
+// ExposureRate builds a graded ranking outcome: o(x) = 1/log2(rank(x)+1),
+// the standard position-bias exposure weight of ranking fairness metrics.
+// A subgroup's divergence is its average exposure minus the population
+// average — positive means the ranker surfaces the subgroup's members
+// disproportionately high.
+func ExposureRate(scores []float64, higherIsBetter bool) (*Outcome, error) {
+	n := len(scores)
+	if n == 0 {
+		return nil, fmt.Errorf("outcome: exposure of empty ranking")
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if higherIsBetter {
+			return scores[order[a]] > scores[order[b]]
+		}
+		return scores[order[a]] < scores[order[b]]
+	})
+	vals := make([]float64, n)
+	for pos, i := range order {
+		vals[i] = 1 / math.Log2(float64(pos)+2)
+	}
+	return New("exposure", vals, fullMask(n))
+}

@@ -1,0 +1,100 @@
+package outcome
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+func TestTopKMembership(t *testing.T) {
+	scores := []float64{0.9, 0.1, 0.8, 0.3, 0.7}
+	o, err := TopKMembership(scores, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top 2 by score: rows 0 (0.9) and 2 (0.8).
+	want := []float64{1, 0, 1, 0, 0}
+	for i := range want {
+		if o.Values[i] != want[i] {
+			t.Fatalf("Values = %v, want %v", o.Values, want)
+		}
+	}
+	if got := o.GlobalMean(); got != 0.4 {
+		t.Errorf("GlobalMean = %v, want k/n = 0.4", got)
+	}
+	// lowerIsBetter flips the selection.
+	o2, err := TopKMembership(scores, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Values[1] != 1 || o2.Values[3] != 1 {
+		t.Errorf("lower-is-better top-2 = %v", o2.Values)
+	}
+}
+
+func TestTopKMembershipTies(t *testing.T) {
+	scores := []float64{1, 1, 1, 0}
+	o, err := TopKMembership(scores, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stable tie-breaking: rows 0 and 1 win.
+	if o.Values[0] != 1 || o.Values[1] != 1 || o.Values[2] != 0 {
+		t.Errorf("tie handling = %v", o.Values)
+	}
+}
+
+func TestTopKMembershipErrors(t *testing.T) {
+	if _, err := TopKMembership([]float64{1, 2}, 0, true); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := TopKMembership([]float64{1, 2}, 3, true); err == nil {
+		t.Error("k>n should fail")
+	}
+}
+
+func TestTopKDivergenceMeaning(t *testing.T) {
+	// A subgroup fully inside the top-k has divergence 1 − k/n.
+	scores := make([]float64, 10)
+	for i := range scores {
+		scores[i] = float64(10 - i)
+	}
+	o, err := TopKMembership(scores, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := bitvec.FromIndices(10, []int{0, 1, 2})
+	if got := o.DivergenceOf(sub); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("in-top divergence = %v, want 0.7", got)
+	}
+	out := bitvec.FromIndices(10, []int{7, 8, 9})
+	if got := o.DivergenceOf(out); math.Abs(got+0.3) > 1e-12 {
+		t.Errorf("out-of-top divergence = %v, want -0.3", got)
+	}
+}
+
+func TestExposureRate(t *testing.T) {
+	scores := []float64{5, 1, 3}
+	o, err := ExposureRate(scores, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ranking: row 0 first, row 2 second, row 1 third.
+	if math.Abs(o.Values[0]-1) > 1e-12 {
+		t.Errorf("rank-1 exposure = %v, want 1", o.Values[0])
+	}
+	if math.Abs(o.Values[2]-1/math.Log2(3)) > 1e-12 {
+		t.Errorf("rank-2 exposure = %v", o.Values[2])
+	}
+	if math.Abs(o.Values[1]-0.5) > 1e-12 {
+		t.Errorf("rank-3 exposure = %v, want 1/log2(4) = 0.5", o.Values[1])
+	}
+	// Exposure is monotone decreasing in rank.
+	if !(o.Values[0] > o.Values[2] && o.Values[2] > o.Values[1]) {
+		t.Error("exposure not monotone in rank")
+	}
+	if _, err := ExposureRate(nil, true); err == nil {
+		t.Error("empty ranking should fail")
+	}
+}

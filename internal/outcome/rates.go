@@ -1,0 +1,132 @@
+package outcome
+
+import "fmt"
+
+// This file provides the remaining classifier statistics expressible as
+// boolean outcome functions (DivExplorer §4.1 lists them): true
+// positive/negative rates, precision-style rates over predicted classes,
+// and a generic constructor for custom statistics.
+
+// TruePositiveRate builds the TPR (recall) outcome: defined on
+// actual-positive instances, 1 where the model predicted positive.
+func TruePositiveRate(actual, predicted []bool) *Outcome {
+	return rateOutcome("TPR", actual, predicted, true, func(pred bool) float64 {
+		if pred {
+			return 1
+		}
+		return 0
+	})
+}
+
+// TrueNegativeRate builds the TNR (specificity) outcome: defined on
+// actual-negative instances, 1 where the model predicted negative.
+func TrueNegativeRate(actual, predicted []bool) *Outcome {
+	return rateOutcome("TNR", actual, predicted, false, func(pred bool) float64 {
+		if pred {
+			return 0
+		}
+		return 1
+	})
+}
+
+// Precision builds the positive-predictive-value outcome: defined on
+// predicted-positive instances, 1 where the instance is actually positive.
+// Note the conditioning flips: validity follows the prediction, the value
+// follows the truth.
+func Precision(actual, predicted []bool) *Outcome {
+	return predictionConditioned("precision", actual, predicted, true, func(act bool) float64 {
+		if act {
+			return 1
+		}
+		return 0
+	})
+}
+
+// FalseDiscoveryRate builds the FDR outcome: defined on predicted-positive
+// instances, 1 where the instance is actually negative (1 − precision).
+func FalseDiscoveryRate(actual, predicted []bool) *Outcome {
+	return predictionConditioned("FDR", actual, predicted, true, func(act bool) float64 {
+		if act {
+			return 0
+		}
+		return 1
+	})
+}
+
+// FalseOmissionRate builds the FOR outcome: defined on predicted-negative
+// instances, 1 where the instance is actually positive.
+func FalseOmissionRate(actual, predicted []bool) *Outcome {
+	return predictionConditioned("FOR", actual, predicted, false, func(act bool) float64 {
+		if act {
+			return 1
+		}
+		return 0
+	})
+}
+
+func predictionConditioned(name string, actual, predicted []bool, definedOnPred bool, value func(act bool) float64) *Outcome {
+	if len(actual) != len(predicted) {
+		panic(fmt.Sprintf("outcome: %d actual vs %d predicted", len(actual), len(predicted)))
+	}
+	// Reuse rateOutcome with roles swapped: condition on the prediction,
+	// score the actual label.
+	return rateOutcome(name, predicted, actual, definedOnPred, value)
+}
+
+// PredictedPositiveRate builds the demographic-parity outcome: defined
+// everywhere, 1 where the model predicted positive. Its divergence
+// measures how much more often a subgroup is predicted positive than the
+// population (statistical-parity difference).
+func PredictedPositiveRate(predicted []bool) *Outcome {
+	vals := make([]float64, len(predicted))
+	for i, p := range predicted {
+		if p {
+			vals[i] = 1
+		}
+	}
+	return MustNew("PPR", vals, fullMask(len(predicted)))
+}
+
+// PositiveRate builds the base-rate outcome: defined everywhere, 1 where
+// the instance is actually positive.
+func PositiveRate(actual []bool) *Outcome {
+	vals := make([]float64, len(actual))
+	for i, a := range actual {
+		if a {
+			vals[i] = 1
+		}
+	}
+	return MustNew("positive-rate", vals, fullMask(len(actual)))
+}
+
+// Tristate is the value of a custom boolean outcome function: True, False
+// or Bottom (⊥, undefined).
+type Tristate int
+
+// Tristate values.
+const (
+	Bottom Tristate = iota
+	False
+	True
+)
+
+// FromBoolFunc builds an outcome from an arbitrary per-row three-valued
+// function, the paper's o: D → {T, F, ⊥}. Use it for statistics not
+// covered by the stock constructors.
+func FromBoolFunc(name string, n int, fn func(row int) Tristate) (*Outcome, error) {
+	vals := make([]float64, n)
+	valid := emptyMask(n)
+	for i := 0; i < n; i++ {
+		switch fn(i) {
+		case True:
+			vals[i] = 1
+			valid.Set(i)
+		case False:
+			valid.Set(i)
+		case Bottom:
+		default:
+			return nil, fmt.Errorf("outcome: invalid tristate at row %d", i)
+		}
+	}
+	return New(name, vals, valid)
+}

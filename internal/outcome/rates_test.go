@@ -1,0 +1,182 @@
+package outcome
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// confusion fixture:
+//
+//	row  actual predicted  class
+//	0    T      T          TP
+//	1    T      F          FN
+//	2    F      T          FP
+//	3    F      F          TN
+//	4    T      T          TP
+//	5    F      T          FP
+var (
+	confActual = []bool{true, true, false, false, true, false}
+	confPred   = []bool{true, false, true, false, true, true}
+)
+
+func TestTruePositiveRate(t *testing.T) {
+	o := TruePositiveRate(confActual, confPred)
+	if o.Valid.Count() != 3 { // three actual positives
+		t.Fatalf("valid = %d", o.Valid.Count())
+	}
+	if got := o.GlobalMean(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("TPR = %v, want 2/3", got)
+	}
+}
+
+func TestTrueNegativeRate(t *testing.T) {
+	o := TrueNegativeRate(confActual, confPred)
+	if o.Valid.Count() != 3 { // three actual negatives
+		t.Fatalf("valid = %d", o.Valid.Count())
+	}
+	if got := o.GlobalMean(); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("TNR = %v, want 1/3", got)
+	}
+}
+
+func TestPrecisionAndFDR(t *testing.T) {
+	p := Precision(confActual, confPred)
+	f := FalseDiscoveryRate(confActual, confPred)
+	// Predicted positives: rows 0, 2, 4, 5 → precision 2/4.
+	if p.Valid.Count() != 4 || f.Valid.Count() != 4 {
+		t.Fatalf("valid = %d/%d, want 4", p.Valid.Count(), f.Valid.Count())
+	}
+	if got := p.GlobalMean(); got != 0.5 {
+		t.Errorf("precision = %v, want 0.5", got)
+	}
+	if got := f.GlobalMean(); got != 0.5 {
+		t.Errorf("FDR = %v, want 0.5", got)
+	}
+}
+
+func TestFalseOmissionRate(t *testing.T) {
+	o := FalseOmissionRate(confActual, confPred)
+	// Predicted negatives: rows 1, 3 → one actual positive → FOR 1/2.
+	if o.Valid.Count() != 2 {
+		t.Fatalf("valid = %d, want 2", o.Valid.Count())
+	}
+	if got := o.GlobalMean(); got != 0.5 {
+		t.Errorf("FOR = %v, want 0.5", got)
+	}
+}
+
+func TestPredictedPositiveAndPositiveRate(t *testing.T) {
+	ppr := PredictedPositiveRate(confPred)
+	pr := PositiveRate(confActual)
+	if ppr.Valid.Count() != 6 || pr.Valid.Count() != 6 {
+		t.Fatal("parity rates must be defined everywhere")
+	}
+	if got := ppr.GlobalMean(); math.Abs(got-4.0/6.0) > 1e-12 {
+		t.Errorf("PPR = %v, want 2/3", got)
+	}
+	if got := pr.GlobalMean(); got != 0.5 {
+		t.Errorf("positive rate = %v, want 0.5", got)
+	}
+}
+
+func TestFromBoolFunc(t *testing.T) {
+	o, err := FromBoolFunc("custom", 4, func(row int) Tristate {
+		switch row {
+		case 0:
+			return True
+		case 1:
+			return False
+		default:
+			return Bottom
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Valid.Count() != 2 || o.GlobalMean() != 0.5 {
+		t.Errorf("custom outcome wrong: valid=%d mean=%v", o.Valid.Count(), o.GlobalMean())
+	}
+	if !o.Boolean {
+		t.Error("tristate outcome must be boolean")
+	}
+	if _, err := FromBoolFunc("bad", 1, func(int) Tristate { return Tristate(99) }); err == nil {
+		t.Error("invalid tristate should fail")
+	}
+}
+
+// Identity: FDR = 1 − precision on every subgroup where both are defined.
+func TestQuickFDRPrecisionComplement(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(100)
+		actual := make([]bool, n)
+		pred := make([]bool, n)
+		anyPos := false
+		for i := range actual {
+			actual[i] = r.Intn(2) == 0
+			pred[i] = r.Intn(2) == 0
+			if pred[i] {
+				anyPos = true
+			}
+		}
+		if !anyPos {
+			return true
+		}
+		p := Precision(actual, pred)
+		fd := FalseDiscoveryRate(actual, pred)
+		return math.Abs(p.GlobalMean()+fd.GlobalMean()-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Identity: TPR = 1 − FNR and TNR = 1 − FPR.
+func TestQuickRateComplements(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(100)
+		actual := make([]bool, n)
+		pred := make([]bool, n)
+		hasPos, hasNeg := false, false
+		for i := range actual {
+			actual[i] = r.Intn(2) == 0
+			pred[i] = r.Intn(2) == 0
+			if actual[i] {
+				hasPos = true
+			} else {
+				hasNeg = true
+			}
+		}
+		if !hasPos || !hasNeg {
+			return true
+		}
+		tpr := TruePositiveRate(actual, pred).GlobalMean()
+		fnr := FalseNegativeRate(actual, pred).GlobalMean()
+		tnr := TrueNegativeRate(actual, pred).GlobalMean()
+		fpr := FalsePositiveRate(actual, pred).GlobalMean()
+		return math.Abs(tpr+fnr-1) < 1e-12 && math.Abs(tnr+fpr-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatePanicsOnMismatch(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"TPR":       func() { TruePositiveRate([]bool{true}, nil) },
+		"TNR":       func() { TrueNegativeRate(nil, []bool{true}) },
+		"Precision": func() { Precision([]bool{true}, []bool{true, false}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,180 @@
+// Package slicefinder implements the Slice Finder baseline (Chung et al.,
+// ICDE 2019) used in the paper's §VI-G comparison: a breadth-first lattice
+// search that returns the top-k "problematic" slices, where a slice is
+// problematic when the effect size of its loss distribution against its
+// counterpart (the rest of the data) exceeds a threshold.
+//
+// Two properties matter for the comparison with H-DivExplorer and are
+// faithfully reproduced: the search stops refining a branch as soon as the
+// slice is already problematic (so with the default threshold it settles on
+// coarse single-attribute slices), and slice support is not controlled (so
+// with a high threshold it can return slices of a handful of rows).
+package slicefinder
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/fpm"
+	"repro/internal/hierarchy"
+	"repro/internal/outcome"
+	"repro/internal/stats"
+)
+
+// Options configures the search.
+type Options struct {
+	// K is the number of problematic slices to return (default 1).
+	K int
+	// EffectSize is the problematic-slice threshold T (default 0.4, the
+	// tool's default).
+	EffectSize float64
+	// MaxLen bounds slice length (default 3).
+	MaxLen int
+	// MinSize drops slices smaller than this many rows (default 1; Slice
+	// Finder does not control support, which is its documented weakness).
+	MinSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = 1
+	}
+	if o.EffectSize <= 0 {
+		o.EffectSize = 0.4
+	}
+	if o.MaxLen <= 0 {
+		o.MaxLen = 3
+	}
+	if o.MinSize <= 0 {
+		o.MinSize = 1
+	}
+	return o
+}
+
+// Slice is one candidate data slice.
+type Slice struct {
+	Itemset    hierarchy.Itemset
+	ItemIdx    []int
+	Count      int
+	Support    float64
+	AvgLoss    float64
+	EffectSize float64
+}
+
+// String renders the slice compactly.
+func (s *Slice) String() string {
+	return fmt.Sprintf("{%s} sup=%.4f eff=%.2f", s.Itemset, s.Support, s.EffectSize)
+}
+
+// Search runs the lattice search over the item universe (use leaf items for
+// the faithful fixed-discretization baseline). It returns the problematic
+// slices found, ordered by effect size descending.
+func Search(u *fpm.Universe, o *outcome.Outcome, opt Options) []Slice {
+	opt = opt.withDefaults()
+	global := o.GlobalMoments()
+
+	type state struct {
+		items []int
+		rows  *bitvec.Vector
+	}
+	evaluate := func(items []int, rows *bitvec.Vector) (Slice, bool) {
+		count := rows.Count()
+		if count < opt.MinSize {
+			return Slice{}, false
+		}
+		m := momentsOf(rows, o)
+		if m.N == 0 {
+			return Slice{}, false
+		}
+		// Counterpart moments: the dataset minus the slice.
+		rest := stats.Moments{N: global.N - m.N, Sum: global.Sum - m.Sum, SumSq: global.SumSq - m.SumSq}
+		eff := effectSize(m, rest)
+		return Slice{
+			Itemset:    u.Itemset(items),
+			ItemIdx:    append([]int(nil), items...),
+			Count:      count,
+			Support:    float64(count) / float64(u.NumRows),
+			AvgLoss:    m.Mean(),
+			EffectSize: eff,
+		}, true
+	}
+
+	var found []Slice
+	level := make([]state, 0, len(u.Items))
+	for i := range u.Items {
+		level = append(level, state{items: []int{i}, rows: u.Rows[i]})
+	}
+	for len(level) > 0 {
+		var expandable []state
+		for _, st := range level {
+			sl, ok := evaluate(st.items, st.rows)
+			if !ok {
+				continue
+			}
+			if sl.EffectSize >= opt.EffectSize {
+				// Problematic: report and stop refining this branch.
+				found = append(found, sl)
+			} else if len(st.items) < opt.MaxLen {
+				expandable = append(expandable, st)
+			}
+		}
+		if len(found) >= opt.K {
+			break
+		}
+		// Expand the non-problematic slices by one item.
+		var next []state
+		for _, st := range expandable {
+			last := st.items[len(st.items)-1]
+			for j := last + 1; j < len(u.Items); j++ {
+				if sameAttr(u, st.items, j) {
+					continue
+				}
+				rows := st.rows.Clone().And(u.Rows[j])
+				if rows.Count() < opt.MinSize {
+					continue
+				}
+				next = append(next, state{items: append(append([]int{}, st.items...), j), rows: rows})
+			}
+		}
+		level = next
+	}
+	sort.SliceStable(found, func(a, b int) bool { return found[a].EffectSize > found[b].EffectSize })
+	if len(found) > opt.K {
+		found = found[:opt.K]
+	}
+	return found
+}
+
+func sameAttr(u *fpm.Universe, items []int, j int) bool {
+	for _, i := range items {
+		if u.AttrID[i] == u.AttrID[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// effectSize is Slice Finder's effect-size measure between the slice and
+// its counterpart: φ = √2·(μ₁−μ₂)/√(σ₁²+σ₂²) (Chung et al., §III).
+func effectSize(slice, rest stats.Moments) float64 {
+	if slice.N < 2 || rest.N < 2 {
+		return 0
+	}
+	den := math.Sqrt(slice.Var() + rest.Var())
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt2 * (slice.Mean() - rest.Mean()) / den
+}
+
+func momentsOf(rows *bitvec.Vector, o *outcome.Outcome) stats.Moments {
+	var m stats.Moments
+	rows.ForEach(func(i int) {
+		if o.Valid.Get(i) {
+			m.Add(o.Values[i])
+		}
+	})
+	return m
+}

@@ -1,0 +1,139 @@
+package slicefinder
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/discretize"
+	"repro/internal/fpm"
+	"repro/internal/outcome"
+)
+
+// peakUniverse builds the synthetic-peak leaf-item universe used by the
+// paper's Figure 6 comparison.
+func peakUniverse(t *testing.T, n int) (*fpm.Universe, *outcome.Outcome) {
+	t.Helper()
+	d := datagen.SyntheticPeak(datagen.Config{N: n, Seed: 1})
+	o := outcome.ErrorRate(d.Actual, d.Predicted)
+	hs, err := discretize.TreeSet(d.Table, o, discretize.TreeOptions{MinSupport: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fpm.BaseUniverse(d.Table, hs, o), o
+}
+
+func TestDefaultThresholdStopsAtFirstProblematicLevel(t *testing.T) {
+	u, o := peakUniverse(t, 5000)
+	got := Search(u, o, Options{}) // defaults: T=0.4, K=1
+	if len(got) == 0 {
+		t.Fatal("no slice found")
+	}
+	top := got[0]
+	if top.EffectSize < 0.4 {
+		t.Errorf("top slice effect size %v below threshold", top.EffectSize)
+	}
+	// BFS stops at the first level containing a problematic slice: no
+	// strictly shorter slice may reach the threshold (the paper's Fig. 6a
+	// "stops early at a coarse slice" behaviour).
+	if len(top.Itemset) > 1 {
+		shorter := Search(u, o, Options{MaxLen: len(top.Itemset) - 1, EffectSize: 0.4})
+		if len(shorter) != 0 {
+			t.Errorf("a shorter slice %v already exceeded the threshold", shorter[0].Itemset)
+		}
+	}
+	// The search never refines a branch past the first problematic slice.
+	if len(top.Itemset) >= 3 {
+		t.Errorf("default threshold descended to length %d", len(top.Itemset))
+	}
+}
+
+func TestHighThresholdFindsTinyDeepSlice(t *testing.T) {
+	u, o := peakUniverse(t, 5000)
+	coarse := Search(u, o, Options{})
+	deep := Search(u, o, Options{EffectSize: 1.0})
+	if len(deep) == 0 {
+		t.Fatal("no slice found at T=1")
+	}
+	top := deep[0]
+	// The T=1 slice must be finer (longer) than the default one and have
+	// far smaller support — Slice Finder does not control slice size
+	// (Fig. 6b: 13 of 10,000 instances).
+	if len(top.Itemset) <= len(coarse[0].Itemset) {
+		t.Errorf("T=1 slice %v not finer than default %v", top.Itemset, coarse[0].Itemset)
+	}
+	if top.Support >= coarse[0].Support {
+		t.Errorf("T=1 slice support %v not below default %v", top.Support, coarse[0].Support)
+	}
+	// The returned slice falls below even the smallest support threshold
+	// (0.025) that the DivExplorer experiments enforce — the uncontrolled-
+	// size failure mode of Fig. 6b.
+	if top.Support >= 0.025 {
+		t.Errorf("T=1 slice support %v, want < 0.025", top.Support)
+	}
+	if top.EffectSize < 1.0 {
+		t.Errorf("T=1 slice effect %v below threshold", top.EffectSize)
+	}
+}
+
+func TestKSlices(t *testing.T) {
+	u, o := peakUniverse(t, 3000)
+	got := Search(u, o, Options{K: 3, EffectSize: 0.2})
+	if len(got) > 3 {
+		t.Errorf("K=3 returned %d slices", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].EffectSize > got[i-1].EffectSize {
+			t.Error("slices not sorted by effect size")
+		}
+	}
+	for _, s := range got {
+		if s.EffectSize < 0.2 {
+			t.Errorf("returned non-problematic slice %v", s.String())
+		}
+	}
+}
+
+func TestMinSize(t *testing.T) {
+	u, o := peakUniverse(t, 3000)
+	got := Search(u, o, Options{EffectSize: 1.0, MinSize: 200})
+	for _, s := range got {
+		if s.Count < 200 {
+			t.Errorf("slice %v below MinSize", s.String())
+		}
+	}
+}
+
+func TestMaxLenBoundsSearch(t *testing.T) {
+	u, o := peakUniverse(t, 3000)
+	got := Search(u, o, Options{EffectSize: 10, MaxLen: 2}) // unattainable threshold
+	if len(got) != 0 {
+		t.Errorf("unattainable threshold returned %d slices", len(got))
+	}
+}
+
+func TestOneItemPerAttribute(t *testing.T) {
+	u, o := peakUniverse(t, 3000)
+	got := Search(u, o, Options{K: 5, EffectSize: 0.6})
+	for _, s := range got {
+		seen := map[int]bool{}
+		for _, i := range s.ItemIdx {
+			if seen[u.AttrID[i]] {
+				t.Fatalf("slice %v repeats an attribute", s.Itemset)
+			}
+			seen[u.AttrID[i]] = true
+		}
+	}
+}
+
+func TestSliceString(t *testing.T) {
+	u, o := peakUniverse(t, 2000)
+	got := Search(u, o, Options{})
+	if len(got) == 0 {
+		t.Fatal("no slices")
+	}
+	s := got[0].String()
+	if !strings.Contains(s, "sup=") || !strings.Contains(s, "eff=") {
+		t.Errorf("String = %q", s)
+	}
+}

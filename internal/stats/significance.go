@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// NormalCDF returns the standard normal cumulative distribution function
+// Φ(x), computed via the complementary error function.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// TwoSidedP returns the two-sided p-value of a t-statistic under the
+// large-sample normal approximation: P(|Z| ≥ |t|). Subgroup exploration
+// deals with samples of dozens to thousands of rows, where the t and
+// normal distributions are practically indistinguishable; the
+// approximation errs conservative-enough for screening and is exact in
+// the limit.
+func TwoSidedP(t float64) float64 {
+	if math.IsInf(t, 0) {
+		return 0
+	}
+	if math.IsNaN(t) {
+		return 1
+	}
+	return 2 * NormalCDF(-math.Abs(t))
+}
+
+// BenjaminiHochberg applies the Benjamini–Hochberg step-up procedure at
+// false-discovery-rate level alpha to a set of p-values. It returns a
+// boolean slice parallel to ps marking the rejected (significant)
+// hypotheses. Exploring thousands of subgroups is a textbook
+// multiple-testing setting; DivExplorer-style reports should be screened
+// through FDR control before any subgroup is called anomalous.
+func BenjaminiHochberg(ps []float64, alpha float64) []bool {
+	n := len(ps)
+	out := make([]bool, n)
+	if n == 0 || alpha <= 0 {
+		return out
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ps[order[a]] < ps[order[b]] })
+	// Find the largest k with p_(k) ≤ k/n·α.
+	cut := -1
+	for k, idx := range order {
+		if ps[idx] <= float64(k+1)/float64(n)*alpha {
+			cut = k
+		}
+	}
+	for k := 0; k <= cut; k++ {
+		out[order[k]] = true
+	}
+	return out
+}
+
+// BonferroniThreshold returns the per-test significance threshold for a
+// family-wise error rate alpha over n tests.
+func BonferroniThreshold(alpha float64, n int) float64 {
+	if n <= 0 {
+		return alpha
+	}
+	return alpha / float64(n)
+}

@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+		{1, 0.8413447461},
+		{-3, 0.0013498980},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalCDFProperties(t *testing.T) {
+	f := func(x float64) bool {
+		x = math.Mod(x, 10)
+		p := NormalCDF(x)
+		// Bounded, monotone via symmetry check.
+		return p >= 0 && p <= 1 && math.Abs(p+NormalCDF(-x)-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoSidedP(t *testing.T) {
+	if got := TwoSidedP(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("TwoSidedP(0) = %v, want 1", got)
+	}
+	if got := TwoSidedP(1.959963985); math.Abs(got-0.05) > 1e-8 {
+		t.Errorf("TwoSidedP(1.96) = %v, want 0.05", got)
+	}
+	if got := TwoSidedP(-1.959963985); math.Abs(got-0.05) > 1e-8 {
+		t.Error("TwoSidedP must be symmetric in t")
+	}
+	if TwoSidedP(math.Inf(1)) != 0 || TwoSidedP(math.Inf(-1)) != 0 {
+		t.Error("infinite t must have p = 0")
+	}
+	if TwoSidedP(math.NaN()) != 1 {
+		t.Error("NaN t must have p = 1")
+	}
+}
+
+func TestBenjaminiHochbergKnownExample(t *testing.T) {
+	// Classic worked example: 10 p-values at α = 0.05.
+	ps := []float64{0.001, 0.008, 0.039, 0.041, 0.042, 0.06, 0.074, 0.205, 0.212, 0.216}
+	got := BenjaminiHochberg(ps, 0.05)
+	// Thresholds k/10·0.05: 0.005, 0.010, 0.015, 0.020, 0.025, 0.030, ...
+	// The largest k with p_(k) ≤ threshold is k = 2 (0.008 ≤ 0.010);
+	// p_(3..5) ≈ 0.04 all exceed their thresholds.
+	want := []bool{true, true, false, false, false, false, false, false, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BH = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBenjaminiHochbergStepUp(t *testing.T) {
+	// The step-up property: a large p-value can rescue smaller ones.
+	ps := []float64{0.01, 0.02, 0.03, 0.04}
+	got := BenjaminiHochberg(ps, 0.05)
+	// Thresholds: 0.0125, 0.025, 0.0375, 0.05. p_(4)=0.04 ≤ 0.05, so all
+	// four are rejected even though p_(3)=0.03 alone misses 0.0375? No:
+	// 0.03 ≤ 0.0375 anyway; the point is the largest k wins.
+	for i, g := range got {
+		if !g {
+			t.Fatalf("index %d not rejected: %v", i, got)
+		}
+	}
+}
+
+func TestBenjaminiHochbergEdgeCases(t *testing.T) {
+	if out := BenjaminiHochberg(nil, 0.05); len(out) != 0 {
+		t.Error("empty input should give empty output")
+	}
+	out := BenjaminiHochberg([]float64{0.5}, 0)
+	if out[0] {
+		t.Error("alpha = 0 rejects nothing")
+	}
+	out = BenjaminiHochberg([]float64{0.9, 0.95}, 0.05)
+	if out[0] || out[1] {
+		t.Error("large p-values must not be rejected")
+	}
+}
+
+// Property: BH rejections are a superset of Bonferroni rejections, and the
+// rejected set is always a prefix of the sorted p-values.
+func TestQuickBHDominatesBonferroni(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		ps := make([]float64, n)
+		for i := range ps {
+			ps[i] = r.Float64()
+		}
+		alpha := 0.01 + 0.2*r.Float64()
+		bh := BenjaminiHochberg(ps, alpha)
+		bonf := BonferroniThreshold(alpha, n)
+		maxRejected := 0.0
+		minAccepted := 2.0
+		for i, rej := range bh {
+			if ps[i] <= bonf && !rej {
+				return false // BH must reject whatever Bonferroni rejects
+			}
+			if rej && ps[i] > maxRejected {
+				maxRejected = ps[i]
+			}
+			if !rej && ps[i] < minAccepted {
+				minAccepted = ps[i]
+			}
+		}
+		return maxRejected <= minAccepted // rejected = prefix of sorted order
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBonferroniThreshold(t *testing.T) {
+	if got := BonferroniThreshold(0.05, 10); got != 0.005 {
+		t.Errorf("Bonferroni = %v", got)
+	}
+	if got := BonferroniThreshold(0.05, 0); got != 0.05 {
+		t.Errorf("n=0 should return alpha, got %v", got)
+	}
+}

@@ -1,0 +1,304 @@
+// Package treebaseline implements the combined-tree alternative the paper
+// discusses and argues against (§V-A "Discussion") and the tree-based
+// subgroup identification of its related work (§II: Slice Finder's tree
+// mode, the Error Analysis dashboard): a single decision tree is grown
+// over *all* attributes jointly with a divergence-driven split criterion,
+// and its leaves — non-overlapping conjunctions of constraints — are the
+// reported subgroups.
+//
+// The paper's criticisms are observable with this implementation: the
+// support budget is consumed jointly (once a node reaches minimum support
+// it stops splitting, whether or not every attribute has been refined),
+// the leaves form a partition rather than a lattice of overlapping
+// candidate subgroups, and no per-attribute item hierarchy falls out.
+package treebaseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+	"repro/internal/hierarchy"
+	"repro/internal/outcome"
+)
+
+// Options configures the combined tree.
+type Options struct {
+	// MinSupport is the minimum fraction of the dataset per leaf.
+	MinSupport float64
+	// MaxDepth bounds the tree depth (0 = unlimited).
+	MaxDepth int
+	// Attrs restricts the attributes considered; nil means all.
+	Attrs []string
+}
+
+// Leaf is one leaf of the combined tree: a non-overlapping subgroup.
+type Leaf struct {
+	// Itemset is the conjunction of constraints on the path to the leaf.
+	// Constraints on the same attribute are merged into a single item.
+	Itemset hierarchy.Itemset
+	// Count and Support measure the leaf size.
+	Count   int
+	Support float64
+	// Statistic and Divergence are f(leaf) and Δf(leaf).
+	Statistic  float64
+	Divergence float64
+}
+
+// String renders the leaf.
+func (l *Leaf) String() string {
+	return fmt.Sprintf("{%s} sup=%.3f Δ=%+.4f", l.Itemset, l.Support, l.Divergence)
+}
+
+// Grow builds the combined divergence tree and returns its leaves sorted
+// by |divergence| descending.
+func Grow(t *dataset.Table, o *outcome.Outcome, opt Options) ([]Leaf, error) {
+	if opt.MinSupport <= 0 || opt.MinSupport > 0.5 {
+		return nil, fmt.Errorf("treebaseline: MinSupport %v out of (0, 0.5]", opt.MinSupport)
+	}
+	attrs := opt.Attrs
+	if attrs == nil {
+		attrs = t.Names()
+	}
+	for _, a := range attrs {
+		if !t.HasColumn(a) {
+			return nil, fmt.Errorf("treebaseline: no column %q", a)
+		}
+	}
+	minRows := int(math.Ceil(opt.MinSupport * float64(t.NumRows())))
+	if minRows < 1 {
+		minRows = 1
+	}
+
+	var leaves []Leaf
+	var grow func(rows *bitvec.Vector, constraints map[string]*hierarchy.Item, depth int)
+	grow = func(rows *bitvec.Vector, constraints map[string]*hierarchy.Item, depth int) {
+		emit := func() {
+			m := o.MomentsOf(rows)
+			itemset := make(hierarchy.Itemset, 0, len(constraints))
+			for _, it := range constraints {
+				itemset = append(itemset, it)
+			}
+			leaves = append(leaves, Leaf{
+				Itemset:    itemset,
+				Count:      rows.Count(),
+				Support:    float64(rows.Count()) / float64(t.NumRows()),
+				Statistic:  m.Mean(),
+				Divergence: m.Mean() - o.GlobalMean(),
+			})
+		}
+		if opt.MaxDepth > 0 && depth >= opt.MaxDepth {
+			emit()
+			return
+		}
+		best := bestSplit(t, o, rows, attrs, constraints, minRows)
+		if best == nil {
+			emit()
+			return
+		}
+		leftC := cloneConstraints(constraints)
+		leftC[best.attr] = best.leftItem
+		rightC := cloneConstraints(constraints)
+		rightC[best.attr] = best.rightItem
+		grow(best.leftRows, leftC, depth+1)
+		grow(best.rightRows, rightC, depth+1)
+	}
+	grow(bitvec.NewFull(t.NumRows()), map[string]*hierarchy.Item{}, 0)
+
+	sort.SliceStable(leaves, func(a, b int) bool {
+		da, db := math.Abs(leaves[a].Divergence), math.Abs(leaves[b].Divergence)
+		if da != db {
+			return da > db
+		}
+		return leaves[a].Count > leaves[b].Count
+	})
+	return leaves, nil
+}
+
+type splitChoice struct {
+	attr                string
+	gain                float64
+	leftItem, rightItem *hierarchy.Item
+	leftRows, rightRows *bitvec.Vector
+}
+
+// bestSplit scans every attribute for the divergence-gain-maximal binary
+// split of the node's rows honoring the support constraint.
+func bestSplit(t *dataset.Table, o *outcome.Outcome, rows *bitvec.Vector,
+	attrs []string, constraints map[string]*hierarchy.Item, minRows int) *splitChoice {
+	if rows.Count() < 2*minRows {
+		return nil
+	}
+	nodeM := o.MomentsOf(rows)
+	fS := nodeM.Mean()
+	total := float64(t.NumRows())
+
+	var best *splitChoice
+	consider := func(c *splitChoice) {
+		if c != nil && (best == nil || c.gain > best.gain) {
+			best = c
+		}
+	}
+	for _, attr := range attrs {
+		if t.KindOf(attr) == dataset.Continuous {
+			consider(bestContinuous(t, o, rows, attr, constraints[attr], fS, total, minRows))
+		} else {
+			consider(bestCategorical(t, o, rows, attr, constraints[attr], fS, total, minRows))
+		}
+	}
+	if best == nil || best.gain <= 0 {
+		return nil
+	}
+	return best
+}
+
+func bestContinuous(t *dataset.Table, o *outcome.Outcome, rows *bitvec.Vector,
+	attr string, prev *hierarchy.Item, fS, total float64, minRows int) *splitChoice {
+	vals := t.Floats(attr)
+	type rv struct {
+		v     float64
+		valid bool
+		out   float64
+	}
+	var members []rv
+	rows.ForEach(func(i int) {
+		if !math.IsNaN(vals[i]) {
+			members = append(members, rv{vals[i], o.Valid.Get(i), o.Values[i]})
+		}
+	})
+	if len(members) < 2*minRows {
+		return nil
+	}
+	sort.Slice(members, func(a, b int) bool { return members[a].v < members[b].v })
+
+	// Prefix sums for O(1) gain per candidate.
+	prefValid := make([]int, len(members)+1)
+	prefSum := make([]float64, len(members)+1)
+	for i, m := range members {
+		prefValid[i+1] = prefValid[i]
+		prefSum[i+1] = prefSum[i]
+		if m.valid {
+			prefValid[i+1]++
+			prefSum[i+1] += m.out
+		}
+	}
+	bestGain, bestP := 0.0, -1
+	for p := minRows; p <= len(members)-minRows; p++ {
+		if members[p-1].v == members[p].v {
+			continue
+		}
+		gain := 0.0
+		if v := prefValid[p]; v > 0 {
+			gain += float64(p) / total * math.Abs(prefSum[p]/float64(v)-fS)
+		}
+		if v := prefValid[len(members)] - prefValid[p]; v > 0 {
+			rest := prefSum[len(members)] - prefSum[p]
+			gain += float64(len(members)-p) / total * math.Abs(rest/float64(v)-fS)
+		}
+		if gain > bestGain {
+			bestGain, bestP = gain, p
+		}
+	}
+	if bestP < 0 {
+		return nil
+	}
+	cut := members[bestP-1].v
+	lo, hi := math.Inf(-1), math.Inf(1)
+	if prev != nil {
+		lo, hi = prev.Lo, prev.Hi
+	}
+	leftItem := hierarchy.ContinuousItem(attr, lo, cut)
+	rightItem := hierarchy.ContinuousItem(attr, cut, hi)
+	leftRows := leftItem.Rows(t).And(rows)
+	rightRows := rightItem.Rows(t).And(rows)
+	return &splitChoice{
+		attr: attr, gain: bestGain,
+		leftItem: leftItem, rightItem: rightItem,
+		leftRows: leftRows, rightRows: rightRows,
+	}
+}
+
+func bestCategorical(t *dataset.Table, o *outcome.Outcome, rows *bitvec.Vector,
+	attr string, prev *hierarchy.Item, fS, total float64, minRows int) *splitChoice {
+	codes := t.Codes(attr)
+	levels := t.Levels(attr)
+	// Candidate codes: those present under the current constraint. A split
+	// is "code == c" vs the rest of the node's codes.
+	inNode := map[int]bool{}
+	counts := map[int]int{}
+	validBy := map[int]int{}
+	sumBy := map[int]float64{}
+	nodeCount := 0
+	var nodeValid int
+	var nodeSum float64
+	rows.ForEach(func(i int) {
+		c := codes[i]
+		inNode[c] = true
+		counts[c]++
+		nodeCount++
+		if o.Valid.Get(i) {
+			validBy[c]++
+			sumBy[c] += o.Values[i]
+			nodeValid++
+			nodeSum += o.Values[i]
+		}
+	})
+	if prev != nil && len(prev.Codes) == 1 {
+		return nil // already pinned to a single level
+	}
+	bestGain, bestCode := 0.0, -1
+	for c := range inNode {
+		nL := counts[c]
+		nR := nodeCount - nL
+		if nL < minRows || nR < minRows {
+			continue
+		}
+		gain := 0.0
+		if v := validBy[c]; v > 0 {
+			gain += float64(nL) / total * math.Abs(sumBy[c]/float64(v)-fS)
+		}
+		if v := nodeValid - validBy[c]; v > 0 {
+			rest := nodeSum - sumBy[c]
+			gain += float64(nR) / total * math.Abs(rest/float64(v)-fS)
+		}
+		if gain > bestGain || (gain == bestGain && bestCode >= 0 && c < bestCode) {
+			bestGain, bestCode = gain, c
+		}
+	}
+	if bestCode < 0 {
+		return nil
+	}
+	var restCodes []int
+	if prev != nil {
+		for _, c := range prev.Codes {
+			if c != bestCode {
+				restCodes = append(restCodes, c)
+			}
+		}
+	} else {
+		for c := range levels {
+			if c != bestCode {
+				restCodes = append(restCodes, c)
+			}
+		}
+	}
+	leftItem := hierarchy.CategoricalItem(attr, fmt.Sprintf("%s=%s", attr, levels[bestCode]), bestCode)
+	rightItem := hierarchy.CategoricalItem(attr, fmt.Sprintf("%s≠%s", attr, levels[bestCode]), restCodes...)
+	leftRows := leftItem.Rows(t).And(rows)
+	rightRows := rightItem.Rows(t).And(rows)
+	return &splitChoice{
+		attr: attr, gain: bestGain,
+		leftItem: leftItem, rightItem: rightItem,
+		leftRows: leftRows, rightRows: rightRows,
+	}
+}
+
+func cloneConstraints(m map[string]*hierarchy.Item) map[string]*hierarchy.Item {
+	out := make(map[string]*hierarchy.Item, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
