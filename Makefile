@@ -1,0 +1,45 @@
+# Development targets for the H-DivExplorer reproduction.
+#
+#   make check        vet + build + race tests + bench/trace smoke (CI entry)
+#   make test         go test ./...
+#   make race         go test -race ./...
+#   make bench        full benchmark suite (slow; paper artifacts + ablations)
+#   make smoke        1-iteration pipeline benches + CLI trace-JSON round trip
+
+GO ?= go
+
+.PHONY: check vet build test race bench smoke fmt
+
+check: vet build race smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# smoke runs the pipeline benchmarks once each (reporting the mining
+# counters) and exercises the CLI trace path end to end: mkdata generates
+# a dataset, hdivexplorer runs with -trace-json, and the snapshot must be
+# parseable JSON with a non-empty span list.
+smoke:
+	$(GO) test -run='^$$' -bench='BenchmarkPipeline' -benchtime=1x .
+	rm -rf .smoke && mkdir .smoke
+	$(GO) run ./cmd/mkdata -dataset compas -n 1000 -out .smoke
+	$(GO) run ./cmd/hdivexplorer -data .smoke/compas.csv \
+		-actual label -predicted prediction -stat fpr -polarity \
+		-trace-json .smoke/trace.json -top 3 > /dev/null
+	$(GO) run ./cmd/checktrace .smoke/trace.json
+	rm -rf .smoke
+
+fmt:
+	gofmt -l -w .

@@ -152,8 +152,10 @@ func BenchmarkAblationPolarity(b *testing.B) {
 			name = "pruned"
 		}
 		b.Run(name, func(b *testing.B) {
+			var rep *core.Report
 			for i := 0; i < b.N; i++ {
-				_, err := core.Explore(w.Table, core.Config{
+				var err error
+				rep, err = core.Explore(w.Table, core.Config{
 					Outcome: w.Outcome, Hierarchies: hs, MinSupport: 0.05,
 					Mode: core.Hierarchical, PolarityPrune: prune,
 				})
@@ -161,6 +163,11 @@ func BenchmarkAblationPolarity(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			// The §V-C claim, as metrics: pruning cuts candidates while the
+			// pruned-by-polarity counter accounts for the removals.
+			b.ReportMetric(float64(rep.Mining.Candidates), "candidates/op")
+			b.ReportMetric(float64(rep.Mining.PrunedPolarity), "pruned_polarity/op")
+			b.ReportMetric(float64(rep.Mining.Frequent), "itemsets/op")
 		})
 	}
 }
@@ -184,17 +191,48 @@ func BenchmarkAblationBaseVsHierarchical(b *testing.B) {
 }
 
 // BenchmarkPipeline measures the end-to-end public API on the quickstart-
-// sized workload.
+// sized workload with a nil tracer (the zero-overhead baseline every
+// observability change is measured against). Key mining counters are
+// reported as custom benchmark metrics; they are deterministic per op.
 func BenchmarkPipeline(b *testing.B) {
 	d := datagen.Compas(datagen.Config{Seed: 1})
 	o := outcome.FalsePositiveRate(d.Actual, d.Predicted)
 	b.ResetTimer()
+	var rep *Report
 	for i := 0; i < b.N; i++ {
-		_, err := Pipeline(d.Table, o, PipelineOptions{TreeSupport: 0.1, MinSupport: 0.05})
+		var err error
+		rep, err = Pipeline(d.Table, o, PipelineOptions{TreeSupport: 0.1, MinSupport: 0.05})
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(rep.Mining.Candidates), "candidates/op")
+	b.ReportMetric(float64(rep.Mining.PrunedSupport), "pruned_support/op")
+	b.ReportMetric(float64(rep.Mining.Frequent), "itemsets/op")
+}
+
+// BenchmarkPipelineTraced is BenchmarkPipeline with a live tracer:
+// comparing the two bounds the observability overhead (spans, counters
+// and the Report.Trace snapshot).
+func BenchmarkPipelineTraced(b *testing.B) {
+	d := datagen.Compas(datagen.Config{Seed: 1})
+	o := outcome.FalsePositiveRate(d.Actual, d.Predicted)
+	b.ResetTimer()
+	var rep *Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = Pipeline(d.Table, o, PipelineOptions{
+			TreeSupport: 0.1, MinSupport: 0.05, Tracer: NewTracer(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if rep.Trace == nil {
+		b.Fatal("traced pipeline produced no Report.Trace")
+	}
+	b.ReportMetric(float64(rep.Trace.Counter("fpm.candidates")), "candidates/op")
+	b.ReportMetric(float64(len(rep.Trace.Spans)), "spans/op")
 }
 
 // BenchmarkAblationWorkers measures parallel-mining scaling on the

@@ -1,0 +1,55 @@
+// Command checktrace validates a -trace-json snapshot: the file must be
+// parseable JSON whose spans cover the four pipeline stages (parse,
+// discretize, mine, rank) and whose counters include the mining pruning
+// statistics. It is the assertion half of `make smoke`.
+//
+//	checktrace trace.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: checktrace <trace.json>")
+		os.Exit(2)
+	}
+	if err := check(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "checktrace:", err)
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := obs.ReadJSON(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	for _, name := range []string{
+		obs.SpanReadCSV, obs.SpanCSVParse, obs.SpanDiscretize,
+		obs.SpanExplore, obs.SpanMine, obs.SpanRank,
+	} {
+		if tr.Span(name) == nil {
+			return fmt.Errorf("%s: missing span %q", path, name)
+		}
+	}
+	for _, name := range []string{
+		obs.CtrRows, obs.CtrCandidates, obs.CtrPrunedSupport,
+		obs.CtrPrunedPolarity, obs.CtrItemsetsEmitted,
+	} {
+		if _, ok := tr.Counters[name]; !ok {
+			return fmt.Errorf("%s: missing counter %q", path, name)
+		}
+	}
+	fmt.Printf("%s: ok (%d spans, %d counters)\n", path, len(tr.Spans), len(tr.Counters))
+	return nil
+}

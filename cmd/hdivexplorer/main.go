@@ -10,126 +10,214 @@
 // For a numeric statistic (e.g. income divergence):
 //
 //	hdivexplorer -data census.csv -target income -stat numeric -s 0.05
+//
+// Observability: -trace prints a span tree with per-stage wall time and
+// allocation deltas to stderr, -trace-json writes the machine-readable
+// spans+counters snapshot to a file, and -cpuprofile/-memprofile capture
+// runtime/pprof profiles of the run.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	hdiv "repro"
 )
 
+// cliConfig holds every flag value for one invocation.
+type cliConfig struct {
+	dataPath, actualCol, predCol, targetCol  string
+	stat, criterion, mode, algorithm, format string
+	s, st, minT                              float64
+	polarity                                 bool
+	maxLen, top, workers                     int
+	trace                                    bool
+	traceJSON, cpuProfile, memProfile        string
+
+	stdout, stderr io.Writer // test injection points; default os.Stdout/Stderr
+}
+
 func main() {
-	var (
-		dataPath  = flag.String("data", "", "input CSV file (required)")
-		actualCol = flag.String("actual", "", "ground-truth boolean column (true/1 = positive)")
-		predCol   = flag.String("predicted", "", "prediction boolean column")
-		targetCol = flag.String("target", "", "numeric target column (for -stat numeric)")
-		stat      = flag.String("stat", "error", "statistic: fpr, fnr, error, accuracy, numeric")
-		s         = flag.Float64("s", 0.05, "exploration support threshold")
-		st        = flag.Float64("st", 0.1, "tree discretization support threshold")
-		criterion = flag.String("criterion", "divergence", "tree split criterion: divergence or entropy")
-		mode      = flag.String("mode", "hierarchical", "exploration mode: hierarchical or base")
-		algorithm = flag.String("algorithm", "fpgrowth", "miner: fpgrowth or apriori")
-		polarity  = flag.Bool("polarity", false, "enable polarity pruning")
-		maxLen    = flag.Int("maxlen", 0, "max itemset length (0 = unlimited)")
-		top       = flag.Int("top", 20, "number of subgroups to print")
-		minT      = flag.Float64("mint", 0, "only print subgroups with |t| at least this")
-		format    = flag.String("format", "text", "output format: text, csv or json")
-		workers   = flag.Int("workers", 0, "parallel mining goroutines (0 = serial)")
-	)
+	var c cliConfig
+	flag.StringVar(&c.dataPath, "data", "", "input CSV file (required)")
+	flag.StringVar(&c.actualCol, "actual", "", "ground-truth boolean column (true/1 = positive)")
+	flag.StringVar(&c.predCol, "predicted", "", "prediction boolean column")
+	flag.StringVar(&c.targetCol, "target", "", "numeric target column (for -stat numeric)")
+	flag.StringVar(&c.stat, "stat", "error", "statistic: fpr, fnr, error, accuracy, numeric")
+	flag.Float64Var(&c.s, "s", 0.05, "exploration support threshold")
+	flag.Float64Var(&c.st, "st", 0.1, "tree discretization support threshold")
+	flag.StringVar(&c.criterion, "criterion", "divergence", "tree split criterion: divergence or entropy")
+	flag.StringVar(&c.mode, "mode", "hierarchical", "exploration mode: hierarchical or base")
+	flag.StringVar(&c.algorithm, "algorithm", "fpgrowth", "miner: fpgrowth or apriori")
+	flag.BoolVar(&c.polarity, "polarity", false, "enable polarity pruning")
+	flag.IntVar(&c.maxLen, "maxlen", 0, "max itemset length (0 = unlimited)")
+	flag.IntVar(&c.top, "top", 20, "number of subgroups to print")
+	flag.Float64Var(&c.minT, "mint", 0, "only print subgroups with |t| at least this")
+	flag.StringVar(&c.format, "format", "text", "output format: text, csv or json")
+	flag.IntVar(&c.workers, "workers", 0, "parallel mining goroutines (0 = serial)")
+	flag.BoolVar(&c.trace, "trace", false, "print the pipeline span tree and counters to stderr")
+	flag.StringVar(&c.traceJSON, "trace-json", "", "write the trace snapshot as JSON to this file")
+	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&c.memProfile, "memprofile", "", "write a heap profile to this file")
 	flag.Parse()
-	if err := run(*dataPath, *actualCol, *predCol, *targetCol, *stat, *criterion, *mode, *algorithm, *format,
-		*s, *st, *minT, *polarity, *maxLen, *top, *workers); err != nil {
+	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "hdivexplorer:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, actualCol, predCol, targetCol, stat, criterion, mode, algorithm, format string,
-	s, st, minT float64, polarity bool, maxLen, top, workers int) error {
-	if dataPath == "" {
+func run(c cliConfig) error {
+	if c.stdout == nil {
+		c.stdout = os.Stdout
+	}
+	if c.stderr == nil {
+		c.stderr = os.Stderr
+	}
+	if c.dataPath == "" {
 		return fmt.Errorf("-data is required")
 	}
-	tab, err := hdiv.ReadCSVFile(dataPath, hdiv.CSVOptions{})
+
+	if c.cpuProfile != "" {
+		f, err := os.Create(c.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var tracer *hdiv.Tracer
+	if c.trace || c.traceJSON != "" {
+		tracer = hdiv.NewTracer()
+	}
+
+	tab, err := hdiv.ReadCSVFile(c.dataPath, hdiv.CSVOptions{Tracer: tracer})
 	if err != nil {
 		return err
 	}
 
-	o, exclude, err := buildOutcome(tab, stat, actualCol, predCol, targetCol)
+	o, exclude, err := buildOutcome(tab, c.stat, c.actualCol, c.predCol, c.targetCol)
 	if err != nil {
 		return err
 	}
 
 	opt := hdiv.PipelineOptions{
-		TreeSupport:   st,
-		MinSupport:    s,
-		MaxLen:        maxLen,
-		PolarityPrune: polarity,
-		Workers:       workers,
+		TreeSupport:   c.st,
+		MinSupport:    c.s,
+		MaxLen:        c.maxLen,
+		PolarityPrune: c.polarity,
+		Workers:       c.workers,
 		Exclude:       exclude,
+		Tracer:        tracer,
 	}
-	switch strings.ToLower(criterion) {
+	switch strings.ToLower(c.criterion) {
 	case "divergence":
 		opt.Criterion = hdiv.DivergenceGain
 	case "entropy":
 		opt.Criterion = hdiv.EntropyGain
 	default:
-		return fmt.Errorf("unknown criterion %q", criterion)
+		return fmt.Errorf("unknown criterion %q", c.criterion)
 	}
-	switch strings.ToLower(mode) {
+	switch strings.ToLower(c.mode) {
 	case "hierarchical":
 		opt.Mode = hdiv.Hierarchical
 	case "base":
 		opt.Mode = hdiv.Base
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return fmt.Errorf("unknown mode %q", c.mode)
 	}
-	switch strings.ToLower(algorithm) {
+	switch strings.ToLower(c.algorithm) {
 	case "fpgrowth", "fp-growth":
 		opt.Algorithm = hdiv.FPGrowth
 	case "apriori":
 		opt.Algorithm = hdiv.Apriori
 	default:
-		return fmt.Errorf("unknown algorithm %q", algorithm)
+		return fmt.Errorf("unknown algorithm %q", c.algorithm)
 	}
 
 	rep, err := hdiv.Pipeline(tab, o, opt)
 	if err != nil {
 		return err
 	}
-	switch strings.ToLower(format) {
+
+	if err := emitTrace(c, rep.Trace); err != nil {
+		return err
+	}
+	if c.memProfile != "" {
+		f, err := os.Create(c.memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile reflects live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("writing heap profile: %w", err)
+		}
+	}
+
+	switch strings.ToLower(c.format) {
 	case "csv":
-		return rep.WriteCSV(os.Stdout)
+		return rep.WriteCSV(c.stdout)
 	case "json":
 		raw, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
 			return err
 		}
-		_, err = os.Stdout.Write(append(raw, '\n'))
+		_, err = c.stdout.Write(append(raw, '\n'))
 		return err
 	case "text":
 		// fall through to the aligned text report below
 	default:
-		return fmt.Errorf("unknown format %q", format)
+		return fmt.Errorf("unknown format %q", c.format)
 	}
-	fmt.Printf("dataset: %d rows, %d items explored, %s=%.4f overall\n",
+	fmt.Fprintf(c.stdout, "dataset: %d rows, %d items explored, %s=%.4f overall\n",
 		rep.NumRows, rep.NumItems, o.Name, rep.Global)
-	fmt.Printf("frequent subgroups: %d (mining %v)\n\n", len(rep.Subgroups), rep.Elapsed)
-	if minT > 0 {
-		filtered := rep.FilterMinT(minT)
+	fmt.Fprintf(c.stdout, "frequent subgroups: %d (mining %v)\n", len(rep.Subgroups), rep.Elapsed)
+	fmt.Fprintf(c.stdout, "mining: %d candidates, %d pruned by support, %d pruned by polarity\n\n",
+		rep.Mining.Candidates, rep.Mining.PrunedSupport, rep.Mining.PrunedPolarity)
+	if c.minT > 0 {
+		filtered := rep.FilterMinT(c.minT)
+		top := c.top
 		if top > len(filtered) {
 			top = len(filtered)
 		}
 		for _, sg := range filtered[:top] {
-			fmt.Println(sg.String())
+			fmt.Fprintln(c.stdout, sg.String())
 		}
 		return nil
 	}
-	fmt.Print(rep.Table(top))
+	fmt.Fprint(c.stdout, rep.Table(c.top))
+	return nil
+}
+
+// emitTrace writes the trace per -trace (human tree on stderr) and
+// -trace-json (snapshot file).
+func emitTrace(c cliConfig, tr *hdiv.Trace) error {
+	if tr == nil {
+		return nil
+	}
+	if c.trace {
+		fmt.Fprint(c.stderr, tr.Tree())
+	}
+	if c.traceJSON != "" {
+		f, err := os.Create(c.traceJSON)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tr.WriteJSON(f); err != nil {
+			return fmt.Errorf("writing trace JSON: %w", err)
+		}
+	}
 	return nil
 }
 

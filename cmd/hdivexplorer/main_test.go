@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	hdiv "repro"
@@ -94,8 +98,10 @@ func TestBuildOutcome(t *testing.T) {
 	}
 }
 
-func TestRunEndToEnd(t *testing.T) {
-	// Build a CSV with a planted anomaly and run the full CLI path.
+// anomalyCSV writes a CSV with a planted anomaly (the x > 80 tail is
+// mispredicted) and returns its path.
+func anomalyCSV(t *testing.T) string {
+	t.Helper()
 	n := 600
 	x := make([]float64, n)
 	y := make([]string, n)
@@ -124,48 +130,170 @@ func TestRunEndToEnd(t *testing.T) {
 	if err := tab.WriteCSVFile(path); err != nil {
 		t.Fatal(err)
 	}
+	return path
+}
 
-	// Silence stdout during run.
-	old := os.Stdout
-	devNull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
+func TestRunEndToEnd(t *testing.T) {
+	path := anomalyCSV(t)
+
+	// base returns the default flag values targeting the sample CSV, with
+	// output discarded.
+	base := func() cliConfig {
+		return cliConfig{
+			dataPath: path, actualCol: "y", predCol: "p",
+			stat: "error", criterion: "divergence", mode: "hierarchical",
+			algorithm: "fpgrowth", format: "text",
+			s: 0.05, st: 0.1, top: 5,
+			stdout: io.Discard, stderr: io.Discard,
+		}
+	}
+
+	if err := run(base()); err != nil {
 		t.Fatal(err)
 	}
-	os.Stdout = devNull
-	defer func() { os.Stdout = old }()
-
-	if err := run(path, "y", "p", "", "error", "divergence", "hierarchical", "fpgrowth", "text",
-		0.05, 0.1, 0, false, 0, 5, 0); err != nil {
-		t.Fatal(err)
-	}
-	if err := run(path, "y", "p", "", "error", "entropy", "base", "apriori", "text",
-		0.05, 0.1, 2, true, 2, 5, 2); err != nil {
+	alt := base()
+	alt.criterion, alt.mode, alt.algorithm = "entropy", "base", "apriori"
+	alt.minT, alt.polarity, alt.maxLen, alt.workers = 2, true, 2, 2
+	if err := run(alt); err != nil {
 		t.Fatal(err)
 	}
 	for _, format := range []string{"csv", "json"} {
-		if err := run(path, "y", "p", "", "error", "divergence", "hierarchical", "fpgrowth", format,
-			0.05, 0.1, 0, false, 0, 5, 0); err != nil {
+		c := base()
+		c.format = format
+		if err := run(c); err != nil {
 			t.Fatalf("%s: %v", format, err)
 		}
 	}
 
 	// Error paths.
-	if err := run("", "y", "p", "", "error", "divergence", "hierarchical", "fpgrowth", "text", 0.05, 0.1, 0, false, 0, 5, 0); err == nil {
-		t.Error("missing -data should fail")
+	for name, mutate := range map[string]func(*cliConfig){
+		"missing -data": func(c *cliConfig) { c.dataPath = "" },
+		"bad criterion": func(c *cliConfig) { c.criterion = "nope" },
+		"bad mode":      func(c *cliConfig) { c.mode = "nope" },
+		"bad algorithm": func(c *cliConfig) { c.algorithm = "nope" },
+		"bad format":    func(c *cliConfig) { c.format = "nope" },
+		"missing file":  func(c *cliConfig) { c.dataPath += ".missing" },
+		"bad stat":      func(c *cliConfig) { c.stat = "nope" },
+	} {
+		c := base()
+		mutate(&c)
+		if err := run(c); err == nil {
+			t.Errorf("%s should fail", name)
+		}
 	}
-	if err := run(path, "y", "p", "", "error", "nope", "hierarchical", "fpgrowth", "text", 0.05, 0.1, 0, false, 0, 5, 0); err == nil {
-		t.Error("bad criterion should fail")
+}
+
+// TestTraceOutputs exercises -trace, -trace-json, -cpuprofile and
+// -memprofile: the human tree goes to stderr, the JSON snapshot covers
+// the four pipeline stages (parse, discretize, mine, rank) with the
+// pruning counters, and both pprof files are produced.
+func TestTraceOutputs(t *testing.T) {
+	path := anomalyCSV(t)
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "trace.json")
+	var out, errBuf bytes.Buffer
+	c := cliConfig{
+		dataPath: path, actualCol: "y", predCol: "p",
+		stat: "fpr", criterion: "divergence", mode: "hierarchical",
+		algorithm: "fpgrowth", format: "text",
+		s: 0.05, st: 0.1, top: 5, polarity: true,
+		trace: true, traceJSON: jsonPath,
+		cpuProfile: filepath.Join(dir, "cpu.pprof"),
+		memProfile: filepath.Join(dir, "mem.pprof"),
+		stdout:     &out, stderr: &errBuf,
 	}
-	if err := run(path, "y", "p", "", "error", "divergence", "nope", "fpgrowth", "text", 0.05, 0.1, 0, false, 0, 5, 0); err == nil {
-		t.Error("bad mode should fail")
+	if err := run(c); err != nil {
+		t.Fatal(err)
 	}
-	if err := run(path, "y", "p", "", "error", "divergence", "hierarchical", "nope", "text", 0.05, 0.1, 0, false, 0, 5, 0); err == nil {
-		t.Error("bad algorithm should fail")
+
+	for _, want := range []string{"read_csv", "discretize", "explore", "mine", "counters:"} {
+		if !strings.Contains(errBuf.String(), want) {
+			t.Errorf("-trace stderr missing %q:\n%s", want, errBuf.String())
+		}
 	}
-	if err := run(path, "y", "p", "", "error", "divergence", "hierarchical", "fpgrowth", "nope", 0.05, 0.1, 0, false, 0, 5, 0); err == nil {
-		t.Error("bad format should fail")
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if err := run(path+".missing", "y", "p", "", "error", "divergence", "hierarchical", "fpgrowth", "text", 0.05, 0.1, 0, false, 0, 5, 0); err == nil {
-		t.Error("missing file should fail")
+	var trace struct {
+		Spans []struct {
+			Name  string `json:"name"`
+			DurNS int64  `json:"dur_ns"`
+		} `json:"spans"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("-trace-json output is not parseable JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, s := range trace.Spans {
+		names[s.Name] = true
+		if s.DurNS < 0 {
+			t.Errorf("span %s has negative duration", s.Name)
+		}
+	}
+	for _, want := range []string{"read_csv", "read_csv.parse", "discretize", "discretize.tree:x", "explore", "explore.universe", "mine", "explore.rank"} {
+		if !names[want] {
+			t.Errorf("trace JSON missing span %q (have %v)", want, names)
+		}
+	}
+	for _, want := range []string{"fpm.candidates", "fpm.pruned_support", "fpm.pruned_polarity", "fpm.itemsets_emitted", "dataset.rows"} {
+		if _, ok := trace.Counters[want]; !ok {
+			t.Errorf("trace JSON missing counter %q (have %v)", want, trace.Counters)
+		}
+	}
+	if trace.Counters["dataset.rows"] != 600 {
+		t.Errorf("dataset.rows = %d, want 600", trace.Counters["dataset.rows"])
+	}
+
+	for _, p := range []string{c.cpuProfile, c.memProfile} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestJSONIncludesRunStats asserts -format json carries the run metadata
+// (elapsed time, universe size, mining counters), not just subgroups.
+func TestJSONIncludesRunStats(t *testing.T) {
+	path := anomalyCSV(t)
+	var out bytes.Buffer
+	c := cliConfig{
+		dataPath: path, actualCol: "y", predCol: "p",
+		stat: "error", criterion: "divergence", mode: "hierarchical",
+		algorithm: "fpgrowth", format: "json",
+		s: 0.05, st: 0.1, top: 5,
+		stdout: &out, stderr: io.Discard,
+	}
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Global    float64 `json:"global"`
+		NumRows   int     `json:"num_rows"`
+		NumItems  int     `json:"num_items"`
+		ElapsedMS float64 `json:"elapsed_ms"`
+		Mining    struct {
+			Candidates int `json:"candidates"`
+			Frequent   int `json:"frequent"`
+		} `json:"mining"`
+		Subgroups []json.RawMessage `json:"subgroups"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumRows != 600 || rep.NumItems == 0 {
+		t.Errorf("sizes wrong: %+v", rep)
+	}
+	if rep.ElapsedMS <= 0 {
+		t.Errorf("elapsed_ms missing: %v", rep.ElapsedMS)
+	}
+	if rep.Mining.Candidates == 0 || rep.Mining.Frequent != len(rep.Subgroups) {
+		t.Errorf("mining stats wrong: %+v with %d subgroups", rep.Mining, len(rep.Subgroups))
 	}
 }

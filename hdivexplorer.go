@@ -36,8 +36,26 @@ import (
 	"repro/internal/discretize"
 	"repro/internal/fpm"
 	"repro/internal/hierarchy"
+	"repro/internal/obs"
 	"repro/internal/outcome"
 )
+
+// Observability.
+type (
+	// Tracer collects hierarchical spans, counters and gauges across the
+	// pipeline; a nil *Tracer disables collection at no cost.
+	Tracer = obs.Tracer
+	// TraceSpan is one timed region of a trace.
+	TraceSpan = obs.Span
+	// Trace is an immutable tracer snapshot (JSON-marshalable; renders a
+	// human-readable span tree via Tree).
+	Trace = obs.Trace
+)
+
+// NewTracer returns an empty tracer whose clock starts now. Set it on
+// CSVOptions, PipelineOptions or ExploreConfig to instrument a run; the
+// resulting Report.Trace holds the snapshot.
+func NewTracer() *Tracer { return obs.New() }
 
 // Dataset substrate.
 type (
@@ -207,6 +225,11 @@ type PipelineOptions struct {
 	Taxonomies []*Hierarchy
 	// Exclude lists attributes to leave out of the exploration entirely.
 	Exclude []string
+	// Tracer, when non-nil, instruments the whole pipeline — tree
+	// discretization, universe build, mining, ranking — with spans and
+	// counters; the report's Trace field receives the snapshot. Thread the
+	// same tracer through CSVOptions to cover parsing too.
+	Tracer *Tracer
 }
 
 // Pipeline runs the full H-DivExplorer pipeline on a table: divergence-
@@ -230,6 +253,7 @@ func Pipeline(t *Table, o *Outcome, opt PipelineOptions) (*Report, error) {
 	hs, err := discretize.TreeSet(t, o, discretize.TreeOptions{
 		Criterion:  opt.Criterion,
 		MinSupport: opt.TreeSupport,
+		Tracer:     opt.Tracer,
 	}, opt.Exclude...)
 	if err != nil {
 		return nil, err
@@ -256,5 +280,6 @@ func Pipeline(t *Table, o *Outcome, opt PipelineOptions) (*Report, error) {
 		Algorithm:     opt.Algorithm,
 		Mode:          opt.Mode,
 		Workers:       opt.Workers,
+		Tracer:        opt.Tracer,
 	})
 }

@@ -10,7 +10,9 @@ import (
 	"strconv"
 
 	"repro/internal/dataset"
+	"repro/internal/fpm"
 	"repro/internal/hierarchy"
+	"repro/internal/obs"
 	"repro/internal/outcome"
 	"repro/internal/stats"
 )
@@ -207,19 +209,27 @@ type subgroupJSON struct {
 
 // reportJSON is the serialization shape of a report.
 type reportJSON struct {
-	Global    float64        `json:"global"`
-	NumRows   int            `json:"num_rows"`
-	NumItems  int            `json:"num_items"`
-	Subgroups []subgroupJSON `json:"subgroups"`
+	Global    float64         `json:"global"`
+	NumRows   int             `json:"num_rows"`
+	NumItems  int             `json:"num_items"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Mining    fpm.MiningStats `json:"mining"`
+	Subgroups []subgroupJSON  `json:"subgroups"`
+	Trace     *obs.Trace      `json:"trace,omitempty"`
 }
 
-// MarshalJSON serializes the report (global statistic plus every subgroup
-// with its itemset, support, divergence, t and p-value).
+// MarshalJSON serializes the report: global statistic, dataset and
+// universe sizes, mining time and counters, every subgroup (itemset,
+// support, divergence, t, p-value), and — when the exploration ran with a
+// tracer — the full trace snapshot.
 func (r *Report) MarshalJSON() ([]byte, error) {
 	out := reportJSON{
-		Global:   r.Global,
-		NumRows:  r.NumRows,
-		NumItems: r.NumItems,
+		Global:    r.Global,
+		NumRows:   r.NumRows,
+		NumItems:  r.NumItems,
+		ElapsedMS: float64(r.Elapsed.Nanoseconds()) / 1e6,
+		Mining:    r.Mining,
+		Trace:     r.Trace,
 	}
 	for i := range r.Subgroups {
 		sg := &r.Subgroups[i]

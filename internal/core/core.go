@@ -22,6 +22,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/fpm"
 	"repro/internal/hierarchy"
+	"repro/internal/obs"
 	"repro/internal/outcome"
 )
 
@@ -69,6 +70,13 @@ type Config struct {
 	// Workers enables parallel mining (0 or 1 = serial). Results are
 	// identical regardless of the setting.
 	Workers int
+	// Tracer, when non-nil, receives exploration spans (universe build,
+	// mining, ranking) and the fpm.* counters; the report's Trace field is
+	// set to its snapshot. Nil disables all collection.
+	Tracer *obs.Tracer
+
+	// span nests exploration under an enclosing span (internal).
+	span *obs.Span
 }
 
 // Subgroup is one explored data subgroup.
@@ -107,6 +115,11 @@ type Report struct {
 	Elapsed time.Duration
 	// Mining reports candidate/frequent counts from the miner.
 	Mining fpm.MiningStats
+	// Trace is the observability snapshot (spans, counters, gauges) when
+	// the exploration ran with a Config.Tracer; nil otherwise. It covers
+	// everything the tracer saw, including upstream parse/discretize spans
+	// when the same tracer was threaded through the whole pipeline.
+	Trace *obs.Trace
 
 	// byKey lazily indexes subgroups by canonical itemset key for the
 	// lattice-navigation helpers.
@@ -124,21 +137,51 @@ func Explore(t *dataset.Table, cfg Config) (*Report, error) {
 	if err := cfg.Hierarchies.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid hierarchies: %w", err)
 	}
-	var u *fpm.Universe
 	switch cfg.Mode {
-	case Hierarchical:
-		u = fpm.GeneralizedUniverse(t, cfg.Hierarchies, cfg.Outcome)
-	case Base:
-		u = fpm.BaseUniverse(t, cfg.Hierarchies, cfg.Outcome)
+	case Hierarchical, Base:
 	default:
 		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
 	}
-	return ExploreUniverse(u, cfg)
+	span := cfg.Tracer.Start(obs.SpanExplore)
+	cfg.span = span
+	us := span.Start(obs.SpanUniverse)
+	var u *fpm.Universe
+	if cfg.Mode == Hierarchical {
+		u = fpm.GeneralizedUniverse(t, cfg.Hierarchies, cfg.Outcome)
+	} else {
+		u = fpm.BaseUniverse(t, cfg.Hierarchies, cfg.Outcome)
+	}
+	us.End()
+	rep, err := exploreUniverse(u, cfg)
+	span.End()
+	if err == nil {
+		rep.snapshotTrace(cfg.Tracer)
+	}
+	return rep, err
 }
 
 // ExploreUniverse runs the exploration over a prebuilt item universe; use
 // this to supply a custom item set.
 func ExploreUniverse(u *fpm.Universe, cfg Config) (*Report, error) {
+	span := cfg.span
+	owned := span == nil // Explore manages the span (and snapshot) itself
+	if owned {
+		span = cfg.Tracer.Start(obs.SpanExplore)
+		cfg.span = span
+	}
+	rep, err := exploreUniverse(u, cfg)
+	if owned {
+		span.End()
+		if err == nil {
+			rep.snapshotTrace(cfg.Tracer)
+		}
+	}
+	return rep, err
+}
+
+// exploreUniverse is the shared mining+ranking body; cfg.span (possibly
+// nil) encloses the emitted spans.
+func exploreUniverse(u *fpm.Universe, cfg Config) (*Report, error) {
 	start := time.Now()
 	res, err := fpm.Mine(u, cfg.Outcome, fpm.Options{
 		MinSupport:    cfg.MinSupport,
@@ -146,12 +189,18 @@ func ExploreUniverse(u *fpm.Universe, cfg Config) (*Report, error) {
 		PolarityPrune: cfg.PolarityPrune,
 		Algorithm:     cfg.Algorithm,
 		Workers:       cfg.Workers,
+		Tracer:        cfg.Tracer,
+		TraceParent:   cfg.span,
 	})
 	if err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
 
+	rank := cfg.span.Start(obs.SpanRank)
+	if rank == nil {
+		rank = cfg.Tracer.Start(obs.SpanRank)
+	}
 	fpm.SortByDivergence(res.Itemsets, cfg.Outcome, false, false)
 	rep := &Report{
 		Global:   cfg.Outcome.GlobalMean(),
@@ -172,7 +221,16 @@ func ExploreUniverse(u *fpm.Universe, cfg Config) (*Report, error) {
 			T:          cfg.Outcome.TValueFromMoments(m.M),
 		}
 	}
+	rank.End()
 	return rep, nil
+}
+
+// snapshotTrace attaches the tracer's snapshot to the report (no-op on a
+// nil tracer).
+func (r *Report) snapshotTrace(t *obs.Tracer) {
+	if t != nil {
+		r.Trace = t.Snapshot()
+	}
 }
 
 // TopK returns the k subgroups with largest |divergence| (fewer if the

@@ -8,6 +8,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // CSVOptions controls CSV parsing.
@@ -21,6 +23,9 @@ type CSVOptions struct {
 	// become NaN; missing categorical values become the level "?".
 	// Defaults to {"", "?", "NA"} when nil.
 	MissingTokens []string
+	// Tracer, when non-nil, receives parse/inference spans and row/column
+	// counters for the read.
+	Tracer *obs.Tracer
 }
 
 func (o CSVOptions) missing() map[string]bool {
@@ -39,12 +44,17 @@ func (o CSVOptions) missing() map[string]bool {
 // kind: a column where every non-missing value parses as a float becomes
 // continuous, otherwise categorical.
 func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
+	span := opts.Tracer.Start(obs.SpanReadCSV)
+	defer span.End()
+
 	cr := csv.NewReader(r)
 	if opts.Comma != 0 {
 		cr.Comma = opts.Comma
 	}
 	cr.TrimLeadingSpace = true
+	parseSpan := span.Start(obs.SpanCSVParse)
 	records, err := cr.ReadAll()
+	parseSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("dataset: reading CSV: %w", err)
 	}
@@ -59,6 +69,9 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
 		force[n] = true
 	}
 
+	colSpan := span.Start(obs.SpanCSVColumns)
+	defer colSpan.End()
+	continuous, categorical := 0, 0
 	b := NewBuilder()
 	for j, name := range header {
 		name = strings.TrimSpace(name)
@@ -86,6 +99,7 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
 				vals[i] = v
 			}
 			b.AddFloat(name, vals)
+			continuous++
 		} else {
 			for i, s := range raw {
 				if missing[s] {
@@ -93,7 +107,14 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
 				}
 			}
 			b.AddCategorical(name, raw)
+			categorical++
 		}
+	}
+	if tr := opts.Tracer; tr != nil {
+		tr.Counter(obs.CtrRows).Add(int64(len(rows)))
+		tr.Counter(obs.CtrCols).Add(int64(len(header)))
+		tr.Counter(obs.CtrColsContinuous).Add(int64(continuous))
+		tr.Counter(obs.CtrColsCategorical).Add(int64(categorical))
 	}
 	return b.Build()
 }

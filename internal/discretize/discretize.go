@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/hierarchy"
+	"repro/internal/obs"
 	"repro/internal/outcome"
 	"repro/internal/stats"
 )
@@ -61,6 +62,13 @@ type TreeOptions struct {
 	MinSupport float64
 	// MaxDepth bounds the tree depth below the root; 0 means unlimited.
 	MaxDepth int
+	// Tracer, when non-nil, receives a span per attribute tree plus
+	// counters for nodes grown and splits rejected.
+	Tracer *obs.Tracer
+
+	// parent nests the per-attribute spans under an enclosing span
+	// (set by TreeSet).
+	parent *obs.Span
 }
 
 // Tree builds the item hierarchy for one continuous attribute by recursive
@@ -80,6 +88,12 @@ func Tree(t *dataset.Table, attr string, o *outcome.Outcome, opts TreeOptions) (
 	if opts.Criterion == EntropyGain && !o.Boolean {
 		return nil, fmt.Errorf("discretize: entropy criterion requires a boolean outcome, %q is not", o.Name)
 	}
+
+	span := opts.parent.Start(obs.SpanTreePrefix + attr)
+	if span == nil {
+		span = opts.Tracer.Start(obs.SpanTreePrefix + attr)
+	}
+	defer span.End()
 
 	vals := t.Floats(attr)
 	// Sort row order by attribute value, dropping NaNs.
@@ -123,16 +137,26 @@ func Tree(t *dataset.Table, attr string, o *outcome.Outcome, opts TreeOptions) (
 	queue := []task{{node: 0, a: 0, b: n, lo: math.Inf(-1), hi: math.Inf(1), depth: 0}}
 	g := gainer{criterion: opts.Criterion, total: float64(total), prefValid: prefValid, prefSum: prefSum}
 
+	cNodes := opts.Tracer.Counter(obs.CtrTreeNodes)
+	cNoSupport := opts.Tracer.Counter(obs.CtrSplitsNoSupport)
+	cNoGain := opts.Tracer.Counter(obs.CtrSplitsNoGain)
+
 	for len(queue) > 0 {
 		tk := queue[0]
 		queue = queue[1:]
 		if opts.MaxDepth > 0 && tk.depth >= opts.MaxDepth {
 			continue
 		}
-		p, gain := g.bestSplit(tk.a, tk.b, sorted, minRows)
-		if p < 0 || gain <= 0 {
+		if tk.b-tk.a < 2*minRows {
+			cNoSupport.Add(1)
 			continue
 		}
+		p, gain := g.bestSplit(tk.a, tk.b, sorted, minRows)
+		if p < 0 || gain <= 0 {
+			cNoGain.Add(1)
+			continue
+		}
+		cNodes.Add(2)
 		cut := sorted[p-1]
 		left := h.AddChild(tk.node, hierarchy.ContinuousItem(attr, tk.lo, cut))
 		right := h.AddChild(tk.node, hierarchy.ContinuousItem(attr, cut, tk.hi))
@@ -223,6 +247,12 @@ func TreeSet(t *dataset.Table, o *outcome.Outcome, opts TreeOptions, exclude ...
 	for _, e := range exclude {
 		skip[e] = true
 	}
+	span := opts.parent.Start(obs.SpanDiscretize)
+	if span == nil {
+		span = opts.Tracer.Start(obs.SpanDiscretize)
+	}
+	defer span.End()
+	opts.parent = span
 	set := hierarchy.NewSet()
 	for _, f := range t.Fields() {
 		if f.Kind != dataset.Continuous || skip[f.Name] {

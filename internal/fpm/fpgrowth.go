@@ -3,6 +3,7 @@ package fpm
 import (
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/outcome"
 	"repro/internal/stats"
 )
@@ -80,16 +81,19 @@ type weightedPath struct {
 // base of an item excludes items of the same attribute (its hierarchy
 // ancestors/descendants), which enforces the one-item-per-attribute rule of
 // generalized itemsets.
-func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int) *Result {
+func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int, span *obs.Span) *Result {
 	res := &Result{}
 
 	// Global frequent items, ranked by support descending (ties by index).
+	scan := span.Start(obs.SpanMineScan)
 	type freq struct{ item, count int }
 	var fr []freq
 	for i := range u.Items {
 		res.Stats.Candidates++
 		if c := u.Rows[i].Count(); c >= minCount {
 			fr = append(fr, freq{i, c})
+		} else {
+			res.Stats.PrunedSupport++
 		}
 	}
 	sort.Slice(fr, func(a, b int) bool {
@@ -102,7 +106,9 @@ func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int) *R
 	for i, f := range fr {
 		order[i] = f.item
 	}
+	scan.End()
 
+	build := span.Start(obs.SpanMineBuild)
 	tree := newFPTree(order)
 
 	// Build per-row transactions: the frequent items covering each row, in
@@ -123,6 +129,7 @@ func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int) *R
 		}
 		tree.insert(items, 1, m)
 	}
+	build.End()
 
 	// branch mines the suffix {item}+suffix rooted at one header item of
 	// tree t, appending to the local accumulator. Branches of distinct
@@ -148,6 +155,9 @@ func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int) *R
 		sorted := append([]int(nil), itemset...)
 		sort.Ints(sorted)
 		acc.itemsets = append(acc.itemsets, MinedItemset{Items: sorted, Count: total, M: m})
+		if len(itemset) > acc.maxDepth {
+			acc.maxDepth = len(itemset)
+		}
 
 		if opt.MaxLen > 0 && len(itemset) >= opt.MaxLen {
 			return
@@ -165,6 +175,7 @@ func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int) *R
 					continue
 				}
 				if opt.PolarityPrune && u.Polarity[p.item] != u.Polarity[it] {
+					acc.prunedPolarity++
 					continue
 				}
 				path = append(path, p.item)
@@ -187,6 +198,8 @@ func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int) *R
 			acc.candidates++
 			if condCount[oi] >= minCount {
 				condOrder = append(condOrder, oi)
+			} else {
+				acc.prunedSupport++
 			}
 		}
 		if len(condOrder) == 0 {
@@ -214,21 +227,33 @@ func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int) *R
 	// Top-level branches, least-frequent first, optionally in parallel.
 	// Each branch accumulates locally; concatenating in branch order makes
 	// the output identical to the serial traversal.
+	grow := span.Start(obs.SpanMineGrow)
 	nBranch := len(tree.order)
 	locals := make([]fpLocal, nBranch)
-	parallelFor(nBranch, opt.Workers, func(j int) {
+	parallelFor(nBranch, opt.Workers, opt.Tracer, func(j int) {
 		idx := nBranch - 1 - j
 		local(&locals[j], tree, idx, nil)
 	})
+	maxDepth := 0
 	for j := range locals {
 		res.Itemsets = append(res.Itemsets, locals[j].itemsets...)
 		res.Stats.Candidates += locals[j].candidates
+		res.Stats.PrunedSupport += locals[j].prunedSupport
+		res.Stats.PrunedPolarity += locals[j].prunedPolarity
+		if locals[j].maxDepth > maxDepth {
+			maxDepth = locals[j].maxDepth
+		}
 	}
+	grow.End()
+	opt.Tracer.MaxGauge(obs.GaugeMaxDepth, float64(maxDepth))
 	return res
 }
 
 // fpLocal accumulates one FP-Growth branch's results.
 type fpLocal struct {
-	itemsets   []MinedItemset
-	candidates int
+	itemsets       []MinedItemset
+	candidates     int
+	prunedSupport  int
+	prunedPolarity int
+	maxDepth       int
 }

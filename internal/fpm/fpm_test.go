@@ -489,7 +489,7 @@ func TestParallelForCoversAll(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 8, 100} {
 		n := 57
 		hit := make([]atomicBool, n)
-		parallelFor(n, workers, func(i int) { hit[i].Store(true) })
+		parallelFor(n, workers, nil, func(i int) { hit[i].Store(true) })
 		for i := range hit {
 			if !hit[i].Load() {
 				t.Fatalf("workers=%d: index %d not visited", workers, i)
@@ -497,9 +497,9 @@ func TestParallelForCoversAll(t *testing.T) {
 		}
 	}
 	// n == 0 and n == 1 edge cases.
-	parallelFor(0, 4, func(int) { t.Fatal("should not be called") })
+	parallelFor(0, 4, nil, func(int) { t.Fatal("should not be called") })
 	called := 0
-	parallelFor(1, 4, func(int) { called++ })
+	parallelFor(1, 4, nil, func(int) { called++ })
 	if called != 1 {
 		t.Fatal("n=1 not called exactly once")
 	}

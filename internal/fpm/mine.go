@@ -3,11 +3,13 @@ package fpm
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/bitvec"
+	"repro/internal/obs"
 	"repro/internal/outcome"
 	"repro/internal/stats"
 )
@@ -47,17 +49,34 @@ type Options struct {
 	// Algorithm selects Apriori or FPGrowth.
 	Algorithm Algorithm
 	// Workers enables parallel mining with the given number of goroutines.
-	// 0 or 1 runs serially. Results are identical and deterministically
-	// ordered regardless of Workers.
+	// 0 or 1 runs serially; values above the task count or GOMAXPROCS are
+	// clamped. Results are identical and deterministically ordered
+	// regardless of Workers.
 	Workers int
+	// Tracer, when non-nil, receives mining spans, the fpm.* counters and
+	// the worker-utilization gauges.
+	Tracer *obs.Tracer
+	// TraceParent optionally nests the mining span under an existing span
+	// (e.g. core's explore span). When nil, spans are emitted top-level on
+	// Tracer.
+	TraceParent *obs.Span
 }
 
-// MiningStats reports work done by a mining run.
+// MiningStats reports work done by a mining run. All fields are
+// deterministic for a given universe and options, independent of Workers.
 type MiningStats struct {
 	// Candidates is the number of itemsets whose support was evaluated.
-	Candidates int
+	Candidates int `json:"candidates"`
 	// Frequent is the number of frequent itemsets found.
-	Frequent int
+	Frequent int `json:"frequent"`
+	// PrunedSupport counts candidates discarded as infrequent, including
+	// Apriori's subset-infrequency prunes.
+	PrunedSupport int `json:"pruned_support"`
+	// PrunedPolarity counts combinations skipped by polarity pruning
+	// (§V-C): Apriori joins rejected for mixed polarity, and FP-Growth
+	// conditional-pattern-base entries excluded for opposite polarity.
+	// Always 0 when Options.PolarityPrune is off.
+	PrunedPolarity int `json:"pruned_polarity"`
 }
 
 // Result is the output of Mine: all frequent itemsets (length ≥ 1) with
@@ -84,17 +103,32 @@ func Mine(u *Universe, o *outcome.Outcome, opt Options) (*Result, error) {
 	if minCount < 1 {
 		minCount = 1
 	}
+	if opt.Tracer == nil {
+		opt.Tracer = opt.TraceParent.Tracer()
+	}
+	span := opt.TraceParent.Start(obs.SpanMine)
+	if span == nil {
+		span = opt.Tracer.Start(obs.SpanMine)
+	}
 	var res *Result
 	switch opt.Algorithm {
 	case Apriori:
-		res = mineApriori(u, o, opt, minCount)
+		res = mineApriori(u, o, opt, minCount, span)
 	case FPGrowth:
-		res = mineFPGrowth(u, o, opt, minCount)
+		res = mineFPGrowth(u, o, opt, minCount, span)
 	default:
+		span.End()
 		return nil, fmt.Errorf("fpm: unknown algorithm %v", opt.Algorithm)
 	}
 	res.NumRows = u.NumRows
 	res.Stats.Frequent = len(res.Itemsets)
+	span.End()
+	if tr := opt.Tracer; tr != nil {
+		tr.Counter(obs.CtrCandidates).Add(int64(res.Stats.Candidates))
+		tr.Counter(obs.CtrPrunedSupport).Add(int64(res.Stats.PrunedSupport))
+		tr.Counter(obs.CtrPrunedPolarity).Add(int64(res.Stats.PrunedPolarity))
+		tr.Counter(obs.CtrItemsetsEmitted).Add(int64(res.Stats.Frequent))
+	}
 	return res, nil
 }
 
@@ -114,7 +148,7 @@ func momentsOf(rows *bitvec.Vector, o *outcome.Outcome) (m stats.Moments) {
 // items; the two differing items must constrain different attributes (the
 // generalized-itemset rule) and, under polarity pruning, share polarity.
 // Candidates with an infrequent (k−1)-subset are pruned before counting.
-func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int) *Result {
+func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int, span *obs.Span) *Result {
 	res := &Result{}
 
 	type entry struct {
@@ -123,10 +157,12 @@ func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int) *Re
 	}
 
 	// Level 1.
+	scan := span.Start(obs.SpanMineScan)
 	var level []entry
 	for i := range u.Items {
 		res.Stats.Candidates++
 		if u.Rows[i].Count() < minCount {
+			res.Stats.PrunedSupport++
 			continue
 		}
 		level = append(level, entry{items: []int{i}, rows: u.Rows[i]})
@@ -137,11 +173,15 @@ func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int) *Re
 		})
 	}
 
+	scan.End()
+
 	frequent := map[string]bool{}
 	for _, e := range level {
 		frequent[key(e.items)] = true
 	}
 
+	levels := span.Start(obs.SpanMineLevels)
+	defer levels.End()
 	for k := 2; opt.MaxLen == 0 || k <= opt.MaxLen; k++ {
 		// Phase 1: candidate generation. The level is sorted
 		// lexicographically by construction (level 1 is index-ordered;
@@ -164,10 +204,12 @@ func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int) *Re
 					continue
 				}
 				if opt.PolarityPrune && !polarityCompatible(u, ea.items, y) {
+					res.Stats.PrunedPolarity++
 					continue
 				}
 				cand := append(append([]int{}, ea.items...), y)
 				if k > 2 && !allSubsetsFrequent(cand, frequent) {
+					res.Stats.PrunedSupport++
 					continue
 				}
 				cands = append(cands, candidate{items: cand, base: a, extra: y})
@@ -190,12 +232,13 @@ func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int) *Re
 			evaluated[i] = &entry{items: c.items, rows: rows}
 			moments[i] = momentsOf(rows, o)
 		}
-		parallelFor(len(cands), opt.Workers, eval)
+		parallelFor(len(cands), opt.Workers, opt.Tracer, eval)
 
 		var next []entry
 		nextKeys := map[string]bool{}
 		for i, e := range evaluated {
 			if e == nil {
+				res.Stats.PrunedSupport++
 				continue
 			}
 			next = append(next, *e)
@@ -216,31 +259,49 @@ func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int) *Re
 }
 
 // parallelFor runs fn(0..n-1) across at most workers goroutines; workers
-// ≤ 1 runs inline. fn invocations must be independent.
-func parallelFor(n, workers int, fn func(i int)) {
+// ≤ 1 runs inline. The worker count is clamped to both n and
+// runtime.GOMAXPROCS(0), so callers may pass arbitrarily large values
+// without spawning useless goroutines. fn invocations must be
+// independent. When tr is non-nil, each worker's completed-task count is
+// recorded under obs.CtrWorkerTaskPrefix+index and the clamped worker
+// count under obs.GaugeWorkers.
+func parallelFor(n, workers int, tr *obs.Tracer, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
 	if workers <= 1 || n < 2 {
+		if tr != nil {
+			tr.SetGauge(obs.GaugeWorkers, 1)
+			tr.Counter(fmt.Sprintf("%s%d", obs.CtrWorkerTaskPrefix, 0)).Add(int64(n))
+		}
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
-	if workers > n {
-		workers = n
-	}
+	tr.SetGauge(obs.GaugeWorkers, float64(workers))
 	var wg sync.WaitGroup
 	var next atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			tasks := 0
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
-					return
+					break
 				}
 				fn(i)
+				tasks++
 			}
-		}()
+			if tr != nil {
+				tr.Counter(fmt.Sprintf("%s%d", obs.CtrWorkerTaskPrefix, w)).Add(int64(tasks))
+			}
+		}(w)
 	}
 	wg.Wait()
 }

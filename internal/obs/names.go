@@ -1,0 +1,73 @@
+package obs
+
+// Canonical span names emitted by the pipeline. Stage packages use these
+// constants so the CLI, benchmarks and tests agree on one vocabulary;
+// README.md §Observability documents the full registry.
+const (
+	// SpanReadCSV covers dataset.ReadCSV; its children split raw CSV
+	// decoding (SpanCSVParse) from column building and kind inference
+	// (SpanCSVColumns).
+	SpanReadCSV    = "read_csv"
+	SpanCSVParse   = "read_csv.parse"
+	SpanCSVColumns = "read_csv.columns"
+
+	// SpanDiscretize covers discretize.TreeSet; one child per continuous
+	// attribute, named SpanTreePrefix + attribute.
+	SpanDiscretize = "discretize"
+	SpanTreePrefix = "discretize.tree:"
+
+	// SpanExplore covers core.Explore end to end; children are universe
+	// construction, mining (SpanMine, owned by fpm) and ranking.
+	SpanExplore  = "explore"
+	SpanUniverse = "explore.universe"
+	SpanRank     = "explore.rank"
+
+	// SpanMine covers fpm.Mine. FP-Growth emits SpanMineScan (global item
+	// frequency scan), SpanMineBuild (FP-tree construction) and
+	// SpanMineGrow (conditional-tree recursion); Apriori emits
+	// SpanMineScan (level 1) and SpanMineLevels (levels ≥ 2).
+	SpanMine       = "mine"
+	SpanMineScan   = "mine.scan"
+	SpanMineBuild  = "mine.build"
+	SpanMineGrow   = "mine.grow"
+	SpanMineLevels = "mine.levels"
+)
+
+// Canonical counter names.
+const (
+	CtrRows            = "dataset.rows"
+	CtrCols            = "dataset.cols"
+	CtrColsContinuous  = "dataset.cols_continuous"
+	CtrColsCategorical = "dataset.cols_categorical"
+
+	// CtrTreeNodes counts hierarchy nodes grown by the tree discretizer
+	// (beyond roots); CtrSplitsNoSupport counts leaves that could not be
+	// split because the st support floor left no feasible cut;
+	// CtrSplitsNoGain counts leaves whose best feasible cut had zero gain.
+	CtrTreeNodes       = "discretize.nodes_grown"
+	CtrSplitsNoSupport = "discretize.splits_rejected_support"
+	CtrSplitsNoGain    = "discretize.splits_rejected_gain"
+
+	// CtrCandidates counts itemset candidates whose support was evaluated;
+	// CtrPrunedSupport the candidates discarded as infrequent (including
+	// Apriori's subset-infrequency prunes); CtrPrunedPolarity the
+	// combinations skipped by §V-C polarity pruning; CtrItemsetsEmitted
+	// the frequent itemsets returned.
+	CtrCandidates      = "fpm.candidates"
+	CtrPrunedSupport   = "fpm.pruned_support"
+	CtrPrunedPolarity  = "fpm.pruned_polarity"
+	CtrItemsetsEmitted = "fpm.itemsets_emitted"
+
+	// CtrWorkerTaskPrefix + worker index counts tasks completed by each
+	// parallelFor worker goroutine (utilization; nondeterministic split).
+	CtrWorkerTaskPrefix = "fpm.worker_tasks.w"
+)
+
+// Canonical gauge names.
+const (
+	// GaugeWorkers is the clamped worker count actually used by the miner.
+	GaugeWorkers = "fpm.workers"
+	// GaugeMaxDepth is the FP-Growth conditional-recursion high-water mark
+	// (equals the longest frequent itemset mined).
+	GaugeMaxDepth = "fpm.max_depth"
+)
