@@ -7,6 +7,10 @@
 #   make smoke        1-iteration pipeline benches + CLI trace-JSON round trip
 
 GO ?= go
+# BENCHTIME feeds -benchtime: the default 1s gives stable numbers; CI
+# passes 1x for a fast structural run. BENCHOUT is the JSON artifact.
+BENCHTIME ?= 1s
+BENCHOUT ?= BENCH_PR2.json
 
 .PHONY: check vet build test race bench smoke fmt
 
@@ -24,8 +28,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the full suite and also writes $(BENCHOUT): a JSON record
+# per benchmark (name, iterations, ns/op, B/op, allocs/op and custom
+# counters) parsed from the live output by cmd/benchjson, which fails
+# the pipe when the stream contains FAIL lines or no benchmarks.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./... \
+		| $(GO) run ./cmd/benchjson -out $(BENCHOUT)
 
 # smoke runs the pipeline benchmarks once each (reporting the mining
 # counters) and exercises the CLI trace path end to end: mkdata generates

@@ -1,0 +1,128 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON file, echoing the input through so it can sit at
+// the end of a pipe without hiding the live benchmark log:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | benchjson -out BENCH_PR2.json
+//
+// Every benchmark line becomes one record carrying the package (tracked
+// from the `pkg:` header lines), the benchmark name, the iteration count
+// and every reported metric — the standard ns/op, B/op and allocs/op as
+// well as custom b.ReportMetric units such as candidates/op. The command
+// exits nonzero when the stream contains a FAIL line or no benchmark
+// lines at all, so a failing `go test` still fails the make target even
+// through the pipe.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Package is the import path from the preceding `pkg:` header.
+	Package string `json:"package"`
+	// Name is the benchmark name, including the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps each reported unit (ns/op, B/op, allocs/op,
+	// custom units) to its value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Output is the file layout written by -out.
+type Output struct {
+	// Goos, Goarch and Pkg context lines from the benchmark header.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	// Benchmarks lists every parsed result in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "JSON output file (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -out is required")
+		os.Exit(2)
+	}
+	if err := run(os.Stdin, os.Stdout, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// run copies benchmark output from r to echo while parsing it, then
+// writes the JSON summary to outPath.
+func run(r io.Reader, echo io.Writer, outPath string) error {
+	var res Output
+	pkg := ""
+	failed := false
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			res.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			res.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(pkg, line); ok {
+				res.Benchmarks = append(res.Benchmarks, b)
+			}
+		case strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "--- FAIL"):
+			failed = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if failed {
+		return fmt.Errorf("benchmark stream contains failures")
+	}
+	if len(res.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found")
+	}
+	raw, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(raw, '\n'), 0o644)
+}
+
+// parseLine parses one `BenchmarkName-P  N  v1 u1  v2 u2 ...` line.
+func parseLine(pkg, line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Package:    pkg,
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

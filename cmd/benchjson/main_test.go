@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkPipelineCompas-8   	      10	 110512345 ns/op	  6942 candidates/op	  1234 B/op	      56 allocs/op
+PASS
+ok  	repro	2.34s
+pkg: repro/internal/bitvec
+BenchmarkAndCount-8   	 5000000	       231.5 ns/op
+PASS
+ok  	repro/internal/bitvec	1.2s
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var echo strings.Builder
+	if err := run(strings.NewReader(sample), &echo, out); err != nil {
+		t.Fatal(err)
+	}
+	if echo.String() != sample {
+		t.Error("input not echoed through verbatim")
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Output
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Goos != "linux" || got.Goarch != "amd64" {
+		t.Errorf("header = %q/%q", got.Goos, got.Goarch)
+	}
+	if len(got.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got.Benchmarks))
+	}
+	b := got.Benchmarks[0]
+	if b.Package != "repro" || b.Name != "BenchmarkPipelineCompas-8" || b.Iterations != 10 {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 110512345, "candidates/op": 6942, "B/op": 1234, "allocs/op": 56,
+	} {
+		if b.Metrics[unit] != want {
+			t.Errorf("metrics[%q] = %v, want %v", unit, b.Metrics[unit], want)
+		}
+	}
+	if got.Benchmarks[1].Package != "repro/internal/bitvec" || got.Benchmarks[1].Metrics["ns/op"] != 231.5 {
+		t.Errorf("second benchmark = %+v", got.Benchmarks[1])
+	}
+}
+
+func TestRunRejectsFailuresAndEmptyStreams(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	failing := sample + "--- FAIL: TestX (0.00s)\nFAIL\n"
+	if err := run(strings.NewReader(failing), io.Discard, out); err == nil {
+		t.Error("FAIL lines should make run error")
+	}
+	if err := run(strings.NewReader("PASS\nok  \trepro\t0.1s\n"), io.Discard, out); err == nil {
+		t.Error("benchmark-free stream should make run error")
+	}
+}

@@ -222,74 +222,9 @@ func emitTrace(c cliConfig, tr *hdiv.Trace) error {
 }
 
 // buildOutcome assembles the statistic and the label columns to exclude
-// from the exploration itself.
+// from the exploration itself. The heavy lifting lives in
+// hdiv.BuildStatistic so the CLI and the HTTP server resolve statistics
+// identically.
 func buildOutcome(tab *hdiv.Table, stat, actualCol, predCol, targetCol string) (*hdiv.Outcome, []string, error) {
-	switch strings.ToLower(stat) {
-	case "numeric":
-		if targetCol == "" {
-			return nil, nil, fmt.Errorf("-stat numeric requires -target")
-		}
-		if !tab.HasColumn(targetCol) {
-			return nil, nil, fmt.Errorf("no column %q", targetCol)
-		}
-		return hdiv.Numeric(targetCol, tab.Floats(targetCol)), []string{targetCol}, nil
-	case "fpr", "fnr", "error", "accuracy":
-		if actualCol == "" || predCol == "" {
-			return nil, nil, fmt.Errorf("-stat %s requires -actual and -predicted", stat)
-		}
-		actual, err := boolColumn(tab, actualCol)
-		if err != nil {
-			return nil, nil, err
-		}
-		pred, err := boolColumn(tab, predCol)
-		if err != nil {
-			return nil, nil, err
-		}
-		exclude := []string{actualCol, predCol}
-		switch strings.ToLower(stat) {
-		case "fpr":
-			return hdiv.FalsePositiveRate(actual, pred), exclude, nil
-		case "fnr":
-			return hdiv.FalseNegativeRate(actual, pred), exclude, nil
-		case "error":
-			return hdiv.ErrorRate(actual, pred), exclude, nil
-		default:
-			return hdiv.Accuracy(actual, pred), exclude, nil
-		}
-	default:
-		return nil, nil, fmt.Errorf("unknown statistic %q", stat)
-	}
-}
-
-// boolColumn reads a column as booleans: numeric columns treat nonzero as
-// true; categorical columns accept true/false, yes/no, 1/0, t/f.
-func boolColumn(tab *hdiv.Table, name string) ([]bool, error) {
-	if !tab.HasColumn(name) {
-		return nil, fmt.Errorf("no column %q", name)
-	}
-	n := tab.NumRows()
-	out := make([]bool, n)
-	if tab.KindOf(name) == hdiv.Continuous {
-		for i, v := range tab.Floats(name) {
-			out[i] = v != 0
-		}
-		return out, nil
-	}
-	codes := tab.Codes(name)
-	levels := tab.Levels(name)
-	truth := make([]bool, len(levels))
-	for c, l := range levels {
-		switch strings.ToLower(strings.TrimSpace(l)) {
-		case "true", "yes", "1", "t", "y":
-			truth[c] = true
-		case "false", "no", "0", "f", "n":
-			truth[c] = false
-		default:
-			return nil, fmt.Errorf("column %q: level %q is not boolean", name, l)
-		}
-	}
-	for i, c := range codes {
-		out[i] = truth[c]
-	}
-	return out, nil
+	return hdiv.BuildStatistic(tab, stat, actualCol, predCol, targetCol)
 }

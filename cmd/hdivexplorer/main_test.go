@@ -23,7 +23,7 @@ func sampleTable(t *testing.T) *hdiv.Table {
 
 func TestBoolColumnNumeric(t *testing.T) {
 	tab := sampleTable(t)
-	got, err := boolColumn(tab, "x")
+	got, err := hdiv.BoolColumn(tab, "x")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestBoolColumnNumeric(t *testing.T) {
 
 func TestBoolColumnCategorical(t *testing.T) {
 	tab := sampleTable(t)
-	got, err := boolColumn(tab, "flag")
+	got, err := hdiv.BoolColumn(tab, "flag")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,10 +51,10 @@ func TestBoolColumnCategorical(t *testing.T) {
 
 func TestBoolColumnErrors(t *testing.T) {
 	tab := sampleTable(t)
-	if _, err := boolColumn(tab, "missing"); err == nil {
+	if _, err := hdiv.BoolColumn(tab, "missing"); err == nil {
 		t.Error("missing column should fail")
 	}
-	if _, err := boolColumn(tab, "g"); err == nil {
+	if _, err := hdiv.BoolColumn(tab, "g"); err == nil {
 		t.Error("non-boolean levels should fail")
 	}
 }

@@ -1,0 +1,122 @@
+// Command hdivexplorerd serves H-DivExplorer explorations over HTTP.
+//
+// It loads one or more CSV datasets at startup, then answers exploration
+// requests against them, caching the discretized item hierarchies and
+// mining universes so repeated explorations skip straight to mining:
+//
+//	hdivexplorerd -addr :8080 -dataset compas=compas.csv -dataset census=census.csv
+//
+//	curl -s localhost:8080/v1/datasets
+//	curl -s -X POST localhost:8080/v1/explore -d '{
+//	    "dataset": "compas", "stat": "fpr",
+//	    "actual": "recid", "predicted": "pred", "top": 10
+//	}'
+//
+// Endpoints: POST /v1/explore, GET /v1/datasets, GET /healthz,
+// GET /metrics (Prometheus text format). SIGINT/SIGTERM trigger a
+// graceful shutdown that drains in-flight explorations.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// datasetFlags collects repeated -dataset name=path.csv values.
+type datasetFlags []server.DatasetConfig
+
+func (d *datasetFlags) String() string {
+	var parts []string
+	for _, c := range *d {
+		parts = append(parts, c.Name+"="+c.Path)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (d *datasetFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path.csv, got %q", v)
+	}
+	*d = append(*d, server.DatasetConfig{Name: name, Path: path})
+	return nil
+}
+
+func main() {
+	var (
+		datasets datasetFlags
+		addr     = flag.String("addr", ":8080", "listen address")
+		inflight = flag.Int("max-inflight", 0, "max concurrent explorations (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request exploration timeout")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Var(&datasets, "dataset", "dataset to serve as name=path.csv (repeatable, required)")
+	flag.Parse()
+	if err := run(datasets, *addr, *inflight, *timeout, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "hdivexplorerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(datasets []server.DatasetConfig, addr string, inflight int, timeout, drain time.Duration) error {
+	if len(datasets) == 0 {
+		return fmt.Errorf("at least one -dataset name=path.csv is required")
+	}
+	h, err := server.New(server.Config{
+		Datasets:       datasets,
+		MaxInFlight:    inflight,
+		RequestTimeout: timeout,
+	})
+	if err != nil {
+		return err
+	}
+	for _, name := range h.Datasets() {
+		log.Printf("serving dataset %q", name)
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting connections, let in-flight explorations
+	// finish within the drain budget, then force-close stragglers.
+	log.Printf("shutting down, draining for up to %s", drain)
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

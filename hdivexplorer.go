@@ -1,34 +1,9 @@
-// Package hdivexplorer is a Go implementation of H-DivExplorer, the
-// hierarchical anomalous-subgroup discovery system of Pastor, Baralis and
-// de Alfaro, "A Hierarchical Approach to Anomalous Subgroup Discovery"
-// (ICDE 2023).
-//
-// Given a dataset and an outcome function (false-positive rate, error rate,
-// a numeric target such as income, …), H-DivExplorer finds interpretable
-// data subgroups — conjunctions of attribute constraints — whose statistic
-// diverges from the whole-dataset value. Continuous attributes are
-// discretized into hierarchies of intervals by divergence-aware trees;
-// exploration then mines generalized itemsets that may mix granularities
-// across attributes, which finds strictly more divergent subgroups than
-// fixed discretizations at the same support threshold.
-//
-// The quickest route is the Pipeline helper:
-//
-//	tab, _ := hdivexplorer.ReadCSVFile("data.csv", hdivexplorer.CSVOptions{})
-//	o := hdivexplorer.FalsePositiveRate(actual, predicted)
-//	rep, _ := hdivexplorer.Pipeline(tab, o, hdivexplorer.PipelineOptions{
-//		TreeSupport: 0.1,
-//		MinSupport:  0.05,
-//	})
-//	fmt.Print(rep.Table(10))
-//
-// For finer control, build hierarchies with the discretization functions
-// (Tree, Quantile, ManualCuts, FlatCategorical, PathTaxonomy), assemble a
-// HierarchySet, and call Explore. The package re-exports the library's
-// types; the internal packages contain the implementations.
+// The package comment lives in doc.go; this file re-exports the library
+// surface from the internal packages.
 package hdivexplorer
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -92,6 +67,16 @@ type (
 	// statistics are means of o over subgroup members with defined outcome.
 	Outcome = outcome.Outcome
 )
+
+// BuildStatistic assembles the outcome named by stat ("fpr", "fnr",
+// "error", "accuracy", "numeric") from a table's label columns, returning
+// the outcome plus the columns to exclude from the exploration. Both the
+// CLI and the HTTP server resolve statistics through this function.
+var BuildStatistic = core.BuildStatistic
+
+// BoolColumn reads a table column as booleans (nonzero for continuous
+// columns; true/false, yes/no, 1/0, t/f, y/n for categorical ones).
+var BoolColumn = core.BoolColumn
 
 // Outcome constructors.
 var (
@@ -196,6 +181,18 @@ const (
 // Explore runs (H-)DivExplorer over a table with explicit hierarchies.
 var Explore = core.Explore
 
+// ExploreContext is Explore with cancellation: the miners poll the context
+// at candidate granularity, so cancelling it (or letting its deadline
+// expire) makes the exploration return promptly with an error wrapping
+// ctx.Err().
+var ExploreContext = core.ExploreContext
+
+// ExploreUniverseContext runs a cancellable exploration over a prebuilt
+// item universe. The universe is never mutated, so it stays valid for
+// reuse after a cancelled run — the property the serving layer's universe
+// cache relies on.
+var ExploreUniverseContext = core.ExploreUniverseContext
+
 // DescribeHierarchy renders an item hierarchy annotated with per-node
 // support and divergence (the paper's Figure 1).
 var DescribeHierarchy = core.DescribeHierarchy
@@ -237,6 +234,14 @@ type PipelineOptions struct {
 // taxonomic hierarchies for categorical attributes, then (hierarchical)
 // divergence subgroup exploration.
 func Pipeline(t *Table, o *Outcome, opt PipelineOptions) (*Report, error) {
+	return PipelineContext(context.Background(), t, o, opt)
+}
+
+// PipelineContext is Pipeline with cancellation: the context is checked
+// between pipeline stages and polled at candidate granularity inside the
+// miners, so a cancelled or timed-out context aborts the run promptly
+// with an error wrapping ctx.Err().
+func PipelineContext(ctx context.Context, t *Table, o *Outcome, opt PipelineOptions) (*Report, error) {
 	if opt.TreeSupport == 0 {
 		opt.TreeSupport = 0.1
 	}
@@ -249,6 +254,9 @@ func Pipeline(t *Table, o *Outcome, opt PipelineOptions) (*Report, error) {
 			return nil, fmt.Errorf("hdivexplorer: excluded attribute %q not in table", e)
 		}
 		skip[e] = true
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("hdivexplorer: pipeline cancelled: %w", err)
 	}
 	hs, err := discretize.TreeSet(t, o, discretize.TreeOptions{
 		Criterion:  opt.Criterion,
@@ -271,7 +279,7 @@ func Pipeline(t *Table, o *Outcome, opt PipelineOptions) (*Report, error) {
 			hs.Add(hierarchy.FlatCategorical(t, f.Name))
 		}
 	}
-	return core.Explore(t, core.Config{
+	return core.ExploreContext(ctx, t, core.Config{
 		Outcome:       o,
 		Hierarchies:   hs,
 		MinSupport:    opt.MinSupport,

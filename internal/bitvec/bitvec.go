@@ -234,6 +234,31 @@ func (v *Vector) Moments(vals []float64) (n int, sum, sumSq float64) {
 	return n, sum, sumSq
 }
 
+// AndMoments returns, over the set bits i of v AND u, the count, the sum
+// of vals[i] and the sum of squares of vals[i] — the fused equivalent of
+// v.Clone().And(u).Moments(vals) with no intermediate vector. It is the
+// divergence-accumulation hot path: the AND happens word by word in
+// registers, and per-bit work is only spent on the (typically sparse)
+// intersection.
+func (v *Vector) AndMoments(u *Vector, vals []float64) (n int, sum, sumSq float64) {
+	v.mustMatch(u)
+	if len(vals) < v.n {
+		panic("bitvec: AndMoments slice too short")
+	}
+	for wi, w := range v.words {
+		w &= u.words[wi]
+		base := wi * wordBits
+		for w != 0 {
+			x := vals[base+bits.TrailingZeros64(w)]
+			n++
+			sum += x
+			sumSq += x * x
+			w &= w - 1
+		}
+	}
+	return n, sum, sumSq
+}
+
 // String renders the vector as a 0/1 string, bit 0 first, for debugging.
 func (v *Vector) String() string {
 	var b strings.Builder

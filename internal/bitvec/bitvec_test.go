@@ -226,6 +226,52 @@ func TestQuickAndCountConsistent(t *testing.T) {
 	}
 }
 
+// Property: AndMoments(a, b, vals) == Moments of a AND b, for random
+// vectors and values — the fused accumulator must match the allocating
+// two-step form exactly (same bits, same fp addition order).
+func TestQuickAndMomentsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(300)
+		a, b := New(n), New(n)
+		vals := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if r.Intn(2) == 0 {
+				b.Set(i)
+			}
+			vals[i] = r.NormFloat64()
+		}
+		n1, s1, q1 := a.Clone().And(b).Moments(vals)
+		n2, s2, q2 := a.AndMoments(b, vals)
+		return n1 == n2 && s1 == s2 && q1 == q2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAndCountWordBoundaries pins AndCount and AndMoments at lengths
+// around the 64-bit word edges, where trim/masking bugs would hide.
+func TestAndCountWordBoundaries(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 127, 128, 129, 192} {
+		a, b := NewFull(n), NewFull(n)
+		if got := a.AndCount(b); got != n {
+			t.Errorf("n=%d: AndCount = %d, want %d", n, got, n)
+		}
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = 1
+		}
+		cnt, sum, _ := a.AndMoments(b, vals)
+		if cnt != n || sum != float64(n) {
+			t.Errorf("n=%d: AndMoments = (%d, %g), want (%d, %d)", n, cnt, sum, n, n)
+		}
+	}
+}
+
 // Property: De Morgan — NOT(a OR b) == NOT a AND NOT b.
 func TestQuickDeMorgan(t *testing.T) {
 	f := func(seed int64) bool {

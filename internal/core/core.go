@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -128,6 +129,14 @@ type Report struct {
 
 // Explore runs (H-)DivExplorer over the table.
 func Explore(t *dataset.Table, cfg Config) (*Report, error) {
+	return ExploreContext(context.Background(), t, cfg)
+}
+
+// ExploreContext is Explore with cancellation: the miners poll ctx at
+// candidate granularity, so a cancelled or timed-out context makes the
+// exploration return promptly with an error wrapping ctx.Err(). A
+// context.Background() ctx behaves exactly like Explore.
+func ExploreContext(ctx context.Context, t *dataset.Table, cfg Config) (*Report, error) {
 	if cfg.Outcome == nil {
 		return nil, fmt.Errorf("core: Config.Outcome is nil")
 	}
@@ -142,6 +151,9 @@ func Explore(t *dataset.Table, cfg Config) (*Report, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: exploration cancelled: %w", err)
+	}
 	span := cfg.Tracer.Start(obs.SpanExplore)
 	cfg.span = span
 	us := span.Start(obs.SpanUniverse)
@@ -152,7 +164,7 @@ func Explore(t *dataset.Table, cfg Config) (*Report, error) {
 		u = fpm.BaseUniverse(t, cfg.Hierarchies, cfg.Outcome)
 	}
 	us.End()
-	rep, err := exploreUniverse(u, cfg)
+	rep, err := exploreUniverse(ctx, u, cfg)
 	span.End()
 	if err == nil {
 		rep.snapshotTrace(cfg.Tracer)
@@ -163,13 +175,21 @@ func Explore(t *dataset.Table, cfg Config) (*Report, error) {
 // ExploreUniverse runs the exploration over a prebuilt item universe; use
 // this to supply a custom item set.
 func ExploreUniverse(u *fpm.Universe, cfg Config) (*Report, error) {
+	return ExploreUniverseContext(context.Background(), u, cfg)
+}
+
+// ExploreUniverseContext is ExploreUniverse with cancellation, with the
+// same contract as ExploreContext. The universe is never mutated, so a
+// cancelled run leaves it valid for reuse (the serving layer relies on
+// this to keep cached universes intact across aborted requests).
+func ExploreUniverseContext(ctx context.Context, u *fpm.Universe, cfg Config) (*Report, error) {
 	span := cfg.span
 	owned := span == nil // Explore manages the span (and snapshot) itself
 	if owned {
 		span = cfg.Tracer.Start(obs.SpanExplore)
 		cfg.span = span
 	}
-	rep, err := exploreUniverse(u, cfg)
+	rep, err := exploreUniverse(ctx, u, cfg)
 	if owned {
 		span.End()
 		if err == nil {
@@ -181,9 +201,10 @@ func ExploreUniverse(u *fpm.Universe, cfg Config) (*Report, error) {
 
 // exploreUniverse is the shared mining+ranking body; cfg.span (possibly
 // nil) encloses the emitted spans.
-func exploreUniverse(u *fpm.Universe, cfg Config) (*Report, error) {
+func exploreUniverse(ctx context.Context, u *fpm.Universe, cfg Config) (*Report, error) {
 	start := time.Now()
 	res, err := fpm.Mine(u, cfg.Outcome, fpm.Options{
+		Ctx:           ctx,
 		MinSupport:    cfg.MinSupport,
 		MaxLen:        cfg.MaxLen,
 		PolarityPrune: cfg.PolarityPrune,

@@ -81,7 +81,7 @@ type weightedPath struct {
 // base of an item excludes items of the same attribute (its hierarchy
 // ancestors/descendants), which enforces the one-item-per-attribute rule of
 // generalized itemsets.
-func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int, span *obs.Span) *Result {
+func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int, span *obs.Span, cancel *canceller) *Result {
 	res := &Result{}
 
 	// Global frequent items, ranked by support descending (ties by index).
@@ -115,6 +115,10 @@ func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int, sp
 	// rank order. Iterating items (not rows) keeps this cache-friendly.
 	perRow := make([][]int, u.NumRows)
 	for _, it := range order {
+		if cancel.cancelled() {
+			build.End()
+			return res
+		}
 		u.Rows[it].ForEach(func(r int) {
 			perRow[r] = append(perRow[r], it)
 		})
@@ -137,6 +141,11 @@ func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int, sp
 	// exploits.
 	var local func(acc *fpLocal, t *fpTree, idx int, suffix []int)
 	local = func(acc *fpLocal, t *fpTree, idx int, suffix []int) {
+		// Each (conditional tree, header item) pair is one candidate; bail
+		// out here and the whole recursion unwinds promptly on cancel.
+		if cancel.cancelled() {
+			return
+		}
 		it := t.order[idx]
 		head := t.headers[it]
 		if head == nil {

@@ -1,6 +1,7 @@
 package fpm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -38,6 +39,11 @@ func (a Algorithm) String() string {
 
 // Options configures a mining run.
 type Options struct {
+	// Ctx, when non-nil, makes the run cancellable: both miners poll the
+	// context at candidate granularity and Mine returns an error wrapping
+	// ctx.Err() as soon as cancellation is observed. A nil Ctx (or one
+	// that can never be cancelled) adds no per-candidate cost.
+	Ctx context.Context
 	// MinSupport is the exploration support threshold s ∈ (0, 1].
 	MinSupport float64
 	// MaxLen bounds itemset length; 0 means unlimited.
@@ -106,6 +112,15 @@ func Mine(u *Universe, o *outcome.Outcome, opt Options) (*Result, error) {
 	if opt.Tracer == nil {
 		opt.Tracer = opt.TraceParent.Tracer()
 	}
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("fpm: mining cancelled: %w", err)
+	}
+	cancel := watchContext(ctx)
+	defer cancel.release()
 	span := opt.TraceParent.Start(obs.SpanMine)
 	if span == nil {
 		span = opt.Tracer.Start(obs.SpanMine)
@@ -113,12 +128,16 @@ func Mine(u *Universe, o *outcome.Outcome, opt Options) (*Result, error) {
 	var res *Result
 	switch opt.Algorithm {
 	case Apriori:
-		res = mineApriori(u, o, opt, minCount, span)
+		res = mineApriori(u, o, opt, minCount, span, cancel)
 	case FPGrowth:
-		res = mineFPGrowth(u, o, opt, minCount, span)
+		res = mineFPGrowth(u, o, opt, minCount, span, cancel)
 	default:
 		span.End()
 		return nil, fmt.Errorf("fpm: unknown algorithm %v", opt.Algorithm)
+	}
+	if err := ctx.Err(); err != nil {
+		span.End()
+		return nil, fmt.Errorf("fpm: mining cancelled: %w", err)
 	}
 	res.NumRows = u.NumRows
 	res.Stats.Frequent = len(res.Itemsets)
@@ -132,15 +151,47 @@ func Mine(u *Universe, o *outcome.Outcome, opt Options) (*Result, error) {
 	return res, nil
 }
 
+// canceller adapts a context to a lock-free flag the mining hot loops can
+// poll at candidate granularity: one goroutine watches ctx.Done() and
+// flips an atomic, so a poll costs a single atomic load instead of the
+// mutex acquisition inside context.Context.Err. A nil *canceller reports
+// not-cancelled, so uncancellable contexts cost nothing.
+type canceller struct {
+	stop     atomic.Bool
+	released chan struct{}
+}
+
+// watchContext returns a canceller following ctx, or nil when ctx can
+// never be cancelled. Callers must release it to stop the watcher.
+func watchContext(ctx context.Context) *canceller {
+	if ctx.Done() == nil {
+		return nil
+	}
+	c := &canceller{released: make(chan struct{})}
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.stop.Store(true)
+		case <-c.released:
+		}
+	}()
+	return c
+}
+
+// cancelled reports whether the watched context was cancelled.
+func (c *canceller) cancelled() bool { return c != nil && c.stop.Load() }
+
+// release stops the watcher goroutine.
+func (c *canceller) release() {
+	if c != nil {
+		close(c.released)
+	}
+}
+
 // momentsOf computes the outcome moments over the rows of a bitset,
 // restricted to rows with a defined outcome.
-func momentsOf(rows *bitvec.Vector, o *outcome.Outcome) (m stats.Moments) {
-	rows.ForEach(func(i int) {
-		if o.Valid.Get(i) {
-			m.Add(o.Values[i])
-		}
-	})
-	return m
+func momentsOf(rows *bitvec.Vector, o *outcome.Outcome) stats.Moments {
+	return o.MomentsOf(rows)
 }
 
 // mineApriori is the level-wise candidate-generation miner. Level k
@@ -148,7 +199,7 @@ func momentsOf(rows *bitvec.Vector, o *outcome.Outcome) (m stats.Moments) {
 // items; the two differing items must constrain different attributes (the
 // generalized-itemset rule) and, under polarity pruning, share polarity.
 // Candidates with an infrequent (k−1)-subset are pruned before counting.
-func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int, span *obs.Span) *Result {
+func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int, span *obs.Span, cancel *canceller) *Result {
 	res := &Result{}
 
 	type entry struct {
@@ -193,6 +244,9 @@ func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int, spa
 		}
 		var cands []candidate
 		for a := 0; a < len(level); a++ {
+			if cancel.cancelled() {
+				return res
+			}
 			ea := level[a]
 			for b := a + 1; b < len(level); b++ {
 				eb := level[b]
@@ -224,15 +278,24 @@ func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int, spa
 		evaluated := make([]*entry, len(cands))
 		moments := make([]stats.Moments, len(cands))
 		eval := func(i int) {
-			c := cands[i]
-			rows := level[c.base].rows.Clone().And(u.Rows[c.extra])
-			if rows.Count() < minCount {
+			if cancel.cancelled() {
 				return
 			}
+			c := cands[i]
+			base := level[c.base].rows
+			// Fused AND+popcount screens the candidate without allocating;
+			// only survivors (the minority) materialize their row bitset.
+			if base.AndCount(u.Rows[c.extra]) < minCount {
+				return
+			}
+			rows := base.Clone().And(u.Rows[c.extra])
 			evaluated[i] = &entry{items: c.items, rows: rows}
 			moments[i] = momentsOf(rows, o)
 		}
 		parallelFor(len(cands), opt.Workers, opt.Tracer, eval)
+		if cancel.cancelled() {
+			return res
+		}
 
 		var next []entry
 		nextKeys := map[string]bool{}

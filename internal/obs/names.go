@@ -61,6 +61,26 @@ const (
 	// CtrWorkerTaskPrefix + worker index counts tasks completed by each
 	// parallelFor worker goroutine (utilization; nondeterministic split).
 	CtrWorkerTaskPrefix = "fpm.worker_tasks.w"
+
+	// Serving-layer counters (internal/server, accumulated on the server's
+	// lifetime tracer and rendered by GET /metrics).
+	//
+	// CtrServerRequestPrefix + endpoint counts requests per endpoint
+	// (datasets, explore, healthz, metrics); CtrServerExplores counts
+	// explorations actually run; CtrServerErrors counts requests answered
+	// with a 4xx/5xx status; CtrServerRejected counts explorations turned
+	// away with 429 because the in-flight limit was reached;
+	// CtrServerCancelled counts explorations aborted by client disconnect
+	// or per-request timeout; CtrServerCacheHits / CtrServerCacheMisses
+	// count universe-cache lookups (a hit skips discretization and
+	// universe construction entirely).
+	CtrServerRequestPrefix = "server.requests."
+	CtrServerExplores      = "server.explores"
+	CtrServerErrors        = "server.http_errors"
+	CtrServerRejected      = "server.rejected_saturated"
+	CtrServerCancelled     = "server.explores_cancelled"
+	CtrServerCacheHits     = "server.universe_cache_hits"
+	CtrServerCacheMisses   = "server.universe_cache_misses"
 )
 
 // Canonical gauge names.
@@ -70,4 +90,13 @@ const (
 	// GaugeMaxDepth is the FP-Growth conditional-recursion high-water mark
 	// (equals the longest frequent itemset mined).
 	GaugeMaxDepth = "fpm.max_depth"
+
+	// GaugeServerInFlight is the number of explorations currently running;
+	// GaugeServerInFlightMax its high-water mark; GaugeServerDatasets the
+	// number of datasets loaded; GaugeServerCachedUniverses the number of
+	// (dataset, statistic, criterion, st) universe-cache entries built.
+	GaugeServerInFlight        = "server.in_flight"
+	GaugeServerInFlightMax     = "server.in_flight_max"
+	GaugeServerDatasets        = "server.datasets"
+	GaugeServerCachedUniverses = "server.cached_universes"
 )

@@ -366,6 +366,46 @@ func (tr *Trace) Tree() string {
 	return b.String()
 }
 
+// WritePrometheus renders the trace's counters and gauges in the
+// Prometheus text exposition format (one `# TYPE` line plus one sample
+// per metric, names sanitized to [a-zA-Z0-9_:]), the payload served by
+// the HTTP server's GET /metrics. Spans are not exported — they describe
+// one run, not a monotonic series.
+func (tr *Trace) WritePrometheus(w io.Writer) error {
+	for _, k := range sortedKeys(tr.Counters) {
+		name := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, tr.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(tr.Gauges) {
+		name := promName(k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, tr.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a dotted metric name onto the Prometheus charset,
+// replacing every character outside [a-zA-Z0-9_:] with an underscore and
+// prefixing a leading digit.
+func promName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {

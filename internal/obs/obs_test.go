@@ -8,6 +8,40 @@ import (
 	"time"
 )
 
+// TestWritePrometheus checks the exposition format: sanitized names, TYPE
+// lines, deterministic order.
+func TestWritePrometheus(t *testing.T) {
+	tr := New()
+	tr.Counter("fpm.candidates").Add(42)
+	tr.Counter("server.requests.explore").Add(3)
+	tr.SetGauge("server.in_flight", 2)
+	var b strings.Builder
+	if err := tr.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE fpm_candidates counter\n" +
+		"fpm_candidates 42\n" +
+		"# TYPE server_requests_explore counter\n" +
+		"server_requests_explore 3\n" +
+		"# TYPE server_in_flight gauge\n" +
+		"server_in_flight 2\n"
+	if b.String() != want {
+		t.Errorf("WritePrometheus:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"fpm.worker_tasks.w0": "fpm_worker_tasks_w0",
+		"0bad":                "_bad",
+		"a:b-c":               "a:b_c",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
 func TestNilSafety(t *testing.T) {
 	var tr *Tracer
 	if tr.Enabled() {

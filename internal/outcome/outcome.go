@@ -72,16 +72,11 @@ func (o *Outcome) GlobalMoments() stats.Moments { return o.global }
 func (o *Outcome) GlobalMean() float64 { return o.global.Mean() }
 
 // MomentsOf returns the outcome moments over the rows of the given bitset,
-// restricted to valid rows.
+// restricted to valid rows. The rows ∩ valid intersection is computed by
+// the fused bitvec.AndMoments pass, with no intermediate vector.
 func (o *Outcome) MomentsOf(rows *bitvec.Vector) stats.Moments {
-	var m stats.Moments
-	// Iterate rows ∩ valid without allocating: walk the smaller pattern.
-	rows.ForEach(func(i int) {
-		if o.Valid.Get(i) {
-			m.Add(o.Values[i])
-		}
-	})
-	return m
+	n, sum, sumSq := rows.AndMoments(o.Valid, o.Values)
+	return stats.Moments{N: n, Sum: sum, SumSq: sumSq}
 }
 
 // StatOf returns f(S) for the subgroup defined by rows, or NaN when no

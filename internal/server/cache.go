@@ -1,0 +1,134 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+	"repro/internal/fpm"
+	"repro/internal/hierarchy"
+	"repro/internal/obs"
+	"repro/internal/outcome"
+)
+
+// cacheKey identifies one discretization+universe build. Everything that
+// influences stages 1–2 of the pipeline is part of the key; parameters
+// that only affect mining (s, MaxLen, polarity, algorithm, workers) are
+// deliberately absent so explorations with different mining settings
+// share one universe.
+type cacheKey struct {
+	dataset   string
+	stat      string
+	actual    string
+	predicted string
+	target    string
+	criterion discretize.Criterion
+	st        float64
+}
+
+// cacheEntry holds the request-independent artifacts for one key: the
+// outcome function, the item hierarchies and the precomputed universes
+// for both exploration modes. All fields are written once by the build
+// goroutine before ready is closed and are read-only afterwards, so
+// entries are safe to share across concurrent explorations.
+type cacheEntry struct {
+	ready chan struct{} // closed when the build finishes (ok or not)
+	err   error
+
+	out      *outcome.Outcome
+	excludes []string
+	hs       *hierarchy.Set
+	uni      map[core.Mode]*fpm.Universe
+}
+
+// universeCache is a keyed singleflight cache of cacheEntry values.
+type universeCache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+}
+
+func newUniverseCache() *universeCache {
+	return &universeCache{entries: map[cacheKey]*cacheEntry{}}
+}
+
+// len reports the number of successfully built (or in-flight) entries.
+func (c *universeCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// get returns the entry for key, building it with build on a miss. The
+// build runs in a detached goroutine so that cancelling the requesting
+// context never aborts (or poisons) a build other requests may be
+// waiting on; the caller only stops waiting. Failed builds are removed
+// from the cache before ready is closed, so errors are returned to every
+// current waiter but never cached. The second result reports whether the
+// entry already existed (a cache hit).
+func (c *universeCache) get(ctx context.Context, key cacheKey, build func(*cacheEntry) error) (*cacheEntry, bool, error) {
+	c.mu.Lock()
+	e, hit := c.entries[key]
+	if !hit {
+		e = &cacheEntry{ready: make(chan struct{})}
+		c.entries[key] = e
+		go func() {
+			e.err = build(e)
+			if e.err != nil {
+				c.mu.Lock()
+				delete(c.entries, key)
+				c.mu.Unlock()
+			}
+			close(e.ready)
+		}()
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-e.ready:
+		return e, hit, e.err
+	case <-ctx.Done():
+		return nil, hit, fmt.Errorf("server: waiting for universe build: %w", ctx.Err())
+	}
+}
+
+// buildEntry runs pipeline stages 1–2 for one cache key on the given
+// table: statistic resolution, tree discretization of every continuous
+// attribute, flat hierarchies for the remaining categorical attributes,
+// then universe precomputation for both exploration modes. The hierarchy
+// assembly mirrors hdivexplorer.PipelineContext exactly so server
+// explorations are indistinguishable from CLI ones. The tracer (usually
+// the first requester's, possibly nil) receives the discretize spans.
+func buildEntry(e *cacheEntry, tab *dataset.Table, key cacheKey, tracer *obs.Tracer) error {
+	out, excludes, err := core.BuildStatistic(tab, key.stat, key.actual, key.predicted, key.target)
+	if err != nil {
+		return err
+	}
+	hs, err := discretize.TreeSet(tab, out, discretize.TreeOptions{
+		Criterion:  key.criterion,
+		MinSupport: key.st,
+		Tracer:     tracer,
+	}, excludes...)
+	if err != nil {
+		return err
+	}
+	skip := map[string]bool{}
+	for _, x := range excludes {
+		skip[x] = true
+	}
+	for _, f := range tab.Fields() {
+		if f.Kind == dataset.Categorical && !skip[f.Name] {
+			hs.Add(hierarchy.FlatCategorical(tab, f.Name))
+		}
+	}
+	e.out = out
+	e.excludes = excludes
+	e.hs = hs
+	e.uni = map[core.Mode]*fpm.Universe{
+		core.Hierarchical: fpm.GeneralizedUniverse(tab, hs, out),
+		core.Base:         fpm.BaseUniverse(tab, hs, out),
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package server_test
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	hdiv "repro"
+	"repro/internal/server"
+)
+
+// Example starts the exploration service on an httptest server and runs
+// one exploration over a small dataset with a planted anomaly: rows with
+// x > 80 are always mispredicted, so the top subgroup is the deepest
+// frequent interval inside that tail.
+func Example() {
+	n := 600
+	x := make([]float64, n)
+	y := make([]string, n)
+	p := make([]string, n)
+	for i := 0; i < n; i++ {
+		x[i] = float64(i % 100)
+		y[i] = "false"
+		if i%2 == 0 {
+			y[i] = "true"
+		}
+		p[i] = y[i]
+		if x[i] > 80 { // plant the anomaly: mispredict the tail
+			if p[i] == "true" {
+				p[i] = "false"
+			} else {
+				p[i] = "true"
+			}
+		}
+	}
+	tab := hdiv.NewTableBuilder().
+		AddFloat("x", x).
+		AddCategorical("y", y).
+		AddCategorical("p", p).
+		MustBuild()
+
+	h, err := server.New(server.Config{
+		Datasets: []server.DatasetConfig{{Name: "anomaly", Table: tab}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/explore", "application/json", strings.NewReader(`{
+		"dataset": "anomaly",
+		"stat": "error", "actual": "y", "predicted": "p",
+		"s": 0.05, "st": 0.1,
+		"top": 1, "format": "csv"
+	}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("status:", resp.Status)
+	fmt.Print(string(body))
+
+	// Output:
+	// status: 200 OK
+	// itemset,support,count,statistic,divergence,t,p_value
+	// x>80,0.19,114,1,0.81,50.53346988825692,0
+}

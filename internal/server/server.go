@@ -1,0 +1,422 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+	"repro/internal/fpm"
+	"repro/internal/obs"
+)
+
+// DatasetConfig names one dataset served by the server. Exactly one of
+// Path and Table must be set: Path is a headed CSV file loaded at
+// startup; Table supplies an already-built table (used by tests and
+// embedders).
+type DatasetConfig struct {
+	// Name is the identifier requests use to select the dataset.
+	Name string
+	// Path is the CSV file to load (column kinds are inferred).
+	Path string
+	// Table, when non-nil, is served directly instead of loading Path.
+	Table *dataset.Table
+}
+
+// Config parameterizes New.
+type Config struct {
+	// Datasets lists the datasets to load and serve. At least one is
+	// required.
+	Datasets []DatasetConfig
+	// MaxInFlight caps concurrent explorations; requests beyond the cap
+	// receive 429 immediately. Defaults to runtime.GOMAXPROCS(0).
+	MaxInFlight int
+	// RequestTimeout bounds each exploration's wall time (504 on expiry).
+	// A request may shorten it via timeout_ms but never extend it.
+	// Defaults to 30s.
+	RequestTimeout time.Duration
+	// Tracer accumulates the server.* lifetime counters and gauges
+	// rendered by GET /metrics. New creates one when nil.
+	Tracer *obs.Tracer
+}
+
+// Server is the exploration service. It implements http.Handler; mount
+// it directly on an http.Server. All fields are internal — construct
+// with New.
+type Server struct {
+	mux      *http.ServeMux
+	tracer   *obs.Tracer
+	tables   map[string]*dataset.Table
+	order    []string // dataset names in registration order
+	cache    *universeCache
+	sem      chan struct{}
+	timeout  time.Duration
+	inFlight atomic.Int64
+}
+
+// New loads every configured dataset and returns the ready-to-serve
+// handler. Dataset loading errors (missing file, duplicate name) fail
+// construction; nothing is served until every dataset parsed.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Datasets) == 0 {
+		return nil, fmt.Errorf("server: no datasets configured")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.New()
+	}
+	s := &Server{
+		mux:     http.NewServeMux(),
+		tracer:  cfg.Tracer,
+		tables:  map[string]*dataset.Table{},
+		cache:   newUniverseCache(),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		timeout: cfg.RequestTimeout,
+	}
+	for _, d := range cfg.Datasets {
+		if d.Name == "" {
+			return nil, fmt.Errorf("server: dataset with empty name")
+		}
+		if _, dup := s.tables[d.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate dataset %q", d.Name)
+		}
+		tab := d.Table
+		if tab == nil {
+			var err error
+			tab, err = dataset.ReadCSVFile(d.Path, dataset.CSVOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("server: dataset %q: %w", d.Name, err)
+			}
+		}
+		s.tables[d.Name] = tab
+		s.order = append(s.order, d.Name)
+	}
+	s.tracer.SetGauge(obs.GaugeServerDatasets, float64(len(s.order)))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	return s, nil
+}
+
+// ServeHTTP dispatches to the server's endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpError answers the request with a plain-text error and counts it.
+func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.tracer.Counter(obs.CtrServerErrors).Add(1)
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.tracer.Counter(obs.CtrServerRequestPrefix + "healthz").Add(1)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.tracer.Counter(obs.CtrServerRequestPrefix + "metrics").Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.tracer.Snapshot().WritePrometheus(w); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+// datasetInfo is one entry of the GET /v1/datasets reply.
+type datasetInfo struct {
+	Name    string       `json:"name"`
+	Rows    int          `json:"rows"`
+	Columns []columnInfo `json:"columns"`
+}
+
+// columnInfo describes one dataset column.
+type columnInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "continuous" or "categorical"
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	s.tracer.Counter(obs.CtrServerRequestPrefix + "datasets").Add(1)
+	out := make([]datasetInfo, 0, len(s.order))
+	for _, name := range s.order {
+		tab := s.tables[name]
+		info := datasetInfo{Name: name, Rows: tab.NumRows()}
+		for _, f := range tab.Fields() {
+			info.Columns = append(info.Columns, columnInfo{Name: f.Name, Kind: f.Kind.String()})
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ExploreRequest is the POST /v1/explore request body. Zero values take
+// the same defaults as the hdivexplorer CLI flags, so identical
+// parameters produce byte-identical CSV results on either front end.
+type ExploreRequest struct {
+	// Dataset selects a configured dataset by name.
+	Dataset string `json:"dataset"`
+	// Stat names the statistic: fpr, fnr, error, accuracy or numeric.
+	// Default "error".
+	Stat string `json:"stat,omitempty"`
+	// Actual and Predicted name the boolean label columns used by the
+	// classification statistics.
+	Actual    string `json:"actual,omitempty"`
+	Predicted string `json:"predicted,omitempty"`
+	// Target names the numeric column used by the numeric statistic.
+	Target string `json:"target,omitempty"`
+	// S is the exploration support threshold (default 0.05).
+	S float64 `json:"s,omitempty"`
+	// ST is the tree discretization support threshold (default 0.1).
+	ST float64 `json:"st,omitempty"`
+	// Criterion selects the tree split gain: divergence (default) or
+	// entropy.
+	Criterion string `json:"criterion,omitempty"`
+	// Mode selects hierarchical (default) or base exploration.
+	Mode string `json:"mode,omitempty"`
+	// Algorithm selects the miner: fpgrowth (default) or apriori.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Polarity enables §V-C polarity pruning.
+	Polarity bool `json:"polarity,omitempty"`
+	// MaxLen bounds itemset length (0 = unlimited).
+	MaxLen int `json:"max_len,omitempty"`
+	// Top truncates the reply to the k most divergent subgroups (0 = all).
+	Top int `json:"top,omitempty"`
+	// MinT drops subgroups with |t| below the threshold (0 = keep all).
+	MinT float64 `json:"min_t,omitempty"`
+	// Workers enables parallel mining (results are identical regardless).
+	Workers int `json:"workers,omitempty"`
+	// Format selects the reply encoding: json (default) or csv. The CSV
+	// bytes equal `hdivexplorer -format csv` output for the same
+	// parameters.
+	Format string `json:"format,omitempty"`
+	// Trace includes the observability snapshot in a JSON reply.
+	Trace bool `json:"trace,omitempty"`
+	// TimeoutMS shortens the server's per-request timeout (it can never
+	// extend it).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// exploreParams is a validated, defaulted ExploreRequest.
+type exploreParams struct {
+	req       ExploreRequest
+	tab       *dataset.Table
+	criterion discretize.Criterion
+	mode      core.Mode
+	algorithm fpm.Algorithm
+	timeout   time.Duration
+}
+
+// resolve validates the request and applies CLI-equivalent defaults.
+func (s *Server) resolve(req ExploreRequest) (*exploreParams, int, error) {
+	p := &exploreParams{req: req}
+	var ok bool
+	if p.tab, ok = s.tables[req.Dataset]; !ok {
+		return nil, http.StatusNotFound, fmt.Errorf("unknown dataset %q", req.Dataset)
+	}
+	if p.req.Stat == "" {
+		p.req.Stat = "error"
+	}
+	if p.req.S == 0 {
+		p.req.S = 0.05
+	}
+	if p.req.ST == 0 {
+		p.req.ST = 0.1
+	}
+	switch strings.ToLower(p.req.Criterion) {
+	case "", "divergence":
+		p.criterion = discretize.DivergenceGain
+	case "entropy":
+		p.criterion = discretize.EntropyGain
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown criterion %q", req.Criterion)
+	}
+	switch strings.ToLower(p.req.Mode) {
+	case "", "hierarchical":
+		p.mode = core.Hierarchical
+	case "base":
+		p.mode = core.Base
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown mode %q", req.Mode)
+	}
+	switch strings.ToLower(p.req.Algorithm) {
+	case "", "fpgrowth", "fp-growth":
+		p.algorithm = fpm.FPGrowth
+	case "apriori":
+		p.algorithm = fpm.Apriori
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown algorithm %q", req.Algorithm)
+	}
+	switch strings.ToLower(p.req.Format) {
+	case "", "json", "csv":
+	default:
+		return nil, http.StatusBadRequest, fmt.Errorf("unknown format %q", req.Format)
+	}
+	p.timeout = s.timeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < p.timeout {
+			p.timeout = d
+		}
+	}
+	return p, 0, nil
+}
+
+// key derives the universe-cache key for the resolved request.
+func (p *exploreParams) key() cacheKey {
+	return cacheKey{
+		dataset:   p.req.Dataset,
+		stat:      strings.ToLower(p.req.Stat),
+		actual:    p.req.Actual,
+		predicted: p.req.Predicted,
+		target:    p.req.Target,
+		criterion: p.criterion,
+		st:        p.req.ST,
+	}
+}
+
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	s.tracer.Counter(obs.CtrServerRequestPrefix + "explore").Add(1)
+	var req ExploreRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	p, code, err := s.resolve(req)
+	if err != nil {
+		s.httpError(w, code, "%v", err)
+		return
+	}
+
+	// Admission control: reject rather than queue when saturated, so
+	// callers see back-pressure instead of unbounded latency.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.tracer.Counter(obs.CtrServerRejected).Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.httpError(w, http.StatusTooManyRequests, "exploration limit reached, retry later")
+		return
+	}
+	defer func() { <-s.sem }()
+	n := s.inFlight.Add(1)
+	s.tracer.SetGauge(obs.GaugeServerInFlight, float64(n))
+	s.tracer.MaxGauge(obs.GaugeServerInFlightMax, float64(n))
+	defer func() {
+		s.tracer.SetGauge(obs.GaugeServerInFlight, float64(s.inFlight.Add(-1)))
+	}()
+
+	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
+	defer cancel()
+
+	var reqTracer *obs.Tracer
+	if p.req.Trace {
+		reqTracer = obs.New()
+	}
+
+	entry, hit, err := s.cache.get(ctx, p.key(), func(e *cacheEntry) error {
+		return buildEntry(e, p.tab, p.key(), reqTracer)
+	})
+	if hit {
+		s.tracer.Counter(obs.CtrServerCacheHits).Add(1)
+	} else {
+		s.tracer.Counter(obs.CtrServerCacheMisses).Add(1)
+		s.tracer.SetGauge(obs.GaugeServerCachedUniverses, float64(s.cache.len()))
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			s.exploreCancelled(w, ctx)
+			return
+		}
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	s.tracer.Counter(obs.CtrServerExplores).Add(1)
+	rep, err := core.ExploreUniverseContext(ctx, entry.uni[p.mode], core.Config{
+		Outcome:       entry.out,
+		Hierarchies:   entry.hs,
+		MinSupport:    p.req.S,
+		MaxLen:        p.req.MaxLen,
+		PolarityPrune: p.req.Polarity,
+		Algorithm:     p.algorithm,
+		Mode:          p.mode,
+		Workers:       p.req.Workers,
+		Tracer:        reqTracer,
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			s.exploreCancelled(w, ctx)
+			return
+		}
+		s.httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	if p.req.MinT > 0 {
+		rep.Subgroups = rep.FilterMinT(p.req.MinT)
+	}
+	if p.req.Top > 0 {
+		rep.Subgroups = rep.TopK(p.req.Top)
+	}
+	if !p.req.Trace {
+		rep.Trace = nil
+	}
+
+	if strings.EqualFold(p.req.Format, "csv") {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		if err := rep.WriteCSV(w); err != nil {
+			return // reply already partially written
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// exploreCancelled answers a request whose context expired: 504 on
+// deadline; the same status for a client disconnect, where the reply is
+// moot but the counter is not.
+func (s *Server) exploreCancelled(w http.ResponseWriter, ctx context.Context) {
+	s.tracer.Counter(obs.CtrServerCancelled).Add(1)
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		s.httpError(w, http.StatusGatewayTimeout, "exploration timed out")
+		return
+	}
+	s.httpError(w, http.StatusGatewayTimeout, "exploration cancelled: %v", ctx.Err())
+}
+
+// writeJSON writes v as indented JSON, matching the CLI's json.MarshalIndent
+// rendering so JSON replies and `-format json` output align.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	w.Write(append(raw, '\n'))
+}
+
+// Datasets returns the served dataset names in registration order.
+func (s *Server) Datasets() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
