@@ -5,6 +5,8 @@
 #   make race         go test -race ./...
 #   make bench        full benchmark suite (slow; paper artifacts + ablations)
 #   make smoke        1-iteration pipeline benches + CLI trace-JSON round trip
+#   make smoke-daemon live hdivexplorerd round trip: explore, /metrics,
+#                     /v1/progress, Chrome-trace export, debug listener
 
 GO ?= go
 # BENCHTIME feeds -benchtime: the default 1s gives stable numbers; CI
@@ -12,9 +14,9 @@ GO ?= go
 BENCHTIME ?= 1s
 BENCHOUT ?= BENCH_PR2.json
 
-.PHONY: check vet build test race bench smoke fmt
+.PHONY: check vet build test race bench smoke smoke-daemon fmt
 
-check: vet build race smoke
+check: vet build race smoke smoke-daemon
 
 vet:
 	$(GO) vet ./...
@@ -49,6 +51,14 @@ smoke:
 		-trace-json .smoke/trace.json -top 3 > /dev/null
 	$(GO) run ./cmd/checktrace .smoke/trace.json
 	rm -rf .smoke
+
+# smoke-daemon starts a real hdivexplorerd, runs one exploration under a
+# known request ID and checks the whole observability surface: /metrics
+# histograms, /v1/progress/{id}, the Chrome-trace export (validated by
+# checktrace -chrome), the pprof/expvar debug listener and the structured
+# request log. Artifacts land in .smoke-daemon/ for CI upload.
+smoke-daemon:
+	./scripts/daemon_smoke.sh .smoke-daemon
 
 fmt:
 	gofmt -l -w .

@@ -1,12 +1,21 @@
-// Command checktrace validates a -trace-json snapshot: the file must be
-// parseable JSON whose spans cover the four pipeline stages (parse,
-// discretize, mine, rank) and whose counters include the mining pruning
-// statistics. It is the assertion half of `make smoke`.
+// Command checktrace validates observability exports; it is the
+// assertion half of `make smoke` and the CI daemon smoke step.
+//
+// With a positional argument it checks a -trace-json snapshot: the file
+// must be parseable JSON whose spans cover the four pipeline stages
+// (parse, discretize, mine, rank) and whose counters include the mining
+// pruning statistics. With -chrome it structurally validates a
+// Chrome/Perfetto trace_event file: balanced B/E events per track,
+// monotonic timestamps, at least one duration event. Both may be given
+// in one invocation.
 //
 //	checktrace trace.json
+//	checktrace -chrome chrome.json
+//	checktrace -chrome chrome.json trace.json
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -14,13 +23,24 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: checktrace <trace.json>")
+	chrome := flag.String("chrome", "", "Chrome trace_event JSON file to validate")
+	flag.Parse()
+	args := flag.Args()
+	if (len(args) != 1 && *chrome == "") || len(args) > 1 {
+		fmt.Fprintln(os.Stderr, "usage: checktrace [-chrome chrome.json] [trace.json]")
 		os.Exit(2)
 	}
-	if err := check(os.Args[1]); err != nil {
-		fmt.Fprintln(os.Stderr, "checktrace:", err)
-		os.Exit(1)
+	if len(args) == 1 {
+		if err := check(args[0]); err != nil {
+			fmt.Fprintln(os.Stderr, "checktrace:", err)
+			os.Exit(1)
+		}
+	}
+	if *chrome != "" {
+		if err := checkChrome(*chrome); err != nil {
+			fmt.Fprintln(os.Stderr, "checktrace:", err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -51,5 +71,19 @@ func check(path string) error {
 		}
 	}
 	fmt.Printf("%s: ok (%d spans, %d counters)\n", path, len(tr.Spans), len(tr.Counters))
+	return nil
+}
+
+func checkChrome(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	n, err := obs.ValidateChromeTrace(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: ok (%d trace events)\n", path, n)
 	return nil
 }

@@ -13,8 +13,10 @@
 //
 // Observability: -trace prints a span tree with per-stage wall time and
 // allocation deltas to stderr, -trace-json writes the machine-readable
-// spans+counters snapshot to a file, and -cpuprofile/-memprofile capture
-// runtime/pprof profiles of the run.
+// spans+counters snapshot to a file, -trace-chrome writes a
+// Chrome/Perfetto trace_event file (load it at ui.perfetto.dev),
+// -progress prints a live mining progress ticker to stderr, and
+// -cpuprofile/-memprofile capture runtime/pprof profiles of the run.
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	hdiv "repro"
 )
@@ -37,8 +40,9 @@ type cliConfig struct {
 	s, st, minT                              float64
 	polarity                                 bool
 	maxLen, top, workers                     int
-	trace                                    bool
-	traceJSON, cpuProfile, memProfile        string
+	trace, progress                          bool
+	traceJSON, traceChrome                   string
+	cpuProfile, memProfile                   string
 
 	stdout, stderr io.Writer // test injection points; default os.Stdout/Stderr
 }
@@ -62,7 +66,9 @@ func main() {
 	flag.StringVar(&c.format, "format", "text", "output format: text, csv or json")
 	flag.IntVar(&c.workers, "workers", 0, "parallel mining goroutines (0 = serial)")
 	flag.BoolVar(&c.trace, "trace", false, "print the pipeline span tree and counters to stderr")
+	flag.BoolVar(&c.progress, "progress", false, "print a live mining progress line to stderr every 500ms")
 	flag.StringVar(&c.traceJSON, "trace-json", "", "write the trace snapshot as JSON to this file")
+	flag.StringVar(&c.traceChrome, "trace-chrome", "", "write a Chrome/Perfetto trace_event file (open at ui.perfetto.dev)")
 	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&c.memProfile, "memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -96,7 +102,7 @@ func run(c cliConfig) error {
 	}
 
 	var tracer *hdiv.Tracer
-	if c.trace || c.traceJSON != "" {
+	if c.trace || c.traceJSON != "" || c.traceChrome != "" {
 		tracer = hdiv.NewTracer()
 	}
 
@@ -144,7 +150,14 @@ func run(c cliConfig) error {
 		return fmt.Errorf("unknown algorithm %q", c.algorithm)
 	}
 
+	var prog *hdiv.Progress
+	if c.progress {
+		prog = hdiv.NewProgress()
+		opt.Progress = prog
+	}
+	stopProgress := startProgressTicker(c.stderr, prog)
 	rep, err := hdiv.Pipeline(tab, o, opt)
+	stopProgress()
 	if err != nil {
 		return err
 	}
@@ -199,8 +212,44 @@ func run(c cliConfig) error {
 	return nil
 }
 
-// emitTrace writes the trace per -trace (human tree on stderr) and
-// -trace-json (snapshot file).
+// startProgressTicker prints one progress line to w every 500ms while
+// the pipeline runs. The returned stop function halts the ticker and
+// prints a final line, so -progress always produces at least one line
+// even for runs shorter than the tick interval.
+func startProgressTicker(w io.Writer, prog *hdiv.Progress) (stop func()) {
+	if prog == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				printProgress(w, prog.Snapshot())
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		printProgress(w, prog.Snapshot())
+	}
+}
+
+func printProgress(w io.Writer, s hdiv.ProgressSnapshot) {
+	fmt.Fprintf(w, "progress: level=%d candidates=%d pruned=%d frequent=%d elapsed=%dms\n",
+		s.Level, s.Candidates, s.Pruned, s.Frequent, s.ElapsedMS)
+}
+
+// emitTrace writes the trace per -trace (human tree on stderr),
+// -trace-json (snapshot file) and -trace-chrome (Chrome/Perfetto
+// trace_event file).
 func emitTrace(c cliConfig, tr *hdiv.Trace) error {
 	if tr == nil {
 		return nil
@@ -216,6 +265,16 @@ func emitTrace(c cliConfig, tr *hdiv.Trace) error {
 		defer f.Close()
 		if err := tr.WriteJSON(f); err != nil {
 			return fmt.Errorf("writing trace JSON: %w", err)
+		}
+	}
+	if c.traceChrome != "" {
+		f, err := os.Create(c.traceChrome)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tr.WriteChromeTrace(f); err != nil {
+			return fmt.Errorf("writing Chrome trace: %w", err)
 		}
 	}
 	return nil

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	hdiv "repro"
+	"repro/internal/obs"
 )
 
 func sampleTable(t *testing.T) *hdiv.Table {
@@ -255,6 +256,56 @@ func TestTraceOutputs(t *testing.T) {
 		if fi.Size() == 0 {
 			t.Errorf("profile %s is empty", p)
 		}
+	}
+}
+
+// TestProgressAndChromeTrace exercises -progress (at least one ticker
+// line lands on stderr even for a sub-500ms run) and -trace-chrome (the
+// exported file passes structural Chrome-trace validation).
+func TestProgressAndChromeTrace(t *testing.T) {
+	path := anomalyCSV(t)
+	chromePath := filepath.Join(t.TempDir(), "chrome.json")
+	var out, errBuf bytes.Buffer
+	c := cliConfig{
+		dataPath: path, actualCol: "y", predCol: "p",
+		stat: "error", criterion: "divergence", mode: "hierarchical",
+		algorithm: "fpgrowth", format: "text",
+		s: 0.05, st: 0.1, top: 5,
+		progress: true, traceChrome: chromePath,
+		stdout: &out, stderr: &errBuf,
+	}
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := 0
+	var last string
+	for _, line := range strings.Split(errBuf.String(), "\n") {
+		if strings.HasPrefix(line, "progress: ") {
+			lines++
+			last = line
+		}
+	}
+	if lines < 1 {
+		t.Fatalf("-progress printed no ticker lines:\n%s", errBuf.String())
+	}
+	for _, want := range []string{"level=", "candidates=", "pruned=", "frequent=", "elapsed="} {
+		if !strings.Contains(last, want) {
+			t.Errorf("progress line missing %q: %s", want, last)
+		}
+	}
+
+	f, err := os.Open(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := obs.ValidateChromeTrace(f)
+	if err != nil {
+		t.Fatalf("-trace-chrome output invalid: %v", err)
+	}
+	if n < 10 { // parse + discretize + explore spans → well over 10 events
+		t.Errorf("chrome trace has only %d events", n)
 	}
 }
 

@@ -12,18 +12,31 @@
 //	    "actual": "recid", "predicted": "pred", "top": 10
 //	}'
 //
-// Endpoints: POST /v1/explore, GET /v1/datasets, GET /healthz,
-// GET /metrics (Prometheus text format). SIGINT/SIGTERM trigger a
-// graceful shutdown that drains in-flight explorations.
+// Endpoints: POST /v1/explore, GET /v1/datasets, GET /v1/progress,
+// GET /v1/progress/{id}, GET /v1/trace/{id}, GET /healthz, GET /metrics
+// (Prometheus text format). SIGINT/SIGTERM trigger a graceful shutdown
+// that drains in-flight explorations.
+//
+// Every exploration carries a correlation ID (client-supplied via
+// X-Request-ID or generated, echoed in the response header) that keys
+// the structured request log, the live progress endpoint and the
+// Chrome/Perfetto trace export. -debug-addr starts a second listener
+// with net/http/pprof and expvar handlers for live profiling:
+//
+//	hdivexplorerd -dataset d=d.csv -debug-addr localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=5
+//	curl -s localhost:6060/debug/vars
 package main
 
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -53,40 +66,78 @@ func (d *datasetFlags) Set(v string) error {
 	return nil
 }
 
+// daemonConfig holds the flag values for one daemon run.
+type daemonConfig struct {
+	datasets  []server.DatasetConfig
+	addr      string
+	debugAddr string
+	inflight  int
+	timeout   time.Duration
+	drain     time.Duration
+	logJSON   bool
+}
+
 func main() {
 	var (
-		datasets datasetFlags
-		addr     = flag.String("addr", ":8080", "listen address")
-		inflight = flag.Int("max-inflight", 0, "max concurrent explorations (0 = GOMAXPROCS)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request exploration timeout")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+		datasets  datasetFlags
+		addr      = flag.String("addr", ":8080", "listen address")
+		debugAddr = flag.String("debug-addr", "", "optional second listener for /debug/pprof and /debug/vars (e.g. localhost:6060); off when empty")
+		inflight  = flag.Int("max-inflight", 0, "max concurrent explorations (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request exploration timeout")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Var(&datasets, "dataset", "dataset to serve as name=path.csv (repeatable, required)")
 	flag.Parse()
-	if err := run(datasets, *addr, *inflight, *timeout, *drain); err != nil {
+	cfg := daemonConfig{
+		datasets: datasets, addr: *addr, debugAddr: *debugAddr,
+		inflight: *inflight, timeout: *timeout, drain: *drain, logJSON: *logJSON,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "hdivexplorerd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(datasets []server.DatasetConfig, addr string, inflight int, timeout, drain time.Duration) error {
-	if len(datasets) == 0 {
+// debugMux returns the opt-in debug handler set: the net/http/pprof
+// endpoints plus expvar, registered explicitly so nothing depends on
+// http.DefaultServeMux.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+func run(cfg daemonConfig) error {
+	if len(cfg.datasets) == 0 {
 		return fmt.Errorf("at least one -dataset name=path.csv is required")
 	}
+	var logger *slog.Logger
+	if cfg.logJSON {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	} else {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	h, err := server.New(server.Config{
-		Datasets:       datasets,
-		MaxInFlight:    inflight,
-		RequestTimeout: timeout,
+		Datasets:       cfg.datasets,
+		MaxInFlight:    cfg.inflight,
+		RequestTimeout: cfg.timeout,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err
 	}
 	for _, name := range h.Datasets() {
-		log.Printf("serving dataset %q", name)
+		logger.Info("serving dataset", slog.String("dataset", name))
 	}
 
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -94,9 +145,24 @@ func run(datasets []server.DatasetConfig, addr string, inflight int, timeout, dr
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	var dsrv *http.Server
+	if cfg.debugAddr != "" {
+		dsrv = &http.Server{
+			Addr:              cfg.debugAddr,
+			Handler:           debugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("debug listener on", slog.String("addr", cfg.debugAddr))
+			if err := dsrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", slog.String("error", err.Error()))
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", addr)
+		logger.Info("listening", slog.String("addr", cfg.addr))
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -108,9 +174,12 @@ func run(datasets []server.DatasetConfig, addr string, inflight int, timeout, dr
 
 	// Drain: stop accepting connections, let in-flight explorations
 	// finish within the drain budget, then force-close stragglers.
-	log.Printf("shutting down, draining for up to %s", drain)
-	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	logger.Info("shutting down", slog.Duration("drain", cfg.drain))
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
+	if dsrv != nil {
+		dsrv.Close() // debug listener holds no exploration state; close hard
+	}
 	if err := srv.Shutdown(sctx); err != nil {
 		srv.Close()
 		return fmt.Errorf("drain incomplete: %w", err)

@@ -23,14 +23,25 @@ type (
 	// TraceSpan is one timed region of a trace.
 	TraceSpan = obs.Span
 	// Trace is an immutable tracer snapshot (JSON-marshalable; renders a
-	// human-readable span tree via Tree).
+	// human-readable span tree via Tree and exports Chrome/Perfetto
+	// trace_event JSON via WriteChromeTrace).
 	Trace = obs.Trace
+	// Progress is a lock-free live progress reporter for a mining run;
+	// poll Snapshot from any goroutine while the run is in flight.
+	Progress = obs.Progress
+	// ProgressSnapshot is one consistent view of a Progress reporter.
+	ProgressSnapshot = obs.ProgressSnapshot
 )
 
 // NewTracer returns an empty tracer whose clock starts now. Set it on
 // CSVOptions, PipelineOptions or ExploreConfig to instrument a run; the
 // resulting Report.Trace holds the snapshot.
 func NewTracer() *Tracer { return obs.New() }
+
+// NewProgress returns a progress reporter whose clock starts now. Set it
+// on PipelineOptions or ExploreConfig and poll Snapshot from another
+// goroutine to watch a long run live.
+func NewProgress() *Progress { return obs.NewProgress() }
 
 // Dataset substrate.
 type (
@@ -227,6 +238,9 @@ type PipelineOptions struct {
 	// counters; the report's Trace field receives the snapshot. Thread the
 	// same tracer through CSVOptions to cover parsing too.
 	Tracer *Tracer
+	// Progress, when non-nil, receives live mining progress; poll its
+	// Snapshot from another goroutine while the pipeline runs.
+	Progress *Progress
 }
 
 // Pipeline runs the full H-DivExplorer pipeline on a table: divergence-
@@ -289,5 +303,6 @@ func PipelineContext(ctx context.Context, t *Table, o *Outcome, opt PipelineOpti
 		Mode:          opt.Mode,
 		Workers:       opt.Workers,
 		Tracer:        opt.Tracer,
+		Progress:      opt.Progress,
 	})
 }

@@ -75,6 +75,11 @@ type Config struct {
 	// mining, ranking) and the fpm.* counters; the report's Trace field is
 	// set to its snapshot. Nil disables all collection.
 	Tracer *obs.Tracer
+	// Progress, when non-nil, receives live mining progress (level,
+	// candidates, pruned, frequent) and is Finished when the exploration
+	// body returns, freezing its elapsed clock. Poll it from another
+	// goroutine to watch a long run; nil disables collection.
+	Progress *obs.Progress
 
 	// span nests exploration under an enclosing span (internal).
 	span *obs.Span
@@ -154,6 +159,9 @@ func ExploreContext(ctx context.Context, t *dataset.Table, cfg Config) (*Report,
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: exploration cancelled: %w", err)
 	}
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		cfg.Tracer.SetID(id)
+	}
 	span := cfg.Tracer.Start(obs.SpanExplore)
 	cfg.span = span
 	us := span.Start(obs.SpanUniverse)
@@ -186,6 +194,9 @@ func ExploreUniverseContext(ctx context.Context, u *fpm.Universe, cfg Config) (*
 	span := cfg.span
 	owned := span == nil // Explore manages the span (and snapshot) itself
 	if owned {
+		if id := obs.RequestIDFrom(ctx); id != "" {
+			cfg.Tracer.SetID(id)
+		}
 		span = cfg.Tracer.Start(obs.SpanExplore)
 		cfg.span = span
 	}
@@ -202,6 +213,7 @@ func ExploreUniverseContext(ctx context.Context, u *fpm.Universe, cfg Config) (*
 // exploreUniverse is the shared mining+ranking body; cfg.span (possibly
 // nil) encloses the emitted spans.
 func exploreUniverse(ctx context.Context, u *fpm.Universe, cfg Config) (*Report, error) {
+	defer cfg.Progress.Finish()
 	start := time.Now()
 	res, err := fpm.Mine(u, cfg.Outcome, fpm.Options{
 		Ctx:           ctx,
@@ -212,6 +224,7 @@ func exploreUniverse(ctx context.Context, u *fpm.Universe, cfg Config) (*Report,
 		Workers:       cfg.Workers,
 		Tracer:        cfg.Tracer,
 		TraceParent:   cfg.span,
+		Progress:      cfg.Progress,
 	})
 	if err != nil {
 		return nil, err

@@ -81,19 +81,24 @@ type weightedPath struct {
 // base of an item excludes items of the same attribute (its hierarchy
 // ancestors/descendants), which enforces the one-item-per-attribute rule of
 // generalized itemsets.
-func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int, span *obs.Span, cancel *canceller) *Result {
+func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int, span *obs.Span, cancel *canceller, hBatch *obs.Histogram) *Result {
 	res := &Result{}
+	prog := opt.Progress
 
 	// Global frequent items, ranked by support descending (ties by index).
 	scan := span.Start(obs.SpanMineScan)
+	prog.SetLevel(1)
+	hBatch.Observe(float64(len(u.Items)))
 	type freq struct{ item, count int }
 	var fr []freq
 	for i := range u.Items {
 		res.Stats.Candidates++
+		prog.AddCandidates(1)
 		if c := u.Rows[i].Count(); c >= minCount {
 			fr = append(fr, freq{i, c})
 		} else {
 			res.Stats.PrunedSupport++
+			prog.AddPruned(1)
 		}
 	}
 	sort.Slice(fr, func(a, b int) bool {
@@ -164,6 +169,10 @@ func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int, sp
 		sorted := append([]int(nil), itemset...)
 		sort.Ints(sorted)
 		acc.itemsets = append(acc.itemsets, MinedItemset{Items: sorted, Count: total, M: m})
+		prog.AddFrequent(1)
+		// FP-Growth has no global level sweep, so the live "level" is the
+		// deepest itemset emitted so far across all branches.
+		prog.RaiseLevel(len(itemset))
 		if len(itemset) > acc.maxDepth {
 			acc.maxDepth = len(itemset)
 		}
@@ -185,6 +194,7 @@ func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int, sp
 				}
 				if opt.PolarityPrune && u.Polarity[p.item] != u.Polarity[it] {
 					acc.prunedPolarity++
+					prog.AddPruned(1)
 					continue
 				}
 				path = append(path, p.item)
@@ -205,15 +215,18 @@ func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int, sp
 		var condOrder []int
 		for _, oi := range t.order {
 			acc.candidates++
+			prog.AddCandidates(1)
 			if condCount[oi] >= minCount {
 				condOrder = append(condOrder, oi)
 			} else {
 				acc.prunedSupport++
+				prog.AddPruned(1)
 			}
 		}
 		if len(condOrder) == 0 {
 			return
 		}
+		hBatch.Observe(float64(len(condOrder)))
 		cond := newFPTree(condOrder)
 		for _, wp := range base {
 			kept := wp.items[:0]

@@ -66,6 +66,13 @@ type Options struct {
 	// (e.g. core's explore span). When nil, spans are emitted top-level on
 	// Tracer.
 	TraceParent *obs.Span
+	// Progress, when non-nil, receives live mining progress: the current
+	// (or, for FP-Growth, deepest) itemset length, candidates evaluated,
+	// candidates pruned and frequent itemsets found. Updates happen at the
+	// same sites as the MiningStats increments, so on an uncancelled run
+	// the final Progress totals equal the deterministic Stats. The caller
+	// owns the lifecycle (and calls Finish); a nil Progress costs nothing.
+	Progress *obs.Progress
 }
 
 // MiningStats reports work done by a mining run. All fields are
@@ -125,12 +132,13 @@ func Mine(u *Universe, o *outcome.Outcome, opt Options) (*Result, error) {
 	if span == nil {
 		span = opt.Tracer.Start(obs.SpanMine)
 	}
+	hBatch := opt.Tracer.Histogram(obs.HistCandidateBatch, obs.SizeBuckets)
 	var res *Result
 	switch opt.Algorithm {
 	case Apriori:
-		res = mineApriori(u, o, opt, minCount, span, cancel)
+		res = mineApriori(u, o, opt, minCount, span, cancel, hBatch)
 	case FPGrowth:
-		res = mineFPGrowth(u, o, opt, minCount, span, cancel)
+		res = mineFPGrowth(u, o, opt, minCount, span, cancel, hBatch)
 	default:
 		span.End()
 		return nil, fmt.Errorf("fpm: unknown algorithm %v", opt.Algorithm)
@@ -147,6 +155,12 @@ func Mine(u *Universe, o *outcome.Outcome, opt Options) (*Result, error) {
 		tr.Counter(obs.CtrPrunedSupport).Add(int64(res.Stats.PrunedSupport))
 		tr.Counter(obs.CtrPrunedPolarity).Add(int64(res.Stats.PrunedPolarity))
 		tr.Counter(obs.CtrItemsetsEmitted).Add(int64(res.Stats.Frequent))
+		if hs := tr.Histogram(obs.HistItemsetSupport, obs.SupportBuckets); hs != nil && u.NumRows > 0 {
+			inv := 1 / float64(u.NumRows)
+			for i := range res.Itemsets {
+				hs.Observe(float64(res.Itemsets[i].Count) * inv)
+			}
+		}
 	}
 	return res, nil
 }
@@ -199,8 +213,9 @@ func momentsOf(rows *bitvec.Vector, o *outcome.Outcome) stats.Moments {
 // items; the two differing items must constrain different attributes (the
 // generalized-itemset rule) and, under polarity pruning, share polarity.
 // Candidates with an infrequent (k−1)-subset are pruned before counting.
-func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int, span *obs.Span, cancel *canceller) *Result {
+func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int, span *obs.Span, cancel *canceller, hBatch *obs.Histogram) *Result {
 	res := &Result{}
+	prog := opt.Progress
 
 	type entry struct {
 		items []int
@@ -209,14 +224,19 @@ func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int, spa
 
 	// Level 1.
 	scan := span.Start(obs.SpanMineScan)
+	prog.SetLevel(1)
+	hBatch.Observe(float64(len(u.Items)))
 	var level []entry
 	for i := range u.Items {
 		res.Stats.Candidates++
+		prog.AddCandidates(1)
 		if u.Rows[i].Count() < minCount {
 			res.Stats.PrunedSupport++
+			prog.AddPruned(1)
 			continue
 		}
 		level = append(level, entry{items: []int{i}, rows: u.Rows[i]})
+		prog.AddFrequent(1)
 		res.Itemsets = append(res.Itemsets, MinedItemset{
 			Items: []int{i},
 			Count: u.Rows[i].Count(),
@@ -234,6 +254,7 @@ func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int, spa
 	levels := span.Start(obs.SpanMineLevels)
 	defer levels.End()
 	for k := 2; opt.MaxLen == 0 || k <= opt.MaxLen; k++ {
+		prog.SetLevel(k)
 		// Phase 1: candidate generation. The level is sorted
 		// lexicographically by construction (level 1 is index-ordered;
 		// joins preserve order), enabling prefix grouping.
@@ -259,17 +280,20 @@ func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int, spa
 				}
 				if opt.PolarityPrune && !polarityCompatible(u, ea.items, y) {
 					res.Stats.PrunedPolarity++
+					prog.AddPruned(1)
 					continue
 				}
 				cand := append(append([]int{}, ea.items...), y)
 				if k > 2 && !allSubsetsFrequent(cand, frequent) {
 					res.Stats.PrunedSupport++
+					prog.AddPruned(1)
 					continue
 				}
 				cands = append(cands, candidate{items: cand, base: a, extra: y})
 			}
 		}
 		res.Stats.Candidates += len(cands)
+		hBatch.Observe(float64(len(cands)))
 
 		// Phase 2: support counting and divergence accumulation, optionally
 		// parallel. Evaluation of distinct candidates is independent;
@@ -281,6 +305,10 @@ func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int, spa
 			if cancel.cancelled() {
 				return
 			}
+			// Counted here, per candidate, so the live view advances while a
+			// wide level is being evaluated (the batch-granular alternative
+			// would stall for the whole level).
+			prog.AddCandidates(1)
 			c := cands[i]
 			base := level[c.base].rows
 			// Fused AND+popcount screens the candidate without allocating;
@@ -302,9 +330,11 @@ func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int, spa
 		for i, e := range evaluated {
 			if e == nil {
 				res.Stats.PrunedSupport++
+				prog.AddPruned(1)
 				continue
 			}
 			next = append(next, *e)
+			prog.AddFrequent(1)
 			nextKeys[key(e.items)] = true
 			res.Itemsets = append(res.Itemsets, MinedItemset{
 				Items: e.items,

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// Request correlation. Every exploration request gets one opaque ID,
+// generated at the HTTP edge (or supplied by the client via the
+// X-Request-ID header) and threaded through context.Context into the
+// pipeline: the server tags its log lines and the per-request tracer
+// (Tracer.SetID) with it, so a span tree, a progress endpoint reply and
+// a request log line can all be joined on one key.
+
+type requestIDKey struct{}
+
+var requestSeq atomic.Int64
+
+// NewRequestID returns a fresh 16-hex-digit correlation ID. IDs come
+// from crypto/rand; on the (effectively impossible) failure path a
+// process-local sequence keeps them unique.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		b[7] = byte(requestSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID returns a context carrying the correlation ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom extracts the correlation ID from the context, "" if none.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// RequestLogger returns base with the request_id attribute attached to
+// every record, the logger request handlers thread through their call
+// chain. A nil base yields the no-op logger.
+func RequestLogger(base *slog.Logger, id string) *slog.Logger {
+	if base == nil {
+		return NopLogger()
+	}
+	return base.With(slog.String("request_id", id))
+}
+
+// NopLogger returns a logger that discards every record; it is the
+// default for servers constructed without an explicit logger, keeping
+// call sites free of nil checks.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}

@@ -100,3 +100,53 @@ const (
 	GaugeServerDatasets        = "server.datasets"
 	GaugeServerCachedUniverses = "server.cached_universes"
 )
+
+// Canonical histogram names.
+const (
+	// HistRequestSeconds is the end-to-end /v1/explore latency in seconds,
+	// observed once per exploration request (including rejected ones).
+	HistRequestSeconds = "server.request_seconds"
+	// HistCandidateBatch is the size distribution of candidate batches:
+	// Apriori records the candidate count of each level, FP-Growth the
+	// item count of each conditional universe.
+	HistCandidateBatch = "fpm.candidate_batch"
+	// HistItemsetSupport is the support-fraction distribution of the
+	// frequent itemsets a mining run emitted.
+	HistItemsetSupport = "fpm.itemset_support"
+)
+
+// Default bucket bounds for the canonical histograms. Call sites pass
+// these to Tracer.Histogram so the CLI, server and tests bucket
+// identically.
+var (
+	// LatencyBuckets spans 1ms–65s in log-spaced steps (×2 per bucket).
+	LatencyBuckets = ExpBuckets(0.001, 2, 17)
+	// SizeBuckets spans 1–2^20 items (×4 per bucket).
+	SizeBuckets = ExpBuckets(1, 4, 11)
+	// SupportBuckets spans support fractions 0.001–1 (roughly ×2 steps).
+	SupportBuckets = []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1}
+)
+
+// MetricHelp maps sanitized Prometheus metric names to their `# HELP`
+// text; WritePrometheus consults it for every exported family. Only the
+// stable serving-layer and mining metrics are registered — dynamic names
+// (per-worker counters, per-endpoint request counts) export without HELP.
+var MetricHelp = map[string]string{
+	"server_request_seconds":       "End-to-end /v1/explore request latency in seconds.",
+	"server_explores":              "Explorations actually run to completion or error.",
+	"server_http_errors":           "Requests answered with a 4xx/5xx status.",
+	"server_rejected_saturated":    "Explorations rejected with 429 at the in-flight limit.",
+	"server_explores_cancelled":    "Explorations aborted by timeout or client disconnect.",
+	"server_universe_cache_hits":   "Universe-cache lookups that skipped discretization.",
+	"server_universe_cache_misses": "Universe-cache lookups that built a new universe.",
+	"server_in_flight":             "Explorations currently running.",
+	"server_in_flight_max":         "High-water mark of concurrent explorations.",
+	"server_datasets":              "Datasets loaded at startup.",
+	"server_cached_universes":      "Universe-cache entries currently built.",
+	"fpm_candidate_batch":          "Candidate-batch sizes: Apriori level widths and FP-Growth conditional universe sizes.",
+	"fpm_itemset_support":          "Support fraction of emitted frequent itemsets.",
+	"fpm_candidates":               "Itemset candidates whose support was evaluated.",
+	"fpm_pruned_support":           "Candidates discarded as infrequent.",
+	"fpm_pruned_polarity":          "Combinations skipped by polarity pruning.",
+	"fpm_itemsets_emitted":         "Frequent itemsets returned by the miner.",
+}

@@ -23,6 +23,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -33,24 +34,91 @@ import (
 // zero value is not useful; construct with New. A nil *Tracer disables
 // all collection at near-zero cost.
 type Tracer struct {
-	mu       sync.Mutex
-	start    time.Time
-	spans    []*Span
-	counters map[string]*Counter
-	gauges   map[string]float64
+	mu         sync.Mutex
+	id         string
+	start      time.Time
+	spans      []*Span
+	counters   map[string]*Counter
+	gauges     map[string]float64
+	histograms map[string]*Histogram
 }
 
 // New returns an empty tracer whose clock starts now.
 func New() *Tracer {
 	return &Tracer{
-		start:    time.Now(),
-		counters: map[string]*Counter{},
-		gauges:   map[string]float64{},
+		start:      time.Now(),
+		counters:   map[string]*Counter{},
+		gauges:     map[string]float64{},
+		histograms: map[string]*Histogram{},
 	}
 }
 
 // Enabled reports whether the tracer is collecting (i.e. non-nil).
 func (t *Tracer) Enabled() bool { return t != nil }
+
+// SetID labels the tracer with a correlation (request) ID; snapshots
+// carry it so every span of a trace can be tied back to the request that
+// produced it. No-op on nil.
+func (t *Tracer) SetID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.id = id
+	t.mu.Unlock()
+}
+
+// Reset discards all recorded spans and restarts the tracer's clock,
+// keeping counters, gauges and histograms (which are cumulative by
+// nature). Long-lived tracers — one per daemon process — call it between
+// requests to keep span memory bounded; per-request child tracers are the
+// preferred alternative. Spans still open when Reset is called are
+// detached: their End becomes a harmless no-op on the old backing array.
+// No-op on nil.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = nil
+	t.start = time.Now()
+	t.mu.Unlock()
+}
+
+// Absorb folds a finished trace's cumulative metrics into the tracer:
+// counter values add, gauges merge by maximum (a lifetime high-water
+// view), and histograms with identical bounds merge bin-wise (histograms
+// whose bounds differ are absorbed only if the name is new). Spans are
+// deliberately not absorbed — they describe one run, and copying them
+// would reintroduce the unbounded span growth per-request tracers exist
+// to avoid. No-op on a nil tracer or nil trace.
+func (t *Tracer) Absorb(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	for name, v := range tr.Counters {
+		t.Counter(name).Add(v)
+	}
+	for name, v := range tr.Gauges {
+		t.MaxGauge(name, v)
+	}
+	for name, rec := range tr.Histograms {
+		h := t.Histogram(name, rec.Bounds)
+		if len(h.bounds) != len(rec.Bounds) {
+			continue
+		}
+		match := true
+		for i, b := range h.bounds {
+			if b != rec.Bounds[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			h.add(rec)
+		}
+	}
+}
 
 // Span is one timed region of the pipeline. Spans form a tree: children
 // are started from their parent with Span.Start. A span is finished with
@@ -228,12 +296,16 @@ type SpanRecord struct {
 func (r *SpanRecord) Duration() time.Duration { return time.Duration(r.DurNS) }
 
 // Trace is an immutable snapshot of a tracer: all spans in creation
-// order plus the counter and gauge registries. It marshals directly to
-// the -trace-json format.
+// order plus the counter, gauge and histogram registries. It marshals
+// directly to the -trace-json format.
 type Trace struct {
-	Spans    []SpanRecord       `json:"spans"`
-	Counters map[string]int64   `json:"counters,omitempty"`
-	Gauges   map[string]float64 `json:"gauges,omitempty"`
+	// ID is the correlation (request) ID set via Tracer.SetID, empty for
+	// untagged traces.
+	ID         string                     `json:"request_id,omitempty"`
+	Spans      []SpanRecord               `json:"spans"`
+	Counters   map[string]int64           `json:"counters,omitempty"`
+	Gauges     map[string]float64         `json:"gauges,omitempty"`
+	Histograms map[string]HistogramRecord `json:"histograms,omitempty"`
 }
 
 // Snapshot captures the tracer's current state. Unfinished spans are
@@ -253,15 +325,23 @@ func (t *Tracer) Snapshot() *Trace {
 	for k, v := range t.gauges {
 		gauges[k] = v
 	}
+	histograms := make(map[string]HistogramRecord, len(t.histograms))
+	for k, h := range t.histograms {
+		histograms[k] = h.snapshot()
+	}
+	id := t.id
 	start := t.start
 	t.mu.Unlock()
 
-	tr := &Trace{Counters: counters, Gauges: gauges}
+	tr := &Trace{ID: id, Counters: counters, Gauges: gauges, Histograms: histograms}
 	if len(counters) == 0 {
 		tr.Counters = nil
 	}
 	if len(gauges) == 0 {
 		tr.Gauges = nil
+	}
+	if len(histograms) == 0 {
+		tr.Histograms = nil
 	}
 	tr.Spans = make([]SpanRecord, len(spans))
 	for i, s := range spans {
@@ -363,28 +443,113 @@ func (tr *Trace) Tree() string {
 			fmt.Fprintf(&b, "  %-42s %12g\n", k, tr.Gauges[k])
 		}
 	}
+	if len(tr.Histograms) > 0 {
+		b.WriteString("histograms:\n")
+		for _, k := range sortedKeys(tr.Histograms) {
+			h := tr.Histograms[k]
+			fmt.Fprintf(&b, "  %-42s n=%d sum=%g p50=%g p99=%g\n",
+				k, h.Count, h.Sum, h.Quantile(0.50), h.Quantile(0.99))
+		}
+	}
 	return b.String()
 }
 
-// WritePrometheus renders the trace's counters and gauges in the
-// Prometheus text exposition format (one `# TYPE` line plus one sample
-// per metric, names sanitized to [a-zA-Z0-9_:]), the payload served by
-// the HTTP server's GET /metrics. Spans are not exported — they describe
-// one run, not a monotonic series.
+// WritePrometheus renders the trace's counters, gauges and histograms in
+// the Prometheus text exposition format, the payload served by the HTTP
+// server's GET /metrics. Names are sanitized to [a-zA-Z0-9_:]; each
+// exported metric gets exactly one `# TYPE` (and, when registered in
+// MetricHelp, one `# HELP`) line even when several dotted names sanitize
+// to the same Prometheus name: colliding counters merge by sum, while a
+// gauge or histogram whose sanitized name was already emitted is dropped
+// (first in sorted-key order wins). Histograms export the standard
+// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`. Spans
+// are not exported — they describe one run, not a monotonic series.
 func (tr *Trace) WritePrometheus(w io.Writer) error {
-	for _, k := range sortedKeys(tr.Counters) {
+	emitted := map[string]bool{}
+	header := func(name, typ string) error {
+		if help, ok := MetricHelp[name]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, promEscapeHelp(help)); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		return err
+	}
+
+	// Counters: merge sanitization collisions by summing (both series are
+	// monotonic, so the sum is too).
+	merged := map[string]int64{}
+	for k, v := range tr.Counters {
+		merged[promName(k)] += v
+	}
+	for _, name := range sortedKeys(merged) {
+		if err := header(name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, merged[name]); err != nil {
+			return err
+		}
+		emitted[name] = true
+	}
+
+	for _, k := range sortedKeys(tr.Gauges) {
 		name := promName(k)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, tr.Counters[k]); err != nil {
+		if emitted[name] {
+			continue
+		}
+		emitted[name] = true
+		if err := header(name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, promFloat(tr.Gauges[k])); err != nil {
 			return err
 		}
 	}
-	for _, k := range sortedKeys(tr.Gauges) {
+
+	for _, k := range sortedKeys(tr.Histograms) {
 		name := promName(k)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, tr.Gauges[k]); err != nil {
+		if emitted[name] {
+			continue
+		}
+		emitted[name] = true
+		if err := header(name, "histogram"); err != nil {
+			return err
+		}
+		rec := tr.Histograms[k]
+		var cum int64
+		for i, b := range rec.Bounds {
+			cum += rec.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b), cum); err != nil {
+				return err
+			}
+		}
+		if len(rec.Counts) > 0 {
+			cum += rec.Counts[len(rec.Counts)-1]
+		}
+		// The +Inf cumulative bucket and _count must agree exactly, so both
+		// come from the same bin total (rec.Count may lag under concurrent
+		// Observe between the snapshot's bin and counter reads).
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(rec.Sum), name, cum); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// promFloat renders a float the way Prometheus expects: shortest exact
+// decimal, no exponent for ordinary magnitudes.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promEscapeHelp escapes a HELP string per the exposition format:
+// backslashes and newlines only.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 // promName maps a dotted metric name onto the Prometheus charset,

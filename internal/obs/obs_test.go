@@ -19,14 +19,72 @@ func TestWritePrometheus(t *testing.T) {
 	if err := tr.Snapshot().WritePrometheus(&b); err != nil {
 		t.Fatal(err)
 	}
-	want := "# TYPE fpm_candidates counter\n" +
+	want := "# HELP fpm_candidates Itemset candidates whose support was evaluated.\n" +
+		"# TYPE fpm_candidates counter\n" +
 		"fpm_candidates 42\n" +
 		"# TYPE server_requests_explore counter\n" +
 		"server_requests_explore 3\n" +
+		"# HELP server_in_flight Explorations currently running.\n" +
 		"# TYPE server_in_flight gauge\n" +
 		"server_in_flight 2\n"
 	if b.String() != want {
 		t.Errorf("WritePrometheus:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+// TestWritePrometheusConformance pins the exposition-format contract:
+// dotted/dashed names sanitize to [a-zA-Z0-9_:], output is sorted by
+// sanitized name within each family, HELP text is escaped, and names
+// that collide after sanitization produce exactly one HELP/TYPE line
+// (counters merge by sum; gauges drop all but the first).
+func TestWritePrometheusConformance(t *testing.T) {
+	MetricHelp["weird_help"] = "line one\nline two with a \\ backslash"
+	defer delete(MetricHelp, "weird_help")
+
+	tr := New()
+	tr.Counter("a.b-c").Add(1)                        // sanitizes to a_b_c
+	tr.Counter("a.b.c").Add(2)                        // collides with a.b-c -> merged sum 3
+	tr.Counter("z.last").Add(9)                       // sorts after a_b_c
+	tr.SetGauge("a.b.c", 5)                           // collides with the counter family -> dropped
+	tr.SetGauge("weird.help", 7)                      // has multi-line HELP registered
+	tr.Histogram("z.last", []float64{1}).Observe(0.5) // collides with counter -> dropped
+
+	var b strings.Builder
+	if err := tr.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	want := "# TYPE a_b_c counter\n" +
+		"a_b_c 3\n" +
+		"# TYPE z_last counter\n" +
+		"z_last 9\n" +
+		"# HELP weird_help line one\\nline two with a \\\\ backslash\n" +
+		"# TYPE weird_help gauge\n" +
+		"weird_help 7\n"
+	if out != want {
+		t.Errorf("conformance output:\n%s\nwant:\n%s", out, want)
+	}
+
+	// No duplicate HELP/TYPE lines for any name, ever.
+	seen := map[string]int{}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") || strings.HasPrefix(line, "# HELP ") {
+			key := strings.Join(strings.Fields(line)[:3], " ")
+			seen[key]++
+			if seen[key] > 1 {
+				t.Errorf("duplicate metadata line %q", line)
+			}
+		}
+	}
+
+	// Two snapshots render byte-identically (stable order).
+	var b2 strings.Builder
+	if err := tr.Snapshot().WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("WritePrometheus output is not stable across snapshots")
 	}
 }
 

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Progress is a live, lock-free view into a running mining pass. The
+// miners publish into it from their hot loops (single atomic adds, same
+// cost profile as Counter) and any number of readers — the daemon's
+// GET /v1/progress/{id}, the CLI's -progress ticker — snapshot it
+// concurrently. Candidate, pruned and frequent counts only ever grow, so
+// successive snapshots of a live run advance monotonically.
+//
+// A nil *Progress accepts every call as a no-op, matching the package's
+// nil-safe contract: un-instrumented runs pay a nil check per update.
+type Progress struct {
+	startNS    int64 // tracer-independent wall clock origin (UnixNano)
+	level      atomic.Int64
+	candidates atomic.Int64
+	pruned     atomic.Int64
+	frequent   atomic.Int64
+	doneNS     atomic.Int64 // UnixNano at Finish, 0 while running
+}
+
+// NewProgress returns a progress reporter whose clock starts now.
+func NewProgress() *Progress {
+	return &Progress{startNS: time.Now().UnixNano()}
+}
+
+// SetLevel records the mining level currently being processed (Apriori's
+// itemset length k). No-op on nil.
+func (p *Progress) SetLevel(l int) {
+	if p != nil {
+		p.level.Store(int64(l))
+	}
+}
+
+// RaiseLevel records l only if it exceeds the current level — the deepest
+// itemset length reached so far (FP-Growth's recursion depth, which has
+// no single global "current level"). No-op on nil.
+func (p *Progress) RaiseLevel(l int) {
+	if p == nil {
+		return
+	}
+	for {
+		cur := p.level.Load()
+		if int64(l) <= cur || p.level.CompareAndSwap(cur, int64(l)) {
+			return
+		}
+	}
+}
+
+// AddCandidates counts candidates whose support was evaluated. No-op on nil.
+func (p *Progress) AddCandidates(n int64) {
+	if p != nil {
+		p.candidates.Add(n)
+	}
+}
+
+// AddPruned counts candidates discarded by support or polarity pruning.
+// No-op on nil.
+func (p *Progress) AddPruned(n int64) {
+	if p != nil {
+		p.pruned.Add(n)
+	}
+}
+
+// AddFrequent counts frequent itemsets emitted so far. No-op on nil.
+func (p *Progress) AddFrequent(n int64) {
+	if p != nil {
+		p.frequent.Add(n)
+	}
+}
+
+// Finish freezes the elapsed clock and marks the run done. Later calls
+// are no-ops, as is Finish on nil.
+func (p *Progress) Finish() {
+	if p != nil {
+		p.doneNS.CompareAndSwap(0, time.Now().UnixNano())
+	}
+}
+
+// Snapshot captures the current state. Snapshots of a nil reporter are
+// zero-valued with Done false.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	s := ProgressSnapshot{
+		Level:      int(p.level.Load()),
+		Candidates: p.candidates.Load(),
+		Pruned:     p.pruned.Load(),
+		Frequent:   p.frequent.Load(),
+	}
+	end := p.doneNS.Load()
+	if end != 0 {
+		s.Done = true
+	} else {
+		end = time.Now().UnixNano()
+	}
+	s.ElapsedMS = (end - p.startNS) / int64(time.Millisecond)
+	return s
+}
+
+// ProgressSnapshot is one point-in-time reading of a Progress reporter;
+// it marshals to the GET /v1/progress/{id} reply body.
+type ProgressSnapshot struct {
+	// Level is the mining level being processed (Apriori) or the deepest
+	// itemset length reached (FP-Growth).
+	Level int `json:"level"`
+	// Candidates, Pruned and Frequent are running totals; they advance
+	// monotonically over the life of a run.
+	Candidates int64 `json:"candidates"`
+	Pruned     int64 `json:"pruned"`
+	Frequent   int64 `json:"frequent"`
+	// ElapsedMS is wall time since mining began, frozen once Done.
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// Done reports whether the run has finished.
+	Done bool `json:"done"`
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -43,9 +44,15 @@ type Config struct {
 	// A request may shorten it via timeout_ms but never extend it.
 	// Defaults to 30s.
 	RequestTimeout time.Duration
-	// Tracer accumulates the server.* lifetime counters and gauges
-	// rendered by GET /metrics. New creates one when nil.
+	// Tracer accumulates the server.* lifetime counters, gauges and
+	// histograms rendered by GET /metrics. Each exploration runs on its
+	// own per-request tracer whose counters are folded in here on
+	// completion, so the lifetime tracer never accumulates spans. New
+	// creates one when nil.
 	Tracer *obs.Tracer
+	// Logger receives one structured line per exploration request,
+	// carrying the request's correlation ID. Nil discards logs.
+	Logger *slog.Logger
 }
 
 // Server is the exploration service. It implements http.Handler; mount
@@ -54,6 +61,9 @@ type Config struct {
 type Server struct {
 	mux      *http.ServeMux
 	tracer   *obs.Tracer
+	logger   *slog.Logger
+	requests *requestRegistry
+	hLatency *obs.Histogram
 	tables   map[string]*dataset.Table
 	order    []string // dataset names in registration order
 	cache    *universeCache
@@ -78,13 +88,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Tracer == nil {
 		cfg.Tracer = obs.New()
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
 	s := &Server{
-		mux:     http.NewServeMux(),
-		tracer:  cfg.Tracer,
-		tables:  map[string]*dataset.Table{},
-		cache:   newUniverseCache(),
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		timeout: cfg.RequestTimeout,
+		mux:      http.NewServeMux(),
+		tracer:   cfg.Tracer,
+		logger:   cfg.Logger,
+		requests: newRequestRegistry(),
+		hLatency: cfg.Tracer.Histogram(obs.HistRequestSeconds, obs.LatencyBuckets),
+		tables:   map[string]*dataset.Table{},
+		cache:    newUniverseCache(),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		timeout:  cfg.RequestTimeout,
 	}
 	for _, d := range cfg.Datasets {
 		if d.Name == "" {
@@ -109,6 +125,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	s.mux.HandleFunc("GET /v1/progress", s.handleProgressList)
+	s.mux.HandleFunc("GET /v1/progress/{id}", s.handleProgress)
+	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	return s, nil
 }
 
@@ -291,15 +310,23 @@ func (p *exploreParams) key() cacheKey {
 
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	s.tracer.Counter(obs.CtrServerRequestPrefix + "explore").Add(1)
+	start := time.Now()
+	defer func() { s.hLatency.Observe(time.Since(start).Seconds()) }()
+	id := requestID(r)
+	w.Header().Set("X-Request-ID", id)
+	logger := obs.RequestLogger(s.logger, id)
+
 	var req ExploreRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		logger.Warn("explore rejected", slog.String("error", err.Error()))
 		s.httpError(w, http.StatusBadRequest, "invalid request body: %v", err)
 		return
 	}
 	p, code, err := s.resolve(req)
 	if err != nil {
+		logger.Warn("explore rejected", slog.String("error", err.Error()))
 		s.httpError(w, code, "%v", err)
 		return
 	}
@@ -322,13 +349,35 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		s.tracer.SetGauge(obs.GaugeServerInFlight, float64(s.inFlight.Add(-1)))
 	}()
 
-	ctx, cancel := context.WithTimeout(r.Context(), p.timeout)
+	ctx, cancel := context.WithTimeout(obs.WithRequestID(r.Context(), id), p.timeout)
 	defer cancel()
 
-	var reqTracer *obs.Tracer
-	if p.req.Trace {
-		reqTracer = obs.New()
-	}
+	// Every exploration runs on its own tracer: spans stay bounded per
+	// request, and the completion hook below folds the counters, gauges
+	// and histograms into the lifetime tracer so /metrics stays
+	// cumulative. The snapshot also feeds GET /v1/trace/{id}.
+	reqTracer := obs.New()
+	reqTracer.SetID(id)
+	prog := obs.NewProgress()
+	reqState := s.requests.start(id, p.req.Dataset, prog)
+	status := "error"
+	subgroups := 0
+	hit := false
+	defer func() {
+		prog.Finish() // idempotent; covers paths that never reach the miner
+		trace := reqTracer.Snapshot()
+		s.tracer.Absorb(trace)
+		s.requests.finish(reqState, trace, status)
+		logger.Info("explore",
+			slog.String("dataset", p.req.Dataset),
+			slog.String("stat", p.req.Stat),
+			slog.String("algorithm", p.algorithm.String()),
+			slog.String("status", status),
+			slog.Bool("cache_hit", hit),
+			slog.Int("subgroups", subgroups),
+			slog.Int64("elapsed_ms", time.Since(start).Milliseconds()),
+		)
+	}()
 
 	entry, hit, err := s.cache.get(ctx, p.key(), func(e *cacheEntry) error {
 		return buildEntry(e, p.tab, p.key(), reqTracer)
@@ -341,6 +390,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		if ctx.Err() != nil {
+			status = "cancelled"
 			s.exploreCancelled(w, ctx)
 			return
 		}
@@ -359,15 +409,19 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		Mode:          p.mode,
 		Workers:       p.req.Workers,
 		Tracer:        reqTracer,
+		Progress:      prog,
 	})
 	if err != nil {
 		if ctx.Err() != nil {
+			status = "cancelled"
 			s.exploreCancelled(w, ctx)
 			return
 		}
 		s.httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	status = "done"
+	subgroups = len(rep.Subgroups)
 
 	if p.req.MinT > 0 {
 		rep.Subgroups = rep.FilterMinT(p.req.MinT)

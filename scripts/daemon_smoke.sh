@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Daemon smoke test: start hdivexplorerd with a generated dataset, run one
+# exploration under a known correlation ID, then verify the observability
+# surface end to end — /metrics histograms, /v1/progress/{id}, the
+# Chrome-trace export (structurally validated by checktrace -chrome), the
+# debug listener (pprof + expvar) and the structured request log. Any
+# non-200 response or empty body fails the script.
+#
+# Usage: scripts/daemon_smoke.sh [workdir]    (default .smoke-daemon)
+# The workdir is left in place so CI can upload the trace as an artifact.
+set -euo pipefail
+
+DIR=${1:-.smoke-daemon}
+PORT=${PORT:-18080}
+DEBUG_PORT=${DEBUG_PORT:-18081}
+ID=smoke-req-1
+
+rm -rf "$DIR" && mkdir -p "$DIR"
+go run ./cmd/mkdata -dataset compas -n 1000 -out "$DIR"
+go build -o "$DIR/hdivexplorerd" ./cmd/hdivexplorerd
+go build -o "$DIR/checktrace" ./cmd/checktrace
+
+"$DIR/hdivexplorerd" -addr "localhost:$PORT" -debug-addr "localhost:$DEBUG_PORT" \
+    -dataset "compas=$DIR/compas.csv" -log-json 2> "$DIR/daemon.log" &
+DPID=$!
+trap 'kill "$DPID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+    if curl -fsS "http://localhost:$PORT/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$DPID" 2>/dev/null; then
+        echo "daemon exited before becoming healthy:" >&2
+        cat "$DIR/daemon.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS "http://localhost:$PORT/healthz" >/dev/null
+
+# fetch URL DEST: 200 with a non-empty body or fail.
+fetch() {
+    curl -fsS "$1" -o "$2"
+    if [ ! -s "$2" ]; then
+        echo "empty body from $1" >&2
+        exit 1
+    fi
+}
+
+curl -fsS -X POST "http://localhost:$PORT/v1/explore" \
+    -H "X-Request-ID: $ID" \
+    -d '{"dataset":"compas","stat":"fpr","actual":"label","predicted":"prediction","polarity":true,"top":3}' \
+    -o "$DIR/explore.json"
+[ -s "$DIR/explore.json" ]
+
+fetch "http://localhost:$PORT/metrics" "$DIR/metrics.txt"
+grep -q 'server_request_seconds_bucket{le="+Inf"}' "$DIR/metrics.txt"
+grep -q 'fpm_candidate_batch_count' "$DIR/metrics.txt"
+grep -q 'fpm_itemset_support_sum' "$DIR/metrics.txt"
+
+fetch "http://localhost:$PORT/v1/progress/$ID" "$DIR/progress.json"
+grep -q '"done": true' "$DIR/progress.json"
+fetch "http://localhost:$PORT/v1/progress" "$DIR/progress_list.json"
+
+fetch "http://localhost:$PORT/v1/trace/$ID" "$DIR/chrome_trace.json"
+"$DIR/checktrace" -chrome "$DIR/chrome_trace.json"
+fetch "http://localhost:$PORT/v1/trace/$ID?format=tree" "$DIR/trace_tree.txt"
+
+fetch "http://localhost:$DEBUG_PORT/debug/vars" "$DIR/vars.json"
+fetch "http://localhost:$DEBUG_PORT/debug/pprof/cmdline" "$DIR/cmdline.bin"
+
+grep -q "$ID" "$DIR/daemon.log"
+
+kill "$DPID"
+wait "$DPID" 2>/dev/null || true
+echo "daemon smoke: ok"
