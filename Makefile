@@ -10,11 +10,13 @@
 
 GO ?= go
 # BENCHTIME feeds -benchtime: the default 1s gives stable numbers; CI
-# passes 1x for a fast structural run. BENCHOUT is the JSON artifact.
+# passes 1x for a fast structural run. BENCHOUT is the JSON artifact;
+# BENCHBASE is the committed baseline benchdiff compares it against.
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_PR2.json
+BENCHOUT ?= BENCH_PR4.json
+BENCHBASE ?= BENCH_PR2.json
 
-.PHONY: check vet build test race bench smoke smoke-daemon fmt
+.PHONY: check vet build test race bench benchdiff smoke smoke-daemon fmt
 
 check: vet build race smoke smoke-daemon
 
@@ -37,6 +39,12 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(BENCHTIME) ./... \
 		| $(GO) run ./cmd/benchjson -out $(BENCHOUT)
+
+# benchdiff compares the fresh artifact against the committed baseline
+# and warns (never fails) on >2x ns/op regressions in the watched paper
+# benchmarks. See scripts/benchdiff for the CI wrapper.
+benchdiff:
+	./scripts/benchdiff $(BENCHBASE) $(BENCHOUT)
 
 # smoke runs the pipeline benchmarks once each (reporting the mining
 # counters) and exercises the CLI trace path end to end: mkdata generates

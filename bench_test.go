@@ -294,3 +294,59 @@ func BenchmarkAblationCombinedTree(b *testing.B) {
 
 // BenchmarkExtTree regenerates the combined-tree extension comparison.
 func BenchmarkExtTree(b *testing.B) { benchArtifact(b, "exttree") }
+
+// BenchmarkMultiStat measures the single-pass multi-statistic win on the
+// compas analog: computing {FPR, FNR, error} as three independent
+// explorations versus one ExploreMulti pass over the shared lattice. The
+// three-run variant re-mines the lattice per statistic; the bundle mines
+// it once and accumulates all three moment sets in-pass, so its ns/op
+// should sit well under 3× a single run.
+func BenchmarkMultiStat(b *testing.B) {
+	d := datagen.Compas(datagen.Config{N: 3_000, Seed: 1})
+	outs := []*Outcome{
+		outcome.FalsePositiveRate(d.Actual, d.Predicted),
+		outcome.FalseNegativeRate(d.Actual, d.Predicted),
+		outcome.ErrorRate(d.Actual, d.Predicted),
+	}
+	hs, err := discretize.TreeSet(d.Table, outs[0], discretize.TreeOptions{MinSupport: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, f := range d.Table.Fields() {
+		if f.Kind == Categorical {
+			hs.Add(FlatCategorical(d.Table, f.Name))
+		}
+	}
+	bun, err := NewOutcomeBundle(outs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ExploreConfig{Hierarchies: hs, MinSupport: 0.05, Mode: Hierarchical}
+
+	b.Run("3x-single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, o := range outs {
+				c := cfg
+				c.Outcome = o
+				if _, err := core.Explore(d.Table, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(3, "stats/op")
+	})
+	b.Run("one-pass", func(b *testing.B) {
+		var reps []*Report
+		for i := 0; i < b.N; i++ {
+			var err error
+			reps, err = ExploreMulti(d.Table, cfg, bun)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if len(reps) != 3 {
+			b.Fatalf("%d reports, want 3", len(reps))
+		}
+		b.ReportMetric(3, "stats/op")
+	})
+}

@@ -1,0 +1,131 @@
+// Command benchdiff compares two benchjson artifacts and flags ns/op
+// regressions on the watched benchmarks:
+//
+//	benchdiff -old BENCH_PR2.json -new BENCH_PR4.json
+//
+// For every benchmark present in both files it prints the ns/op ratio
+// (new/old). Watched benchmarks (-watch, a substring list defaulting to
+// the paper's tracked runtime artifacts BenchmarkTable3 and
+// BenchmarkFigure2) whose ratio exceeds -threshold (default 2.0) emit a
+// GitHub Actions `::warning::` annotation. The comparison is advisory:
+// the exit status is 0 whether or not regressions are found, so CI
+// surfaces the warning without failing the build. Only unreadable or
+// unparseable inputs exit nonzero; a missing -old baseline is reported
+// and skipped (exit 0) so fresh branches without an inherited artifact
+// still pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// benchFile mirrors the cmd/benchjson output layout.
+type benchFile struct {
+	Benchmarks []struct {
+		Package string             `json:"package"`
+		Name    string             `json:"name"`
+		Metrics map[string]float64 `json:"metrics"`
+	} `json:"benchmarks"`
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchjson file (required)")
+	newPath := flag.String("new", "", "candidate benchjson file (required)")
+	watch := flag.String("watch", "BenchmarkTable3,BenchmarkFigure2", "comma-separated benchmark name substrings that warn on regression")
+	threshold := flag.Float64("threshold", 2.0, "ns/op ratio (new/old) above which a watched benchmark warns")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *oldPath, *newPath, strings.Split(*watch, ","), *threshold); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// load parses one benchjson artifact into a (package/name → ns/op) map.
+// Sub-benchmarks keep their full slash-separated names.
+func load(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := map[string]float64{}
+	for _, b := range f.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok {
+			m[b.Package+"/"+b.Name] = ns
+		}
+	}
+	return m, nil
+}
+
+func run(w *os.File, oldPath, newPath string, watch []string, threshold float64) error {
+	oldNS, err := load(oldPath)
+	if os.IsNotExist(err) {
+		// No inherited baseline (fresh branch): nothing to compare against.
+		fmt.Fprintf(w, "benchdiff: baseline %s not found, skipping comparison\n", oldPath)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	newNS, err := load(newPath)
+	if err != nil {
+		return err
+	}
+
+	watched := func(name string) bool {
+		for _, sub := range watch {
+			if sub = strings.TrimSpace(sub); sub != "" && strings.Contains(name, sub) {
+				return true
+			}
+		}
+		return false
+	}
+
+	names := make([]string, 0, len(newNS))
+	for name := range newNS {
+		if _, ok := oldNS[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(w, "benchdiff: no common benchmarks between the two files")
+		return nil
+	}
+
+	regressions := 0
+	fmt.Fprintf(w, "%-72s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, name := range names {
+		o, n := oldNS[name], newNS[name]
+		ratio := n / o
+		mark := ""
+		if watched(name) {
+			mark = " [watched]"
+			if o > 0 && ratio > threshold {
+				mark = " [REGRESSION]"
+				regressions++
+				fmt.Printf("::warning title=benchmark regression::%s ns/op grew %.2fx (%.0f -> %.0f), over the %.1fx threshold\n",
+					name, ratio, o, n, threshold)
+			}
+		}
+		fmt.Fprintf(w, "%-72s %14.0f %14.0f %7.2fx%s\n", name, o, n, ratio, mark)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "benchdiff: %d watched benchmark(s) regressed beyond %.1fx (advisory only)\n", regressions, threshold)
+	} else {
+		fmt.Fprintf(w, "benchdiff: no watched regressions beyond %.1fx\n", threshold)
+	}
+	return nil
+}

@@ -21,6 +21,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -37,15 +38,22 @@ import (
 type cliConfig struct {
 	dataPath, actualCol, predCol, targetCol  string
 	stat, criterion, mode, algorithm, format string
+	stats                                    string
 	s, st, minT                              float64
 	polarity                                 bool
-	maxLen, top, workers                     int
+	maxLen, top, workers, shards             int
 	trace, progress                          bool
 	traceJSON, traceChrome                   string
 	cpuProfile, memProfile                   string
 
 	stdout, stderr io.Writer // test injection points; default os.Stdout/Stderr
 }
+
+// usageError marks an invalid flag value; main exits with status 2 for
+// these (invalid invocation) versus 1 for runtime failures.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
 
 func main() {
 	var c cliConfig
@@ -54,6 +62,7 @@ func main() {
 	flag.StringVar(&c.predCol, "predicted", "", "prediction boolean column")
 	flag.StringVar(&c.targetCol, "target", "", "numeric target column (for -stat numeric)")
 	flag.StringVar(&c.stat, "stat", "error", "statistic: fpr, fnr, error, accuracy, numeric")
+	flag.StringVar(&c.stats, "stats", "", "comma-separated statistics computed in one mining pass (overrides -stat); the first drives discretization")
 	flag.Float64Var(&c.s, "s", 0.05, "exploration support threshold")
 	flag.Float64Var(&c.st, "st", 0.1, "tree discretization support threshold")
 	flag.StringVar(&c.criterion, "criterion", "divergence", "tree split criterion: divergence or entropy")
@@ -65,6 +74,7 @@ func main() {
 	flag.Float64Var(&c.minT, "mint", 0, "only print subgroups with |t| at least this")
 	flag.StringVar(&c.format, "format", "text", "output format: text, csv or json")
 	flag.IntVar(&c.workers, "workers", 0, "parallel mining goroutines (0 = serial)")
+	flag.IntVar(&c.shards, "shards", 0, "row shards for the mining data plane (0 = automatic)")
 	flag.BoolVar(&c.trace, "trace", false, "print the pipeline span tree and counters to stderr")
 	flag.BoolVar(&c.progress, "progress", false, "print a live mining progress line to stderr every 500ms")
 	flag.StringVar(&c.traceJSON, "trace-json", "", "write the trace snapshot as JSON to this file")
@@ -74,6 +84,10 @@ func main() {
 	flag.Parse()
 	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "hdivexplorer:", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -87,6 +101,22 @@ func run(c cliConfig) error {
 	}
 	if c.dataPath == "" {
 		return fmt.Errorf("-data is required")
+	}
+	if c.workers < 0 {
+		return usageError{fmt.Sprintf("-workers must be >= 0 (got %d)", c.workers)}
+	}
+	if c.shards < 0 {
+		return usageError{fmt.Sprintf("-shards must be >= 0 (got %d)", c.shards)}
+	}
+	if c.s <= 0 || c.s > 1 {
+		return usageError{fmt.Sprintf("-s must be a support fraction in (0, 1] (got %v)", c.s)}
+	}
+	if c.st <= 0 || c.st > 1 {
+		return usageError{fmt.Sprintf("-st must be a support fraction in (0, 1] (got %v)", c.st)}
+	}
+	statList, err := parseStatList(c.stat, c.stats)
+	if err != nil {
+		return err
 	}
 
 	if c.cpuProfile != "" {
@@ -111,9 +141,21 @@ func run(c cliConfig) error {
 		return err
 	}
 
-	o, exclude, err := buildOutcome(tab, c.stat, c.actualCol, c.predCol, c.targetCol)
-	if err != nil {
-		return err
+	outs := make([]*hdiv.Outcome, len(statList))
+	var exclude []string
+	seenExclude := map[string]bool{}
+	for i, stat := range statList {
+		o, exc, err := buildOutcome(tab, stat, c.actualCol, c.predCol, c.targetCol)
+		if err != nil {
+			return err
+		}
+		outs[i] = o
+		for _, e := range exc {
+			if !seenExclude[e] {
+				seenExclude[e] = true
+				exclude = append(exclude, e)
+			}
+		}
 	}
 
 	opt := hdiv.PipelineOptions{
@@ -122,6 +164,7 @@ func run(c cliConfig) error {
 		MaxLen:        c.maxLen,
 		PolarityPrune: c.polarity,
 		Workers:       c.workers,
+		Shards:        c.shards,
 		Exclude:       exclude,
 		Tracer:        tracer,
 	}
@@ -156,13 +199,24 @@ func run(c cliConfig) error {
 		opt.Progress = prog
 	}
 	stopProgress := startProgressTicker(c.stderr, prog)
-	rep, err := hdiv.Pipeline(tab, o, opt)
+	var reps []*hdiv.Report
+	if len(outs) == 1 {
+		var rep *hdiv.Report
+		rep, err = hdiv.Pipeline(tab, outs[0], opt)
+		reps = []*hdiv.Report{rep}
+	} else {
+		var b *hdiv.OutcomeBundle
+		b, err = hdiv.NewOutcomeBundle(outs...)
+		if err == nil {
+			reps, err = hdiv.PipelineMulti(tab, b, opt)
+		}
+	}
 	stopProgress()
 	if err != nil {
 		return err
 	}
 
-	if err := emitTrace(c, rep.Trace); err != nil {
+	if err := emitTrace(c, reps[0].Trace); err != nil {
 		return err
 	}
 	if c.memProfile != "" {
@@ -178,20 +232,57 @@ func run(c cliConfig) error {
 	}
 
 	switch strings.ToLower(c.format) {
-	case "csv":
-		return rep.WriteCSV(c.stdout)
 	case "json":
-		raw, err := json.MarshalIndent(rep, "", "  ")
+		if len(reps) == 1 {
+			raw, err := json.MarshalIndent(reps[0], "", "  ")
+			if err != nil {
+				return err
+			}
+			_, err = c.stdout.Write(append(raw, '\n'))
+			return err
+		}
+		type statReport struct {
+			Stat   string       `json:"stat"`
+			Report *hdiv.Report `json:"report"`
+		}
+		arr := make([]statReport, len(reps))
+		for i, rep := range reps {
+			arr[i] = statReport{Stat: statList[i], Report: rep}
+		}
+		raw, err := json.MarshalIndent(arr, "", "  ")
 		if err != nil {
 			return err
 		}
 		_, err = c.stdout.Write(append(raw, '\n'))
 		return err
+	case "csv":
+		for i, rep := range reps {
+			if len(reps) > 1 {
+				fmt.Fprintf(c.stdout, "# stat=%s\n", statList[i])
+			}
+			if err := rep.WriteCSV(c.stdout); err != nil {
+				return err
+			}
+		}
+		return nil
 	case "text":
-		// fall through to the aligned text report below
+		for i, rep := range reps {
+			if len(reps) > 1 {
+				if i > 0 {
+					fmt.Fprintln(c.stdout)
+				}
+				fmt.Fprintf(c.stdout, "== statistic: %s ==\n", statList[i])
+			}
+			emitText(c, rep, outs[i])
+		}
+		return nil
 	default:
 		return fmt.Errorf("unknown format %q", c.format)
 	}
+}
+
+// emitText prints the human-readable report (the default -format).
+func emitText(c cliConfig, rep *hdiv.Report, o *hdiv.Outcome) {
 	fmt.Fprintf(c.stdout, "dataset: %d rows, %d items explored, %s=%.4f overall\n",
 		rep.NumRows, rep.NumItems, o.Name, rep.Global)
 	fmt.Fprintf(c.stdout, "frequent subgroups: %d (mining %v)\n", len(rep.Subgroups), rep.Elapsed)
@@ -206,10 +297,35 @@ func run(c cliConfig) error {
 		for _, sg := range filtered[:top] {
 			fmt.Fprintln(c.stdout, sg.String())
 		}
-		return nil
+		return
 	}
 	fmt.Fprint(c.stdout, rep.Table(c.top))
-	return nil
+}
+
+// parseStatList resolves -stat / -stats into the ordered statistic list:
+// -stats, when set, overrides -stat and may name several comma-separated
+// statistics computed in one mining pass.
+func parseStatList(stat, stats string) ([]string, error) {
+	if stats == "" {
+		return []string{stat}, nil
+	}
+	seen := map[string]bool{}
+	var list []string
+	for _, s := range strings.Split(stats, ",") {
+		s = strings.ToLower(strings.TrimSpace(s))
+		if s == "" {
+			continue
+		}
+		if seen[s] {
+			return nil, usageError{fmt.Sprintf("-stats names %q twice", s)}
+		}
+		seen[s] = true
+		list = append(list, s)
+	}
+	if len(list) == 0 {
+		return nil, usageError{"-stats must name at least one statistic"}
+	}
+	return list, nil
 }
 
 // startProgressTicker prints one progress line to w every 500ms while

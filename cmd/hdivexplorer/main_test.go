@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -346,5 +347,136 @@ func TestJSONIncludesRunStats(t *testing.T) {
 	}
 	if rep.Mining.Candidates == 0 || rep.Mining.Frequent != len(rep.Subgroups) {
 		t.Errorf("mining stats wrong: %+v with %d subgroups", rep.Mining, len(rep.Subgroups))
+	}
+}
+
+// TestFlagValidation pins the usage-error contract: invalid flag values
+// are rejected up front with a usageError (exit status 2 in main), while
+// runtime failures stay ordinary errors (exit status 1).
+func TestFlagValidation(t *testing.T) {
+	path := anomalyCSV(t)
+	base := func() cliConfig {
+		return cliConfig{
+			dataPath: path, actualCol: "y", predCol: "p",
+			stat: "error", criterion: "divergence", mode: "hierarchical",
+			algorithm: "fpgrowth", format: "text",
+			s: 0.05, st: 0.1, top: 5,
+			stdout: io.Discard, stderr: io.Discard,
+		}
+	}
+
+	tests := []struct {
+		name    string
+		mutate  func(*cliConfig)
+		wantMsg string
+	}{
+		{"negative workers", func(c *cliConfig) { c.workers = -1 }, "-workers"},
+		{"negative shards", func(c *cliConfig) { c.shards = -3 }, "-shards"},
+		{"zero s", func(c *cliConfig) { c.s = 0; c.stat = "error" }, "-s"},
+		{"negative s", func(c *cliConfig) { c.s = -0.1 }, "-s"},
+		{"s above one", func(c *cliConfig) { c.s = 1.5 }, "-s"},
+		{"zero st", func(c *cliConfig) { c.st = 0 }, "-st"},
+		{"st above one", func(c *cliConfig) { c.st = 2 }, "-st"},
+		{"duplicate stats", func(c *cliConfig) { c.stats = "fpr,fpr" }, "twice"},
+		{"empty stats list", func(c *cliConfig) { c.stats = " , ," }, "-stats"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := base()
+			tt.mutate(&c)
+			err := run(c)
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			var ue usageError
+			if !errors.As(err, &ue) {
+				t.Fatalf("want usageError, got %T: %v", err, err)
+			}
+			if !strings.Contains(err.Error(), tt.wantMsg) {
+				t.Errorf("message %q does not mention %q", err.Error(), tt.wantMsg)
+			}
+		})
+	}
+
+	// Runtime failures must NOT be usage errors.
+	c := base()
+	c.dataPath += ".missing"
+	err := run(c)
+	if err == nil {
+		t.Fatal("missing file should fail")
+	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		t.Errorf("missing file should be a runtime error, not usageError")
+	}
+
+	// The zero-value s/st the flag defaults never produce (flags default
+	// 0.05/0.1) still pass through unchanged for valid settings.
+	if err := run(base()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+// TestRunMultiStats exercises -stats fpr,fnr,error across all three
+// output formats: one mining pass, one report per statistic.
+func TestRunMultiStats(t *testing.T) {
+	path := anomalyCSV(t)
+	base := func(format string, out io.Writer) cliConfig {
+		return cliConfig{
+			dataPath: path, actualCol: "y", predCol: "p",
+			stat: "error", stats: "fpr,fnr,error",
+			criterion: "divergence", mode: "hierarchical",
+			algorithm: "fpgrowth", format: format,
+			s: 0.05, st: 0.1, top: 5,
+			stdout: out, stderr: io.Discard,
+		}
+	}
+
+	var jsonOut bytes.Buffer
+	if err := run(base("json", &jsonOut)); err != nil {
+		t.Fatal(err)
+	}
+	var arr []struct {
+		Stat   string `json:"stat"`
+		Report struct {
+			Global    float64           `json:"global"`
+			NumRows   int               `json:"num_rows"`
+			Subgroups []json.RawMessage `json:"subgroups"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(jsonOut.Bytes(), &arr); err != nil {
+		t.Fatalf("-stats json output not an array: %v", err)
+	}
+	if len(arr) != 3 {
+		t.Fatalf("got %d reports, want 3", len(arr))
+	}
+	for i, want := range []string{"fpr", "fnr", "error"} {
+		if arr[i].Stat != want {
+			t.Errorf("report %d stat = %q, want %q", i, arr[i].Stat, want)
+		}
+		if arr[i].Report.NumRows != 600 || len(arr[i].Report.Subgroups) == 0 {
+			t.Errorf("report %d looks empty: rows=%d subgroups=%d",
+				i, arr[i].Report.NumRows, len(arr[i].Report.Subgroups))
+		}
+	}
+
+	var csvOut bytes.Buffer
+	if err := run(base("csv", &csvOut)); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# stat=fpr", "# stat=fnr", "# stat=error"} {
+		if !strings.Contains(csvOut.String(), want) {
+			t.Errorf("csv output missing separator %q", want)
+		}
+	}
+
+	var txtOut bytes.Buffer
+	if err := run(base("text", &txtOut)); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"== statistic: fpr ==", "== statistic: fnr ==", "== statistic: error =="} {
+		if !strings.Contains(txtOut.String(), want) {
+			t.Errorf("text output missing header %q", want)
+		}
 	}
 }

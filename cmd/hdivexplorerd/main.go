@@ -12,7 +12,8 @@
 //	    "actual": "recid", "predicted": "pred", "top": 10
 //	}'
 //
-// Endpoints: POST /v1/explore, GET /v1/datasets, GET /v1/progress,
+// Endpoints: POST /v1/explore, POST /v1/explore/batch (several
+// statistics over one mining pass), GET /v1/datasets, GET /v1/progress,
 // GET /v1/progress/{id}, GET /v1/trace/{id}, GET /healthz, GET /metrics
 // (Prometheus text format). SIGINT/SIGTERM trigger a graceful shutdown
 // that drains in-flight explorations.
@@ -72,6 +73,7 @@ type daemonConfig struct {
 	addr      string
 	debugAddr string
 	inflight  int
+	cacheMax  int
 	timeout   time.Duration
 	drain     time.Duration
 	logJSON   bool
@@ -83,6 +85,7 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		debugAddr = flag.String("debug-addr", "", "optional second listener for /debug/pprof and /debug/vars (e.g. localhost:6060); off when empty")
 		inflight  = flag.Int("max-inflight", 0, "max concurrent explorations (0 = GOMAXPROCS)")
+		cacheMax  = flag.Int("cache-max", 32, "max cached universes before LRU eviction (negative = unbounded)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request exploration timeout")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
@@ -91,7 +94,8 @@ func main() {
 	flag.Parse()
 	cfg := daemonConfig{
 		datasets: datasets, addr: *addr, debugAddr: *debugAddr,
-		inflight: *inflight, timeout: *timeout, drain: *drain, logJSON: *logJSON,
+		inflight: *inflight, cacheMax: *cacheMax,
+		timeout: *timeout, drain: *drain, logJSON: *logJSON,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "hdivexplorerd:", err)
@@ -127,6 +131,7 @@ func run(cfg daemonConfig) error {
 		Datasets:       cfg.datasets,
 		MaxInFlight:    cfg.inflight,
 		RequestTimeout: cfg.timeout,
+		CacheMax:       cfg.cacheMax,
 		Logger:         logger,
 	})
 	if err != nil {

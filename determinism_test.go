@@ -140,3 +140,142 @@ func TestPolarityPruneCounters(t *testing.T) {
 		})
 	}
 }
+
+// TestExploreDeterministicAcrossShards extends the determinism guarantee
+// to the sharded data plane: ranked output is byte-identical for Shards ∈
+// {1, 4, 16} × Workers ∈ {0, 1, 4}, for both miners, and the shard gauge
+// records the layout actually used. The FPR outcome is 0/1-valued, so
+// shard merges are exact and equality must hold bitwise.
+func TestExploreDeterministicAcrossShards(t *testing.T) {
+	for _, alg := range []Algorithm{FPGrowth, Apriori} {
+		t.Run(alg.String(), func(t *testing.T) {
+			var refBytes []byte
+			for _, shards := range []int{1, 4, 16} {
+				for _, workers := range []int{0, 1, 4} {
+					tr := NewTracer()
+					got, rep := exploreBytes(t, PipelineOptions{
+						TreeSupport: 0.1, MinSupport: 0.05,
+						Algorithm: alg, Workers: workers, Shards: shards, Tracer: tr,
+					})
+					if refBytes == nil {
+						refBytes = got
+						continue
+					}
+					if !bytes.Equal(got, refBytes) {
+						t.Errorf("shards=%d workers=%d: output differs from shards=1 serial run",
+							shards, workers)
+					}
+					if g := rep.Trace.Gauges[obs.GaugeShards]; g != float64(shards) {
+						t.Errorf("shards=%d workers=%d: %s gauge = %v", shards, workers, obs.GaugeShards, g)
+					}
+				}
+			}
+			// The sharded layouts must also match the default plan.
+			tr := NewTracer()
+			got, _ := exploreBytes(t, PipelineOptions{
+				TreeSupport: 0.1, MinSupport: 0.05, Algorithm: alg, Tracer: tr,
+			})
+			if !bytes.Equal(got, refBytes) {
+				t.Errorf("default shard layout differs from explicit layouts")
+			}
+		})
+	}
+}
+
+// TestExploreMultiMatchesIndependentRuns is the single-pass bundle
+// guarantee end to end: ExploreMulti over {FPR, FNR, error} renders every
+// report byte-identical to an independent Explore of the same statistic
+// over the same hierarchies — one mining pass replaces three with no
+// observable difference.
+func TestExploreMultiMatchesIndependentRuns(t *testing.T) {
+	d := datagen.Compas(datagen.Config{Seed: 1})
+	outs := []*Outcome{
+		outcome.FalsePositiveRate(d.Actual, d.Predicted),
+		outcome.FalseNegativeRate(d.Actual, d.Predicted),
+		outcome.ErrorRate(d.Actual, d.Predicted),
+	}
+	// Discretize once against the primary — the hierarchy set ExploreMulti
+	// itself would build — so the independent runs share the lattice.
+	hs, err := TreeSet(d.Table, outs[0], TreeOptions{MinSupport: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range d.Table.Fields() {
+		if f.Kind == Categorical {
+			hs.Add(FlatCategorical(d.Table, f.Name))
+		}
+	}
+	b, err := NewOutcomeBundle(outs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	csv := func(rep *Report) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := rep.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	for _, alg := range []Algorithm{FPGrowth, Apriori} {
+		for _, shards := range []int{0, 4} {
+			cfg := ExploreConfig{
+				Hierarchies: hs, MinSupport: 0.05,
+				Algorithm: alg, Shards: shards,
+			}
+			reps, err := ExploreMulti(d.Table, cfg, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(reps) != len(outs) {
+				t.Fatalf("%s shards=%d: %d reports, want %d", alg, shards, len(reps), len(outs))
+			}
+			for k, o := range outs {
+				scfg := cfg
+				scfg.Outcome = o
+				single, err := Explore(d.Table, scfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(csv(reps[k]), csv(single)) {
+					t.Errorf("%s shards=%d: %s report differs from independent Explore",
+						alg, shards, o.Name)
+				}
+				if reps[k].Global != single.Global {
+					t.Errorf("%s shards=%d: %s global %v vs %v",
+						alg, shards, o.Name, reps[k].Global, single.Global)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineMultiSingleIsPipeline asserts a bundle of one is the
+// single-statistic pipeline, byte for byte.
+func TestPipelineMultiSingleIsPipeline(t *testing.T) {
+	d := datagen.Compas(datagen.Config{Seed: 1})
+	o := outcome.FalsePositiveRate(d.Actual, d.Predicted)
+	opt := PipelineOptions{TreeSupport: 0.1, MinSupport: 0.05}
+
+	want, _ := exploreBytes(t, opt)
+	b, err := NewOutcomeBundle(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := PipelineMulti(d.Table, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 {
+		t.Fatalf("%d reports, want 1", len(reps))
+	}
+	var buf bytes.Buffer
+	if err := reps[0].WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("PipelineMulti bundle-of-1 differs from Pipeline")
+	}
+}

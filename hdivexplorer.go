@@ -77,7 +77,15 @@ type (
 	// Outcome is a per-row outcome function o: D → ℝ ∪ {⊥}; subgroup
 	// statistics are means of o over subgroup members with defined outcome.
 	Outcome = outcome.Outcome
+	// OutcomeBundle is an ordered set of outcomes evaluated together in one
+	// mining pass; the first outcome is the primary and determines the
+	// itemset lattice (discretization and polarities).
+	OutcomeBundle = outcome.Bundle
 )
+
+// NewOutcomeBundle validates and assembles a multi-statistic bundle; all
+// outcomes must cover the same rows.
+var NewOutcomeBundle = outcome.NewBundle
 
 // BuildStatistic assembles the outcome named by stat ("fpr", "fnr",
 // "error", "accuracy", "numeric") from a table's label columns, returning
@@ -204,6 +212,19 @@ var ExploreContext = core.ExploreContext
 // cache relies on.
 var ExploreUniverseContext = core.ExploreUniverseContext
 
+// ExploreMulti mines the itemset lattice once for a bundle of statistics
+// and returns one ranked report per statistic; a bundle of one is
+// byte-identical to Explore. See core.ExploreMulti for the polarity
+// caveat when pruning is enabled.
+var ExploreMulti = core.ExploreMulti
+
+// ExploreMultiContext is ExploreMulti with cancellation.
+var ExploreMultiContext = core.ExploreMultiContext
+
+// ExploreUniverseMultiContext is the multi-statistic exploration over a
+// prebuilt universe (built against the bundle's primary outcome).
+var ExploreUniverseMultiContext = core.ExploreUniverseMultiContext
+
 // DescribeHierarchy renders an item hierarchy annotated with per-node
 // support and divergence (the paper's Figure 1).
 var DescribeHierarchy = core.DescribeHierarchy
@@ -228,6 +249,10 @@ type PipelineOptions struct {
 	// Workers enables parallel mining (0 or 1 = serial; results are
 	// identical regardless).
 	Workers int
+	// Shards fixes the engine data plane's row-shard count (0 = default
+	// layout). Ranked output is byte-identical across shard counts for
+	// boolean outcomes (all built-in rate statistics).
+	Shards int
 	// Taxonomies supplies multi-level hierarchies for specific categorical
 	// attributes; all other categorical attributes get flat hierarchies.
 	Taxonomies []*Hierarchy
@@ -256,6 +281,42 @@ func Pipeline(t *Table, o *Outcome, opt PipelineOptions) (*Report, error) {
 // miners, so a cancelled or timed-out context aborts the run promptly
 // with an error wrapping ctx.Err().
 func PipelineContext(ctx context.Context, t *Table, o *Outcome, opt PipelineOptions) (*Report, error) {
+	hs, cfg, err := pipelinePrepare(ctx, t, o, &opt)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Outcome = o
+	cfg.Hierarchies = hs
+	return core.ExploreContext(ctx, t, cfg)
+}
+
+// PipelineMulti runs the full pipeline once for a bundle of statistics:
+// discretization and the itemset lattice follow the bundle's primary
+// outcome, a single mining pass accumulates every outcome's moments, and
+// one ranked report per statistic is returned (in bundle order). A bundle
+// of one is byte-identical to Pipeline.
+func PipelineMulti(t *Table, b *OutcomeBundle, opt PipelineOptions) ([]*Report, error) {
+	return PipelineMultiContext(context.Background(), t, b, opt)
+}
+
+// PipelineMultiContext is PipelineMulti with cancellation.
+func PipelineMultiContext(ctx context.Context, t *Table, b *OutcomeBundle, opt PipelineOptions) ([]*Report, error) {
+	if b == nil || b.Len() == 0 {
+		return nil, fmt.Errorf("hdivexplorer: nil or empty outcome bundle")
+	}
+	hs, cfg, err := pipelinePrepare(ctx, t, b.Primary(), &opt)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Hierarchies = hs
+	return core.ExploreMultiContext(ctx, t, cfg, b)
+}
+
+// pipelinePrepare applies pipeline defaults, builds the hierarchy set
+// (tree discretization driven by o plus categorical hierarchies) and
+// assembles the exploration config shared by the single- and
+// multi-statistic pipelines.
+func pipelinePrepare(ctx context.Context, t *Table, o *Outcome, opt *PipelineOptions) (*HierarchySet, core.Config, error) {
 	if opt.TreeSupport == 0 {
 		opt.TreeSupport = 0.1
 	}
@@ -265,12 +326,12 @@ func PipelineContext(ctx context.Context, t *Table, o *Outcome, opt PipelineOpti
 	skip := map[string]bool{}
 	for _, e := range opt.Exclude {
 		if !t.HasColumn(e) {
-			return nil, fmt.Errorf("hdivexplorer: excluded attribute %q not in table", e)
+			return nil, core.Config{}, fmt.Errorf("hdivexplorer: excluded attribute %q not in table", e)
 		}
 		skip[e] = true
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("hdivexplorer: pipeline cancelled: %w", err)
+		return nil, core.Config{}, fmt.Errorf("hdivexplorer: pipeline cancelled: %w", err)
 	}
 	hs, err := discretize.TreeSet(t, o, discretize.TreeOptions{
 		Criterion:  opt.Criterion,
@@ -278,7 +339,7 @@ func PipelineContext(ctx context.Context, t *Table, o *Outcome, opt PipelineOpti
 		Tracer:     opt.Tracer,
 	}, opt.Exclude...)
 	if err != nil {
-		return nil, err
+		return nil, core.Config{}, err
 	}
 	taxed := map[string]bool{}
 	for _, h := range opt.Taxonomies {
@@ -293,16 +354,15 @@ func PipelineContext(ctx context.Context, t *Table, o *Outcome, opt PipelineOpti
 			hs.Add(hierarchy.FlatCategorical(t, f.Name))
 		}
 	}
-	return core.ExploreContext(ctx, t, core.Config{
-		Outcome:       o,
-		Hierarchies:   hs,
+	return hs, core.Config{
 		MinSupport:    opt.MinSupport,
 		MaxLen:        opt.MaxLen,
 		PolarityPrune: opt.PolarityPrune,
 		Algorithm:     opt.Algorithm,
 		Mode:          opt.Mode,
 		Workers:       opt.Workers,
+		Shards:        opt.Shards,
 		Tracer:        opt.Tracer,
 		Progress:      opt.Progress,
-	})
+	}, nil
 }

@@ -354,3 +354,132 @@ func BenchmarkAndCount(b *testing.B) {
 		_ = x.AndCount(y)
 	}
 }
+
+// randomPair builds two random vectors of length n plus a value slice,
+// for exercising the word-range shard-view primitives.
+func randomPair(rng *rand.Rand, n int) (v, u *Vector, vals []float64) {
+	v, u = New(n), New(n)
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			v.Set(i)
+		}
+		if rng.Intn(3) != 0 {
+			u.Set(i)
+		}
+		vals[i] = float64(rng.Intn(3)) // integral so partial sums are exact
+	}
+	return v, u, vals
+}
+
+// TestRangePrimitivesMatchNaive checks every word-range primitive against
+// a naive per-bit evaluation over the same row interval, and that summing
+// over a full word-range partition reproduces the whole-vector primitive.
+func TestRangePrimitivesMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 64, 65, 130, 1000} {
+		v, u, vals := randomPair(rng, n)
+		words := v.NumWords()
+		if words != (n+63)/64 {
+			t.Fatalf("n=%d: NumWords() = %d, want %d", n, words, (n+63)/64)
+		}
+		// All word-aligned [lo, hi) sub-ranges.
+		for lo := 0; lo <= words; lo++ {
+			for hi := lo; hi <= words; hi++ {
+				rowLo, rowHi := lo*64, hi*64
+				if rowHi > n {
+					rowHi = n
+				}
+				var count, andCount, andNotCount, mN int
+				var mSum, mSumSq float64
+				for i := rowLo; i < rowHi; i++ {
+					if !v.Get(i) {
+						continue
+					}
+					count++
+					if u.Get(i) {
+						andCount++
+						mN++
+						mSum += vals[i]
+						mSumSq += vals[i] * vals[i]
+					} else {
+						andNotCount++
+					}
+				}
+				if got := v.CountRange(lo, hi); got != count {
+					t.Fatalf("n=%d [%d,%d): CountRange = %d, want %d", n, lo, hi, got, count)
+				}
+				if got := v.AndCountRange(u, lo, hi); got != andCount {
+					t.Fatalf("n=%d [%d,%d): AndCountRange = %d, want %d", n, lo, hi, got, andCount)
+				}
+				if got := v.AndNotCountRange(u, lo, hi); got != andNotCount {
+					t.Fatalf("n=%d [%d,%d): AndNotCountRange = %d, want %d", n, lo, hi, got, andNotCount)
+				}
+				gotN, gotSum, gotSumSq := v.AndMomentsRange(u, vals, lo, hi)
+				if gotN != mN || gotSum != mSum || gotSumSq != mSumSq {
+					t.Fatalf("n=%d [%d,%d): AndMomentsRange = (%d, %v, %v), want (%d, %v, %v)",
+						n, lo, hi, gotN, gotSum, gotSumSq, mN, mSum, mSumSq)
+				}
+			}
+		}
+		// A partition of the word range must sum to the unsharded primitives.
+		for _, parts := range []int{1, 2, 3, 5} {
+			if parts > words && words > 0 {
+				continue
+			}
+			total := 0
+			var tN int
+			var tSum, tSumSq float64
+			bounds := []int{0}
+			for p := 1; p < parts; p++ {
+				bounds = append(bounds, p*words/parts)
+			}
+			bounds = append(bounds, words)
+			for p := 0; p < len(bounds)-1; p++ {
+				total += v.AndCountRange(u, bounds[p], bounds[p+1])
+				pn, ps, pss := v.AndMomentsRange(u, vals, bounds[p], bounds[p+1])
+				tN, tSum, tSumSq = tN+pn, tSum+ps, tSumSq+pss
+			}
+			if want := v.AndCount(u); total != want {
+				t.Errorf("n=%d parts=%d: partitioned AndCount = %d, want %d", n, parts, total, want)
+			}
+			wN, wSum, wSumSq := v.AndMoments(u, vals)
+			if tN != wN || tSum != wSum || tSumSq != wSumSq {
+				t.Errorf("n=%d parts=%d: partitioned moments (%d, %v, %v), want (%d, %v, %v)",
+					n, parts, tN, tSum, tSumSq, wN, wSum, wSumSq)
+			}
+		}
+	}
+}
+
+// TestForEachRange checks the shard-view iterator yields exactly the set
+// bits of the row interval, in ascending order.
+func TestForEachRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	v, _, _ := randomPair(rng, 300)
+	words := v.NumWords()
+	for lo := 0; lo <= words; lo++ {
+		for hi := lo; hi <= words; hi++ {
+			var got []int
+			v.ForEachRange(lo, hi, func(i int) { got = append(got, i) })
+			var want []int
+			rowHi := hi * 64
+			if rowHi > v.Len() {
+				rowHi = v.Len()
+			}
+			for i := lo * 64; i < rowHi; i++ {
+				if v.Get(i) {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("[%d,%d): %d indices, want %d", lo, hi, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("[%d,%d): index %d = %d, want %d", lo, hi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -71,6 +71,11 @@ type Config struct {
 	// Workers enables parallel mining (0 or 1 = serial). Results are
 	// identical regardless of the setting.
 	Workers int
+	// Shards fixes the engine data plane's row-shard count (0 = default
+	// layout: one shard per engine.DefaultShardRows rows). For boolean
+	// outcomes — every built-in rate statistic — ranked output is
+	// byte-identical across shard counts.
+	Shards int
 	// Tracer, when non-nil, receives exploration spans (universe build,
 	// mining, ranking) and the fpm.* counters; the report's Trace field is
 	// set to its snapshot. Nil disables all collection.
@@ -210,18 +215,127 @@ func ExploreUniverseContext(ctx context.Context, u *fpm.Universe, cfg Config) (*
 	return rep, err
 }
 
+// ExploreMulti runs the exploration once for a bundle of statistics: the
+// itemset lattice is mined a single time (driven by the bundle's primary
+// outcome, which also determines item polarities under PolarityPrune) and
+// every statistic's moments are accumulated in that one pass. It returns
+// one report per bundle outcome, each ranked by its own |divergence|. For
+// a bundle of one, the report is byte-identical to Explore's; for larger
+// bundles, each report is byte-identical to an independent Explore call
+// with the same Hierarchies and that statistic as Config.Outcome (when the
+// polarity signs agree — polarities always come from the primary).
+// cfg.Outcome is ignored; the bundle supplies the outcomes.
+func ExploreMulti(t *dataset.Table, cfg Config, b *outcome.Bundle) ([]*Report, error) {
+	return ExploreMultiContext(context.Background(), t, cfg, b)
+}
+
+// ExploreMultiContext is ExploreMulti with cancellation.
+func ExploreMultiContext(ctx context.Context, t *dataset.Table, cfg Config, b *outcome.Bundle) ([]*Report, error) {
+	if b == nil || b.Len() == 0 {
+		return nil, fmt.Errorf("core: empty outcome bundle")
+	}
+	cfg.Outcome = b.Primary()
+	if cfg.Hierarchies == nil {
+		return nil, fmt.Errorf("core: Config.Hierarchies is nil")
+	}
+	if err := cfg.Hierarchies.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid hierarchies: %w", err)
+	}
+	switch cfg.Mode {
+	case Hierarchical, Base:
+	default:
+		return nil, fmt.Errorf("core: unknown mode %v", cfg.Mode)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: exploration cancelled: %w", err)
+	}
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		cfg.Tracer.SetID(id)
+	}
+	span := cfg.Tracer.Start(obs.SpanExplore)
+	cfg.span = span
+	us := span.Start(obs.SpanUniverse)
+	var u *fpm.Universe
+	if cfg.Mode == Hierarchical {
+		u = fpm.GeneralizedUniverse(t, cfg.Hierarchies, cfg.Outcome)
+	} else {
+		u = fpm.BaseUniverse(t, cfg.Hierarchies, cfg.Outcome)
+	}
+	us.End()
+	reps, err := exploreUniverseMulti(ctx, u, cfg, b)
+	span.End()
+	if err == nil {
+		snapshotTraceAll(reps, cfg.Tracer)
+	}
+	return reps, err
+}
+
+// ExploreUniverseMultiContext is ExploreMultiContext over a prebuilt item
+// universe — the entry point the serving layer's batch endpoint uses with
+// cached universes. The universe must have been built against the
+// bundle's primary outcome for polarity pruning to be meaningful.
+func ExploreUniverseMultiContext(ctx context.Context, u *fpm.Universe, cfg Config, b *outcome.Bundle) ([]*Report, error) {
+	if b == nil || b.Len() == 0 {
+		return nil, fmt.Errorf("core: empty outcome bundle")
+	}
+	cfg.Outcome = b.Primary()
+	span := cfg.span
+	owned := span == nil
+	if owned {
+		if id := obs.RequestIDFrom(ctx); id != "" {
+			cfg.Tracer.SetID(id)
+		}
+		span = cfg.Tracer.Start(obs.SpanExplore)
+		cfg.span = span
+	}
+	reps, err := exploreUniverseMulti(ctx, u, cfg, b)
+	if owned {
+		span.End()
+		if err == nil {
+			snapshotTraceAll(reps, cfg.Tracer)
+		}
+	}
+	return reps, err
+}
+
+// snapshotTraceAll attaches one tracer snapshot to every report.
+func snapshotTraceAll(reps []*Report, t *obs.Tracer) {
+	if t == nil {
+		return
+	}
+	trace := t.Snapshot()
+	for _, r := range reps {
+		r.Trace = trace
+	}
+}
+
 // exploreUniverse is the shared mining+ranking body; cfg.span (possibly
-// nil) encloses the emitted spans.
+// nil) encloses the emitted spans. It is the bundle-of-one special case of
+// exploreUniverseMulti, so single- and multi-statistic explorations share
+// one code path and cannot diverge.
 func exploreUniverse(ctx context.Context, u *fpm.Universe, cfg Config) (*Report, error) {
+	reps, err := exploreUniverseMulti(ctx, u, cfg, outcome.Single(cfg.Outcome))
+	if err != nil {
+		return nil, err
+	}
+	return reps[0], nil
+}
+
+// exploreUniverseMulti mines the universe once for every statistic of the
+// bundle and builds one ranked report per statistic. The reports share
+// the lattice, supports and mining stats; each is sorted by its own
+// statistic's |divergence|.
+func exploreUniverseMulti(ctx context.Context, u *fpm.Universe, cfg Config, b *outcome.Bundle) ([]*Report, error) {
 	defer cfg.Progress.Finish()
 	start := time.Now()
-	res, err := fpm.Mine(u, cfg.Outcome, fpm.Options{
+	res, err := fpm.MineMulti(u, b, fpm.Options{
 		Ctx:           ctx,
 		MinSupport:    cfg.MinSupport,
 		MaxLen:        cfg.MaxLen,
 		PolarityPrune: cfg.PolarityPrune,
 		Algorithm:     cfg.Algorithm,
 		Workers:       cfg.Workers,
+		Shards:        cfg.Shards,
 		Tracer:        cfg.Tracer,
 		TraceParent:   cfg.span,
 		Progress:      cfg.Progress,
@@ -235,28 +349,43 @@ func exploreUniverse(ctx context.Context, u *fpm.Universe, cfg Config) (*Report,
 	if rank == nil {
 		rank = cfg.Tracer.Start(obs.SpanRank)
 	}
-	fpm.SortByDivergence(res.Itemsets, cfg.Outcome, false, false)
-	rep := &Report{
-		Global:   cfg.Outcome.GlobalMean(),
-		NumRows:  u.NumRows,
-		NumItems: len(u.Items),
-		Elapsed:  elapsed,
-		Mining:   res.Stats,
-	}
-	rep.Subgroups = make([]Subgroup, len(res.Itemsets))
-	for i, m := range res.Itemsets {
-		rep.Subgroups[i] = Subgroup{
-			Itemset:    u.Itemset(m.Items),
-			ItemIdx:    m.Items,
-			Count:      m.Count,
-			Support:    m.Support(u.NumRows),
-			Statistic:  m.M.Mean(),
-			Divergence: cfg.Outcome.DivergenceFromMoments(m.M),
-			T:          cfg.Outcome.TValueFromMoments(m.M),
+	defer rank.End()
+	reps := make([]*Report, b.Len())
+	for k := range reps {
+		o := b.At(k)
+		items := res.Itemsets
+		if b.Len() > 1 {
+			// Each report ranks independently, so give every statistic its
+			// own slice with that statistic's moments in M.
+			items = make([]fpm.MinedItemset, len(res.Itemsets))
+			for i := range res.Itemsets {
+				src := &res.Itemsets[i]
+				items[i] = fpm.MinedItemset{Items: src.Items, Count: src.Count, M: src.MomentsAt(k)}
+			}
 		}
+		fpm.SortByDivergence(items, o, false, false)
+		rep := &Report{
+			Global:   o.GlobalMean(),
+			NumRows:  u.NumRows,
+			NumItems: len(u.Items),
+			Elapsed:  elapsed,
+			Mining:   res.Stats,
+		}
+		rep.Subgroups = make([]Subgroup, len(items))
+		for i, m := range items {
+			rep.Subgroups[i] = Subgroup{
+				Itemset:    u.Itemset(m.Items),
+				ItemIdx:    m.Items,
+				Count:      m.Count,
+				Support:    m.Support(u.NumRows),
+				Statistic:  m.M.Mean(),
+				Divergence: o.DivergenceFromMoments(m.M),
+				T:          o.TValueFromMoments(m.M),
+			}
+		}
+		reps[k] = rep
 	}
-	rank.End()
-	return rep, nil
+	return reps, nil
 }
 
 // snapshotTrace attaches the tracer's snapshot to the report (no-op on a

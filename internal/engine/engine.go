@@ -1,0 +1,215 @@
+// Package engine is the sharded data plane under the mining code. It
+// partitions the dataset's rows into word-aligned shards (Plan), evaluates
+// candidate itemsets shard by shard into mergeable accumulators (Acc), and
+// schedules independent tasks across workers (ParallelFor). Decoupling
+// candidate *enumeration* (which stays in fpm) from *accumulation* (which
+// runs per shard and merges associatively) is the seam future scaling work
+// — distributed shards, incremental append, alternate backends — plugs
+// into.
+//
+// Determinism: shard merges happen in ascending shard order, and every
+// built-in rate statistic has values in {0, 1}, whose partial sums are
+// exact integers in float64 — so merged moments are bit-identical to a
+// single-pass scan regardless of the shard count. Numeric outcomes with
+// non-integral values may differ from the unsharded scan in the last ulp
+// once NumShards > 1; the default plan keeps datasets of up to
+// DefaultShardRows rows in a single shard, where the scan order is
+// identical to the unsharded code path.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitvec"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// DefaultShardRows is the row count per shard when the caller does not fix
+// a shard count: 65536 rows = 1024 words, large enough that per-shard
+// bookkeeping is noise, small enough that wide datasets expose shard-level
+// parallelism.
+const DefaultShardRows = 1 << 16
+
+// wordBits mirrors the bitvec word size; shard boundaries are always
+// word-aligned so shard views never split a word.
+const wordBits = 64
+
+// Plan is a word-aligned partition of a dataset's rows into shards.
+// The zero value is unusable; build one with NewPlan.
+type Plan struct {
+	numRows  int
+	numWords int
+	bounds   []int // word boundaries; shard s covers words [bounds[s], bounds[s+1])
+}
+
+// NewPlan partitions numRows rows into the given number of shards on word
+// boundaries. shards ≤ 0 selects the default layout: ceil(numRows /
+// DefaultShardRows) shards, so small datasets stay single-shard. The shard
+// count is clamped to the word count (a shard must hold at least one word)
+// and is always at least 1, even for an empty dataset.
+func NewPlan(numRows, shards int) Plan {
+	if numRows < 0 {
+		panic("engine: negative row count")
+	}
+	numWords := (numRows + wordBits - 1) / wordBits
+	if shards <= 0 {
+		shards = (numRows + DefaultShardRows - 1) / DefaultShardRows
+	}
+	if shards > numWords {
+		shards = numWords
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	p := Plan{numRows: numRows, numWords: numWords, bounds: make([]int, shards+1)}
+	base, rem := numWords/shards, numWords%shards
+	w := 0
+	for s := 0; s < shards; s++ {
+		p.bounds[s] = w
+		w += base
+		if s < rem {
+			w++
+		}
+	}
+	p.bounds[shards] = numWords
+	return p
+}
+
+// NumRows returns the number of rows the plan partitions.
+func (p Plan) NumRows() int { return p.numRows }
+
+// NumShards returns the number of shards.
+func (p Plan) NumShards() int { return len(p.bounds) - 1 }
+
+// WordRange returns the half-open word interval [lo, hi) of shard s, the
+// unit bitvec's range primitives operate on.
+func (p Plan) WordRange(s int) (lo, hi int) { return p.bounds[s], p.bounds[s+1] }
+
+// RowRange returns the half-open row interval [lo, hi) of shard s.
+func (p Plan) RowRange(s int) (lo, hi int) {
+	lo = p.bounds[s] * wordBits
+	hi = p.bounds[s+1] * wordBits
+	if hi > p.numRows {
+		hi = p.numRows
+	}
+	return lo, hi
+}
+
+// Acc is the per-shard outcome accumulator: everything the divergence
+// statistics need from one shard of a subgroup's rows. Acc values merge
+// associatively (integer fields exactly; float sums exactly whenever the
+// outcome values are integral, e.g. the 0/1 rate statistics), so shard
+// results can be combined in any grouping as long as the final reduction
+// visits shards in ascending order.
+type Acc struct {
+	// Rows is the subgroup's support within the shard (popcount of the row
+	// bitset), including rows whose outcome is ⊥.
+	Rows int
+	// Bottom counts subgroup rows with undefined (⊥) outcome.
+	Bottom int
+	// Pos and Neg split the defined rows of a boolean outcome by value
+	// (1 / 0); both stay 0 for non-boolean outcomes.
+	Pos, Neg int
+	// Sum and SumSq accumulate the outcome values over defined rows.
+	Sum, SumSq float64
+}
+
+// Merge folds b into a. Associative and commutative on the integer fields;
+// on the float fields it is exact (hence order-independent) whenever the
+// outcome values are integral.
+func (a *Acc) Merge(b Acc) {
+	a.Rows += b.Rows
+	a.Bottom += b.Bottom
+	a.Pos += b.Pos
+	a.Neg += b.Neg
+	a.Sum += b.Sum
+	a.SumSq += b.SumSq
+}
+
+// N returns the number of defined-outcome rows in the accumulator.
+func (a Acc) N() int { return a.Rows - a.Bottom }
+
+// Moments converts the accumulator to the stats.Moments triple used by the
+// divergence and Welch-t formulas.
+func (a Acc) Moments() stats.Moments {
+	return stats.Moments{N: a.N(), Sum: a.Sum, SumSq: a.SumSq}
+}
+
+// Accumulate computes the Acc of rows∈shard s of the plan for the outcome
+// described by (valid, vals, boolean): valid masks rows with a defined
+// outcome, vals holds the values, boolean marks outcomes whose defined
+// values are all 0 or 1 (making Pos/Neg meaningful and the float sums
+// exact).
+func Accumulate(p Plan, s int, rows, valid *bitvec.Vector, vals []float64, boolean bool) Acc {
+	lo, hi := p.WordRange(s)
+	n, sum, sumSq := rows.AndMomentsRange(valid, vals, lo, hi)
+	a := Acc{Rows: rows.CountRange(lo, hi), Sum: sum, SumSq: sumSq}
+	a.Bottom = a.Rows - n
+	if boolean {
+		a.Pos = int(sum)
+		a.Neg = n - a.Pos
+	}
+	return a
+}
+
+// AccumulateAll merges the per-shard accumulators of every shard of the
+// plan in ascending shard order.
+func AccumulateAll(p Plan, rows, valid *bitvec.Vector, vals []float64, boolean bool) Acc {
+	var a Acc
+	for s := 0; s < p.NumShards(); s++ {
+		a.Merge(Accumulate(p, s, rows, valid, vals, boolean))
+	}
+	return a
+}
+
+// ParallelFor runs fn(0..n-1) across at most workers goroutines; workers
+// ≤ 1 runs inline. The worker count is clamped to both n and
+// runtime.GOMAXPROCS(0), so callers may pass arbitrarily large values
+// without spawning useless goroutines. fn invocations must be
+// independent. When tr is non-nil, each worker's completed-task count is
+// recorded under obs.CtrWorkerTaskPrefix+index and the clamped worker
+// count under obs.GaugeWorkers.
+func ParallelFor(n, workers int, tr *obs.Tracer, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	if workers <= 1 || n < 2 {
+		if tr != nil {
+			tr.SetGauge(obs.GaugeWorkers, 1)
+			tr.Counter(fmt.Sprintf("%s%d", obs.CtrWorkerTaskPrefix, 0)).Add(int64(n))
+		}
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	tr.SetGauge(obs.GaugeWorkers, float64(workers))
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tasks := 0
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					break
+				}
+				fn(i)
+				tasks++
+			}
+			if tr != nil {
+				tr.Counter(fmt.Sprintf("%s%d", obs.CtrWorkerTaskPrefix, w)).Add(int64(tasks))
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,8 +1,10 @@
 package fpm
 
 import (
+	"fmt"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/outcome"
 	"repro/internal/stats"
@@ -11,11 +13,15 @@ import (
 // fpNode is one node of an FP-tree. Beyond the usual support count, each
 // node carries the outcome moments of the transactions (rows) flowing
 // through it, which is what lets divergence fall out of the mining
-// recursion with no extra dataset pass.
+// recursion with no extra dataset pass. Under a multi-outcome bundle, m
+// holds the primary outcome's moments and mx (one entry per extra
+// outcome) the rest; mx stays nil on single-outcome runs so the common
+// path allocates nothing extra.
 type fpNode struct {
 	item     int
 	count    int
 	m        stats.Moments
+	mx       []stats.Moments
 	parent   *fpNode
 	children map[int]*fpNode
 	next     *fpNode // header-list chain of nodes with the same item
@@ -46,26 +52,121 @@ func newFPTree(order []int) *fpTree {
 	}
 }
 
+// child returns node's child for item it, creating it (and linking it onto
+// the header chain) if absent.
+func (t *fpTree) child(node *fpNode, it int) *fpNode {
+	c, ok := node.children[it]
+	if !ok {
+		c = &fpNode{item: it, parent: node, children: map[int]*fpNode{}}
+		node.children[it] = c
+		if t.headers[it] == nil {
+			t.headers[it] = c
+		} else {
+			t.tails[it].next = c
+		}
+		t.tails[it] = c
+	}
+	return c
+}
+
 // insert adds a transaction (items already filtered to the tree's
-// universe and sorted by rank) with the given weight and moments.
-func (t *fpTree) insert(items []int, count int, m stats.Moments) {
+// universe and sorted by rank) with the given weight and moments. mx, when
+// non-nil, carries the moments of the bundle's extra outcomes and is
+// copied into the nodes (the caller may reuse the slice).
+func (t *fpTree) insert(items []int, count int, m stats.Moments, mx []stats.Moments) {
 	node := t.root
 	for _, it := range items {
-		child, ok := node.children[it]
-		if !ok {
-			child = &fpNode{item: it, parent: node, children: map[int]*fpNode{}}
-			node.children[it] = child
-			if t.headers[it] == nil {
-				t.headers[it] = child
-			} else {
-				t.tails[it].next = child
-			}
-			t.tails[it] = child
-		}
+		child := t.child(node, it)
 		child.count += count
 		child.m.AddN(m)
+		if mx != nil {
+			if child.mx == nil {
+				child.mx = make([]stats.Moments, len(mx))
+			}
+			for k := range mx {
+				child.mx[k].AddN(mx[k])
+			}
+		}
 		node = child
 	}
+}
+
+// absorb merges src (a shard tree built over the same item order) into t.
+// Children are visited in rank order — the same order insertions create
+// them — so header chains, and therefore the whole mining recursion, are
+// deterministic regardless of how rows were split into shards. Counts and
+// integer-valued moment sums merge exactly; see the engine package note on
+// float exactness.
+func (t *fpTree) absorb(src *fpTree) {
+	var walk func(dst, s *fpNode)
+	walk = func(dst, s *fpNode) {
+		keys := make([]int, 0, len(s.children))
+		for it := range s.children {
+			keys = append(keys, it)
+		}
+		sort.Slice(keys, func(a, b int) bool { return t.rank[keys[a]] < t.rank[keys[b]] })
+		for _, it := range keys {
+			sc := s.children[it]
+			child := t.child(dst, it)
+			child.count += sc.count
+			child.m.AddN(sc.m)
+			if sc.mx != nil {
+				if child.mx == nil {
+					child.mx = make([]stats.Moments, len(sc.mx))
+				}
+				for k := range sc.mx {
+					child.mx[k].AddN(sc.mx[k])
+				}
+			}
+			walk(child, sc)
+		}
+	}
+	walk(t.root, src.root)
+}
+
+// buildShardTree builds the FP-tree of one row shard: per-row transactions
+// are assembled by iterating items over the shard's word range (cache-
+// friendly, no copying) and inserted in row order with the bundle's
+// per-row moments. The returned rows count is the number of non-empty
+// transactions inserted.
+func buildShardTree(u *Universe, bun *outcome.Bundle, order []int, plan engine.Plan, s int, cancel *canceller) (t *fpTree, rows int) {
+	t = newFPTree(order)
+	rowLo, rowHi := plan.RowRange(s)
+	wordLo, wordHi := plan.WordRange(s)
+	perRow := make([][]int, rowHi-rowLo)
+	for _, it := range order {
+		if cancel.cancelled() {
+			return t, rows
+		}
+		u.Rows[it].ForEachRange(wordLo, wordHi, func(r int) {
+			perRow[r-rowLo] = append(perRow[r-rowLo], it)
+		})
+	}
+	nOut := bun.Len()
+	var mx []stats.Moments
+	if nOut > 1 {
+		mx = make([]stats.Moments, nOut-1) // reused per row; insert copies
+	}
+	prim := bun.Primary()
+	for i, items := range perRow {
+		if len(items) == 0 {
+			continue
+		}
+		r := rowLo + i
+		var m stats.Moments
+		if prim.Valid.Get(r) {
+			m.Add(prim.Values[r])
+		}
+		for k := 1; k < nOut; k++ {
+			mx[k-1] = stats.Moments{}
+			if o := bun.At(k); o.Valid.Get(r) {
+				mx[k-1].Add(o.Values[r])
+			}
+		}
+		t.insert(items, 1, m, mx)
+		rows++
+	}
+	return t, rows
 }
 
 // weightedPath is one conditional-pattern-base entry: the ancestor items of
@@ -74,6 +175,7 @@ type weightedPath struct {
 	items []int
 	count int
 	m     stats.Moments
+	mx    []stats.Moments
 }
 
 // mineFPGrowth mines all frequent generalized itemsets via recursive
@@ -81,9 +183,17 @@ type weightedPath struct {
 // base of an item excludes items of the same attribute (its hierarchy
 // ancestors/descendants), which enforces the one-item-per-attribute rule of
 // generalized itemsets.
-func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int, span *obs.Span, cancel *canceller, hBatch *obs.Histogram) *Result {
+//
+// Tree construction is sharded: each row shard builds its own tree in
+// parallel, and the shard trees are folded into shard 0's tree in
+// ascending shard order with rank-ordered child traversal, so the merged
+// tree — and everything mined from it — is identical across shard and
+// worker counts. With a single shard the build is exactly the unsharded
+// construction.
+func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, plan engine.Plan, span *obs.Span, cancel *canceller, hBatch *obs.Histogram) *Result {
 	res := &Result{}
 	prog := opt.Progress
+	nOut := bun.Len()
 
 	// Global frequent items, ranked by support descending (ties by index).
 	scan := span.Start(obs.SpanMineScan)
@@ -113,32 +223,37 @@ func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int, sp
 	}
 	scan.End()
 
+	// Sharded build: one tree per row shard, in parallel, then a
+	// deterministic fold into shard 0's tree.
 	build := span.Start(obs.SpanMineBuild)
-	tree := newFPTree(order)
-
-	// Build per-row transactions: the frequent items covering each row, in
-	// rank order. Iterating items (not rows) keeps this cache-friendly.
-	perRow := make([][]int, u.NumRows)
-	for _, it := range order {
+	nShards := plan.NumShards()
+	trees := make([]*fpTree, nShards)
+	engine.ParallelFor(nShards, opt.Workers, opt.Tracer, func(s int) {
 		if cancel.cancelled() {
-			build.End()
-			return res
+			trees[s] = newFPTree(order)
+			return
 		}
-		u.Rows[it].ForEach(func(r int) {
-			perRow[r] = append(perRow[r], it)
-		})
-	}
-	for r, items := range perRow {
-		if len(items) == 0 {
-			continue
+		t, rows := buildShardTree(u, bun, order, plan, s, cancel)
+		trees[s] = t
+		if tr := opt.Tracer; tr != nil {
+			tr.Counter(fmt.Sprintf("%s%d", obs.CtrShardRowsPrefix, s)).Add(int64(rows))
 		}
-		var m stats.Moments
-		if o.Valid.Get(r) {
-			m.Add(o.Values[r])
+	})
+	tree := trees[0]
+	if nShards > 1 {
+		merge := build.Start(obs.SpanMineMerge)
+		for s := 1; s < nShards; s++ {
+			if cancel.cancelled() {
+				break
+			}
+			tree.absorb(trees[s])
 		}
-		tree.insert(items, 1, m)
+		merge.End()
 	}
 	build.End()
+	if cancel.cancelled() {
+		return res
+	}
 
 	// branch mines the suffix {item}+suffix rooted at one header item of
 	// tree t, appending to the local accumulator. Branches of distinct
@@ -158,9 +273,16 @@ func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int, sp
 		}
 		total := 0
 		var m stats.Moments
+		var mx []stats.Moments
+		if nOut > 1 {
+			mx = make([]stats.Moments, nOut-1)
+		}
 		for n := head; n != nil; n = n.next {
 			total += n.count
 			m.AddN(n.m)
+			for k := range mx {
+				mx[k].AddN(n.mx[k])
+			}
 		}
 		if total < minCount {
 			return
@@ -168,7 +290,7 @@ func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int, sp
 		itemset := append([]int{it}, suffix...)
 		sorted := append([]int(nil), itemset...)
 		sort.Ints(sorted)
-		acc.itemsets = append(acc.itemsets, MinedItemset{Items: sorted, Count: total, M: m})
+		acc.itemsets = append(acc.itemsets, MinedItemset{Items: sorted, Count: total, M: m, Multi: mx})
 		prog.AddFrequent(1)
 		// FP-Growth has no global level sweep, so the live "level" is the
 		// deepest itemset emitted so far across all branches.
@@ -202,7 +324,7 @@ func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int, sp
 			if len(path) == 0 {
 				continue
 			}
-			base = append(base, weightedPath{items: path, count: n.count, m: n.m})
+			base = append(base, weightedPath{items: path, count: n.count, m: n.m, mx: n.mx})
 			for _, pi := range path {
 				condCount[pi] += n.count
 			}
@@ -239,7 +361,7 @@ func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int, sp
 				continue
 			}
 			sort.Slice(kept, func(a, b int) bool { return cond.rank[kept[a]] < cond.rank[kept[b]] })
-			cond.insert(kept, wp.count, wp.m)
+			cond.insert(kept, wp.count, wp.m, wp.mx)
 		}
 		for i := len(cond.order) - 1; i >= 0; i-- {
 			local(acc, cond, i, itemset)
@@ -252,7 +374,7 @@ func mineFPGrowth(u *Universe, o *outcome.Outcome, opt Options, minCount int, sp
 	grow := span.Start(obs.SpanMineGrow)
 	nBranch := len(tree.order)
 	locals := make([]fpLocal, nBranch)
-	parallelFor(nBranch, opt.Workers, opt.Tracer, func(j int) {
+	engine.ParallelFor(nBranch, opt.Workers, opt.Tracer, func(j int) {
 		idx := nBranch - 1 - j
 		local(&locals[j], tree, idx, nil)
 	})

@@ -12,6 +12,7 @@ import (
 	"repro/internal/bitvec"
 	"repro/internal/dataset"
 	"repro/internal/discretize"
+	"repro/internal/engine"
 	"repro/internal/hierarchy"
 	"repro/internal/outcome"
 	"repro/internal/stats"
@@ -104,7 +105,7 @@ func mineBrute(u *Universe, o *outcome.Outcome, opt Options, minCount int) []Min
 				continue
 			}
 			newItems := append(append([]int{}, items...), i)
-			out = append(out, MinedItemset{Items: newItems, Count: count, M: momentsOf(newRows, o)})
+			out = append(out, MinedItemset{Items: newItems, Count: count, M: o.MomentsOf(newRows)})
 			if opt.MaxLen == 0 || len(newItems) < opt.MaxLen {
 				rec(i+1, newItems, newRows)
 			}
@@ -444,7 +445,7 @@ func TestMinedMomentsMatchDirect(t *testing.T) {
 		if rows.Count() != m.Count {
 			t.Fatalf("count mismatch for %v: %d vs %d", u.Itemset(m.Items), rows.Count(), m.Count)
 		}
-		direct := momentsOf(rows, o)
+		direct := o.MomentsOf(rows)
 		if !momentsClose(direct, m.M) {
 			t.Fatalf("moments mismatch for %v", u.Itemset(m.Items))
 		}
@@ -489,7 +490,7 @@ func TestParallelForCoversAll(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 8, 100} {
 		n := 57
 		hit := make([]atomicBool, n)
-		parallelFor(n, workers, nil, func(i int) { hit[i].Store(true) })
+		engine.ParallelFor(n, workers, nil, func(i int) { hit[i].Store(true) })
 		for i := range hit {
 			if !hit[i].Load() {
 				t.Fatalf("workers=%d: index %d not visited", workers, i)
@@ -497,9 +498,9 @@ func TestParallelForCoversAll(t *testing.T) {
 		}
 	}
 	// n == 0 and n == 1 edge cases.
-	parallelFor(0, 4, nil, func(int) { t.Fatal("should not be called") })
+	engine.ParallelFor(0, 4, nil, func(int) { t.Fatal("should not be called") })
 	called := 0
-	parallelFor(1, 4, nil, func(int) { called++ })
+	engine.ParallelFor(1, 4, nil, func(int) { called++ })
 	if called != 1 {
 		t.Fatal("n=1 not called exactly once")
 	}

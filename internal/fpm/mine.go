@@ -4,12 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/bitvec"
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/outcome"
 	"repro/internal/stats"
@@ -59,6 +58,14 @@ type Options struct {
 	// clamped. Results are identical and deterministically ordered
 	// regardless of Workers.
 	Workers int
+	// Shards fixes the number of row shards of the engine data plane; 0
+	// selects the default layout (one shard per engine.DefaultShardRows
+	// rows, so small datasets stay single-shard). Both miners accumulate
+	// supports and outcome moments shard by shard and merge in ascending
+	// shard order; for boolean outcomes (all built-in rate statistics) the
+	// ranked output is byte-identical across shard counts. Negative values
+	// are rejected.
+	Shards int
 	// Tracer, when non-nil, receives mining spans, the fpm.* counters and
 	// the worker-utilization gauges.
 	Tracer *obs.Tracer
@@ -101,16 +108,36 @@ type Result struct {
 }
 
 // Mine runs frequent generalized itemset mining with integrated divergence
-// accumulation over the universe.
+// accumulation over the universe. It is MineMulti with a bundle of one:
+// single-statistic mining is literally the one-outcome special case of the
+// multi-statistic pass, so the two paths cannot diverge.
 func Mine(u *Universe, o *outcome.Outcome, opt Options) (*Result, error) {
+	return MineMulti(u, outcome.Single(o), opt)
+}
+
+// MineMulti mines the itemset lattice once while accumulating outcome
+// moments for every statistic in the bundle. The candidate enumeration
+// (and, under PolarityPrune, the polarity signs) is driven solely by the
+// bundle's primary outcome; each MinedItemset then carries the primary's
+// moments in M and the remaining outcomes' moments in Multi. Compared to
+// re-mining per statistic this costs one lattice walk instead of N.
+func MineMulti(u *Universe, b *outcome.Bundle, opt Options) (*Result, error) {
 	if opt.MinSupport <= 0 || opt.MinSupport > 1 {
 		return nil, fmt.Errorf("fpm: MinSupport %v out of (0, 1]", opt.MinSupport)
+	}
+	if opt.Shards < 0 {
+		return nil, fmt.Errorf("fpm: negative shard count %d", opt.Shards)
+	}
+	if b == nil || b.Len() == 0 {
+		return nil, fmt.Errorf("fpm: empty outcome bundle")
 	}
 	if err := u.Validate(); err != nil {
 		return nil, err
 	}
-	if o.Len() != u.NumRows {
-		return nil, fmt.Errorf("fpm: outcome has %d rows, universe %d", o.Len(), u.NumRows)
+	for _, o := range b.Outcomes() {
+		if o.Len() != u.NumRows {
+			return nil, fmt.Errorf("fpm: outcome %q has %d rows, universe %d", o.Name, o.Len(), u.NumRows)
+		}
 	}
 	minCount := int(math.Ceil(opt.MinSupport * float64(u.NumRows)))
 	if minCount < 1 {
@@ -126,6 +153,8 @@ func Mine(u *Universe, o *outcome.Outcome, opt Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("fpm: mining cancelled: %w", err)
 	}
+	plan := engine.NewPlan(u.NumRows, opt.Shards)
+	opt.Tracer.SetGauge(obs.GaugeShards, float64(plan.NumShards()))
 	cancel := watchContext(ctx)
 	defer cancel.release()
 	span := opt.TraceParent.Start(obs.SpanMine)
@@ -136,9 +165,9 @@ func Mine(u *Universe, o *outcome.Outcome, opt Options) (*Result, error) {
 	var res *Result
 	switch opt.Algorithm {
 	case Apriori:
-		res = mineApriori(u, o, opt, minCount, span, cancel, hBatch)
+		res = mineApriori(u, b, opt, minCount, plan, span, cancel, hBatch)
 	case FPGrowth:
-		res = mineFPGrowth(u, o, opt, minCount, span, cancel, hBatch)
+		res = mineFPGrowth(u, b, opt, minCount, plan, span, cancel, hBatch)
 	default:
 		span.End()
 		return nil, fmt.Errorf("fpm: unknown algorithm %v", opt.Algorithm)
@@ -202,10 +231,21 @@ func (c *canceller) release() {
 	}
 }
 
-// momentsOf computes the outcome moments over the rows of a bitset,
-// restricted to rows with a defined outcome.
-func momentsOf(rows *bitvec.Vector, o *outcome.Outcome) stats.Moments {
-	return o.MomentsOf(rows)
+// momentsMulti computes, for every outcome of the bundle, the moments of a
+// subgroup's rows by accumulating shard by shard and merging in ascending
+// shard order (the engine data-plane contract). The primary outcome's
+// moments return in m; the remaining outcomes' in extra (nil for a
+// single-outcome bundle, keeping that path allocation-free).
+func momentsMulti(p engine.Plan, b *outcome.Bundle, rows *bitvec.Vector) (m stats.Moments, extra []stats.Moments) {
+	m = b.Primary().AccOf(p, rows).Moments()
+	if b.Len() == 1 {
+		return m, nil
+	}
+	extra = make([]stats.Moments, b.Len()-1)
+	for k := 1; k < b.Len(); k++ {
+		extra[k-1] = b.At(k).AccOf(p, rows).Moments()
+	}
+	return m, extra
 }
 
 // mineApriori is the level-wise candidate-generation miner. Level k
@@ -213,9 +253,16 @@ func momentsOf(rows *bitvec.Vector, o *outcome.Outcome) stats.Moments {
 // items; the two differing items must constrain different attributes (the
 // generalized-itemset rule) and, under polarity pruning, share polarity.
 // Candidates with an infrequent (k−1)-subset are pruned before counting.
-func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int, span *obs.Span, cancel *canceller, hBatch *obs.Histogram) *Result {
+//
+// Evaluation is sharded: support counting fans out over (candidate, shard)
+// pairs into a fixed-position partial-count matrix, and survivors'
+// outcome moments are accumulated shard by shard and merged in ascending
+// shard order, so the output is deterministic regardless of both Workers
+// and the shard count.
+func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, plan engine.Plan, span *obs.Span, cancel *canceller, hBatch *obs.Histogram) *Result {
 	res := &Result{}
 	prog := opt.Progress
+	nShards := plan.NumShards()
 
 	type entry struct {
 		items []int
@@ -237,10 +284,12 @@ func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int, spa
 		}
 		level = append(level, entry{items: []int{i}, rows: u.Rows[i]})
 		prog.AddFrequent(1)
+		m, extra := momentsMulti(plan, bun, u.Rows[i])
 		res.Itemsets = append(res.Itemsets, MinedItemset{
 			Items: []int{i},
 			Count: u.Rows[i].Count(),
-			M:     momentsOf(u.Rows[i], o),
+			M:     m,
+			Multi: extra,
 		})
 	}
 
@@ -295,32 +344,55 @@ func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int, spa
 		res.Stats.Candidates += len(cands)
 		hBatch.Observe(float64(len(cands)))
 
-		// Phase 2: support counting and divergence accumulation, optionally
-		// parallel. Evaluation of distinct candidates is independent;
-		// results land in a fixed-position slice so the output order is
-		// deterministic regardless of Workers.
-		evaluated := make([]*entry, len(cands))
-		moments := make([]stats.Moments, len(cands))
-		eval := func(i int) {
+		// Phase 2a: sharded support counting. Each (candidate, shard) pair
+		// is one task computing a fused AND+popcount over the shard's word
+		// range into a fixed slot of the partial-count matrix, so wide
+		// datasets expose shard-level parallelism and the totals are
+		// independent of the task interleaving.
+		partial := make([]int, len(cands)*nShards)
+		engine.ParallelFor(len(cands)*nShards, opt.Workers, opt.Tracer, func(t int) {
 			if cancel.cancelled() {
 				return
 			}
-			// Counted here, per candidate, so the live view advances while a
-			// wide level is being evaluated (the batch-granular alternative
-			// would stall for the whole level).
-			prog.AddCandidates(1)
-			c := cands[i]
-			base := level[c.base].rows
-			// Fused AND+popcount screens the candidate without allocating;
-			// only survivors (the minority) materialize their row bitset.
-			if base.AndCount(u.Rows[c.extra]) < minCount {
+			c, s := t/nShards, t%nShards
+			if s == 0 {
+				// Counted once per candidate so the live view advances while
+				// a wide level is being evaluated.
+				prog.AddCandidates(1)
+			}
+			lo, hi := plan.WordRange(s)
+			partial[t] = level[cands[c].base].rows.AndCountRange(u.Rows[cands[c].extra], lo, hi)
+		})
+		if cancel.cancelled() {
+			return res
+		}
+		counts := make([]int, len(cands))
+		var survivors []int
+		for c := range cands {
+			total := 0
+			for s := 0; s < nShards; s++ {
+				total += partial[c*nShards+s]
+			}
+			counts[c] = total
+			if total >= minCount {
+				survivors = append(survivors, c)
+			}
+		}
+
+		// Phase 2b: survivors (the minority) materialize their row bitset
+		// and accumulate outcome moments per shard, merged in shard order.
+		evaluated := make([]*entry, len(cands))
+		moments := make([]stats.Moments, len(cands))
+		multi := make([][]stats.Moments, len(cands))
+		engine.ParallelFor(len(survivors), opt.Workers, opt.Tracer, func(i int) {
+			if cancel.cancelled() {
 				return
 			}
-			rows := base.Clone().And(u.Rows[c.extra])
-			evaluated[i] = &entry{items: c.items, rows: rows}
-			moments[i] = momentsOf(rows, o)
-		}
-		parallelFor(len(cands), opt.Workers, opt.Tracer, eval)
+			c := cands[survivors[i]]
+			rows := level[c.base].rows.Clone().And(u.Rows[c.extra])
+			evaluated[survivors[i]] = &entry{items: c.items, rows: rows}
+			moments[survivors[i]], multi[survivors[i]] = momentsMulti(plan, bun, rows)
+		})
 		if cancel.cancelled() {
 			return res
 		}
@@ -338,8 +410,9 @@ func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int, spa
 			nextKeys[key(e.items)] = true
 			res.Itemsets = append(res.Itemsets, MinedItemset{
 				Items: e.items,
-				Count: e.rows.Count(),
+				Count: counts[i],
 				M:     moments[i],
+				Multi: multi[i],
 			})
 		}
 		if len(next) == 0 {
@@ -349,54 +422,6 @@ func mineApriori(u *Universe, o *outcome.Outcome, opt Options, minCount int, spa
 		frequent = nextKeys
 	}
 	return res
-}
-
-// parallelFor runs fn(0..n-1) across at most workers goroutines; workers
-// ≤ 1 runs inline. The worker count is clamped to both n and
-// runtime.GOMAXPROCS(0), so callers may pass arbitrarily large values
-// without spawning useless goroutines. fn invocations must be
-// independent. When tr is non-nil, each worker's completed-task count is
-// recorded under obs.CtrWorkerTaskPrefix+index and the clamped worker
-// count under obs.GaugeWorkers.
-func parallelFor(n, workers int, tr *obs.Tracer, fn func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if p := runtime.GOMAXPROCS(0); workers > p {
-		workers = p
-	}
-	if workers <= 1 || n < 2 {
-		if tr != nil {
-			tr.SetGauge(obs.GaugeWorkers, 1)
-			tr.Counter(fmt.Sprintf("%s%d", obs.CtrWorkerTaskPrefix, 0)).Add(int64(n))
-		}
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	tr.SetGauge(obs.GaugeWorkers, float64(workers))
-	var wg sync.WaitGroup
-	var next atomic.Int64
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			tasks := 0
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					break
-				}
-				fn(i)
-				tasks++
-			}
-			if tr != nil {
-				tr.Counter(fmt.Sprintf("%s%d", obs.CtrWorkerTaskPrefix, w)).Add(int64(tasks))
-			}
-		}(w)
-	}
-	wg.Wait()
 }
 
 // polarityCompatible reports whether appending item y to the itemset keeps

@@ -114,8 +114,22 @@ type MinedItemset struct {
 	// Count is the absolute support count (#rows satisfying all items).
 	Count int
 	// M holds the outcome moments over the itemset's rows with defined
-	// outcome: M.N = non-⊥ members, M.Sum = Σo, M.SumSq = Σo².
+	// outcome: M.N = non-⊥ members, M.Sum = Σo, M.SumSq = Σo². Under a
+	// multi-outcome bundle M belongs to the primary (lattice-determining)
+	// outcome.
 	M stats.Moments
+	// Multi holds the moments of the bundle's extra outcomes (Multi[k-1]
+	// corresponds to bundle outcome k); nil on single-outcome runs.
+	Multi []stats.Moments
+}
+
+// MomentsAt returns the moments for bundle outcome k: k = 0 is the primary
+// (M), higher k index into Multi.
+func (m *MinedItemset) MomentsAt(k int) stats.Moments {
+	if k == 0 {
+		return m.M
+	}
+	return m.Multi[k-1]
 }
 
 // Support returns the relative support given the dataset size.

@@ -23,12 +23,14 @@ const (
 	SpanRank     = "explore.rank"
 
 	// SpanMine covers fpm.Mine. FP-Growth emits SpanMineScan (global item
-	// frequency scan), SpanMineBuild (FP-tree construction) and
+	// frequency scan), SpanMineBuild (FP-tree construction, with a
+	// SpanMineMerge child when shard trees are folded together) and
 	// SpanMineGrow (conditional-tree recursion); Apriori emits
 	// SpanMineScan (level 1) and SpanMineLevels (levels ≥ 2).
 	SpanMine       = "mine"
 	SpanMineScan   = "mine.scan"
 	SpanMineBuild  = "mine.build"
+	SpanMineMerge  = "mine.build.merge"
 	SpanMineGrow   = "mine.grow"
 	SpanMineLevels = "mine.levels"
 )
@@ -59,8 +61,14 @@ const (
 	CtrItemsetsEmitted = "fpm.itemsets_emitted"
 
 	// CtrWorkerTaskPrefix + worker index counts tasks completed by each
-	// parallelFor worker goroutine (utilization; nondeterministic split).
+	// engine.ParallelFor worker goroutine (utilization; nondeterministic
+	// split).
 	CtrWorkerTaskPrefix = "fpm.worker_tasks.w"
+
+	// CtrShardRowsPrefix + shard index counts the transactions (non-empty
+	// rows) each engine shard inserted during FP-tree construction;
+	// deterministic per shard for a given plan.
+	CtrShardRowsPrefix = "engine.shard_rows.s"
 
 	// Serving-layer counters (internal/server, accumulated on the server's
 	// lifetime tracer and rendered by GET /metrics).
@@ -81,12 +89,22 @@ const (
 	CtrServerCancelled     = "server.explores_cancelled"
 	CtrServerCacheHits     = "server.universe_cache_hits"
 	CtrServerCacheMisses   = "server.universe_cache_misses"
+
+	// CtrServerCacheEvictions counts universe-cache entries evicted by the
+	// LRU capacity bound; CtrServerBatchStats counts the statistics
+	// computed across /v1/explore/batch requests (one mining pass may
+	// cover several).
+	CtrServerCacheEvictions = "server.universe_cache_evictions"
+	CtrServerBatchStats     = "server.batch_statistics"
 )
 
 // Canonical gauge names.
 const (
 	// GaugeWorkers is the clamped worker count actually used by the miner.
 	GaugeWorkers = "fpm.workers"
+	// GaugeShards is the number of row shards of the engine data plane the
+	// last mining run partitioned the dataset into.
+	GaugeShards = "engine.shards"
 	// GaugeMaxDepth is the FP-Growth conditional-recursion high-water mark
 	// (equals the longest frequent itemset mined).
 	GaugeMaxDepth = "fpm.max_depth"
@@ -132,21 +150,24 @@ var (
 // stable serving-layer and mining metrics are registered — dynamic names
 // (per-worker counters, per-endpoint request counts) export without HELP.
 var MetricHelp = map[string]string{
-	"server_request_seconds":       "End-to-end /v1/explore request latency in seconds.",
-	"server_explores":              "Explorations actually run to completion or error.",
-	"server_http_errors":           "Requests answered with a 4xx/5xx status.",
-	"server_rejected_saturated":    "Explorations rejected with 429 at the in-flight limit.",
-	"server_explores_cancelled":    "Explorations aborted by timeout or client disconnect.",
-	"server_universe_cache_hits":   "Universe-cache lookups that skipped discretization.",
-	"server_universe_cache_misses": "Universe-cache lookups that built a new universe.",
-	"server_in_flight":             "Explorations currently running.",
-	"server_in_flight_max":         "High-water mark of concurrent explorations.",
-	"server_datasets":              "Datasets loaded at startup.",
-	"server_cached_universes":      "Universe-cache entries currently built.",
-	"fpm_candidate_batch":          "Candidate-batch sizes: Apriori level widths and FP-Growth conditional universe sizes.",
-	"fpm_itemset_support":          "Support fraction of emitted frequent itemsets.",
-	"fpm_candidates":               "Itemset candidates whose support was evaluated.",
-	"fpm_pruned_support":           "Candidates discarded as infrequent.",
-	"fpm_pruned_polarity":          "Combinations skipped by polarity pruning.",
-	"fpm_itemsets_emitted":         "Frequent itemsets returned by the miner.",
+	"server_request_seconds":          "End-to-end /v1/explore request latency in seconds.",
+	"server_explores":                 "Explorations actually run to completion or error.",
+	"server_http_errors":              "Requests answered with a 4xx/5xx status.",
+	"server_rejected_saturated":       "Explorations rejected with 429 at the in-flight limit.",
+	"server_explores_cancelled":       "Explorations aborted by timeout or client disconnect.",
+	"server_universe_cache_hits":      "Universe-cache lookups that skipped discretization.",
+	"server_universe_cache_misses":    "Universe-cache lookups that built a new universe.",
+	"server_universe_cache_evictions": "Universe-cache entries evicted by the LRU capacity bound.",
+	"server_batch_statistics":         "Statistics computed across /v1/explore/batch requests.",
+	"engine_shards":                   "Row shards of the engine data plane in the last mining run.",
+	"server_in_flight":                "Explorations currently running.",
+	"server_in_flight_max":            "High-water mark of concurrent explorations.",
+	"server_datasets":                 "Datasets loaded at startup.",
+	"server_cached_universes":         "Universe-cache entries currently built.",
+	"fpm_candidate_batch":             "Candidate-batch sizes: Apriori level widths and FP-Growth conditional universe sizes.",
+	"fpm_itemset_support":             "Support fraction of emitted frequent itemsets.",
+	"fpm_candidates":                  "Itemset candidates whose support was evaluated.",
+	"fpm_pruned_support":              "Candidates discarded as infrequent.",
+	"fpm_pruned_polarity":             "Combinations skipped by polarity pruning.",
+	"fpm_itemsets_emitted":            "Frequent itemsets returned by the miner.",
 }

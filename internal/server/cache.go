@@ -1,6 +1,7 @@
 package server
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"sync"
@@ -44,14 +45,33 @@ type cacheEntry struct {
 	uni      map[core.Mode]*fpm.Universe
 }
 
-// universeCache is a keyed singleflight cache of cacheEntry values.
+// universeCache is a keyed singleflight LRU cache of cacheEntry values:
+// at most max entries are retained (0 or negative = unbounded), and
+// inserting past the bound evicts the least-recently-used key. Evicted
+// entries stay valid for requests already holding them — eviction only
+// drops the cache's reference, so in-flight explorations are unaffected.
 type universeCache struct {
-	mu      sync.Mutex
-	entries map[cacheKey]*cacheEntry
+	mu        sync.Mutex
+	max       int
+	entries   map[cacheKey]*list.Element // values: elements of lru
+	lru       *list.List                 // front = most recently used *lruItem
+	evictions *obs.Counter               // may be nil
 }
 
-func newUniverseCache() *universeCache {
-	return &universeCache{entries: map[cacheKey]*cacheEntry{}}
+// lruItem is one recency-list node: the key is carried along so eviction
+// from the list tail can delete the map entry too.
+type lruItem struct {
+	key   cacheKey
+	entry *cacheEntry
+}
+
+func newUniverseCache(max int, evictions *obs.Counter) *universeCache {
+	return &universeCache{
+		max:       max,
+		entries:   map[cacheKey]*list.Element{},
+		lru:       list.New(),
+		evictions: evictions,
+	}
 }
 
 // len reports the number of successfully built (or in-flight) entries.
@@ -70,16 +90,19 @@ func (c *universeCache) len() int {
 // entry already existed (a cache hit).
 func (c *universeCache) get(ctx context.Context, key cacheKey, build func(*cacheEntry) error) (*cacheEntry, bool, error) {
 	c.mu.Lock()
-	e, hit := c.entries[key]
-	if !hit {
+	var e *cacheEntry
+	el, hit := c.entries[key]
+	if hit {
+		e = el.Value.(*lruItem).entry
+		c.lru.MoveToFront(el)
+	} else {
 		e = &cacheEntry{ready: make(chan struct{})}
-		c.entries[key] = e
+		c.entries[key] = c.lru.PushFront(&lruItem{key: key, entry: e})
+		c.evictOverflowLocked()
 		go func() {
 			e.err = build(e)
 			if e.err != nil {
-				c.mu.Lock()
-				delete(c.entries, key)
-				c.mu.Unlock()
+				c.remove(key, e)
 			}
 			close(e.ready)
 		}()
@@ -91,6 +114,33 @@ func (c *universeCache) get(ctx context.Context, key cacheKey, build func(*cache
 		return e, hit, e.err
 	case <-ctx.Done():
 		return nil, hit, fmt.Errorf("server: waiting for universe build: %w", ctx.Err())
+	}
+}
+
+// evictOverflowLocked drops least-recently-used entries until the cache
+// fits its bound again. Caller holds c.mu.
+func (c *universeCache) evictOverflowLocked() {
+	if c.max <= 0 {
+		return
+	}
+	for c.lru.Len() > c.max {
+		el := c.lru.Back()
+		it := el.Value.(*lruItem)
+		c.lru.Remove(el)
+		delete(c.entries, it.key)
+		c.evictions.Add(1)
+	}
+}
+
+// remove deletes key from the cache, but only while it still maps to e:
+// a failed build must not knock out a newer entry that replaced it after
+// eviction.
+func (c *universeCache) remove(key cacheKey, e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok && el.Value.(*lruItem).entry == e {
+		c.lru.Remove(el)
+		delete(c.entries, key)
 	}
 }
 

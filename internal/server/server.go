@@ -17,6 +17,7 @@ import (
 	"repro/internal/discretize"
 	"repro/internal/fpm"
 	"repro/internal/obs"
+	"repro/internal/outcome"
 )
 
 // DatasetConfig names one dataset served by the server. Exactly one of
@@ -44,6 +45,10 @@ type Config struct {
 	// A request may shorten it via timeout_ms but never extend it.
 	// Defaults to 30s.
 	RequestTimeout time.Duration
+	// CacheMax bounds the universe cache: beyond this many
+	// (dataset, statistic, criterion, st) entries, the least-recently-used
+	// one is evicted. 0 defaults to 32; negative disables the bound.
+	CacheMax int
 	// Tracer accumulates the server.* lifetime counters, gauges and
 	// histograms rendered by GET /metrics. Each exploration runs on its
 	// own per-request tracer whose counters are folded in here on
@@ -85,6 +90,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 30 * time.Second
 	}
+	if cfg.CacheMax == 0 {
+		cfg.CacheMax = 32
+	}
 	if cfg.Tracer == nil {
 		cfg.Tracer = obs.New()
 	}
@@ -98,7 +106,7 @@ func New(cfg Config) (*Server, error) {
 		requests: newRequestRegistry(),
 		hLatency: cfg.Tracer.Histogram(obs.HistRequestSeconds, obs.LatencyBuckets),
 		tables:   map[string]*dataset.Table{},
-		cache:    newUniverseCache(),
+		cache:    newUniverseCache(cfg.CacheMax, cfg.Tracer.Counter(obs.CtrServerCacheEvictions)),
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		timeout:  cfg.RequestTimeout,
 	}
@@ -125,6 +133,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	s.mux.HandleFunc("POST /v1/explore/batch", s.handleExploreBatch)
 	s.mux.HandleFunc("GET /v1/progress", s.handleProgressList)
 	s.mux.HandleFunc("GET /v1/progress/{id}", s.handleProgress)
 	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
@@ -220,6 +229,10 @@ type ExploreRequest struct {
 	MinT float64 `json:"min_t,omitempty"`
 	// Workers enables parallel mining (results are identical regardless).
 	Workers int `json:"workers,omitempty"`
+	// Shards fixes the engine data plane's row-shard count (0 = automatic;
+	// ranked results are identical regardless for the built-in rate
+	// statistics).
+	Shards int `json:"shards,omitempty"`
 	// Format selects the reply encoding: json (default) or csv. The CSV
 	// bytes equal `hdivexplorer -format csv` output for the same
 	// parameters.
@@ -286,6 +299,12 @@ func (s *Server) resolve(req ExploreRequest) (*exploreParams, int, error) {
 	default:
 		return nil, http.StatusBadRequest, fmt.Errorf("unknown format %q", req.Format)
 	}
+	if req.Workers < 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("workers must be >= 0 (got %d)", req.Workers)
+	}
+	if req.Shards < 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("shards must be >= 0 (got %d)", req.Shards)
+	}
 	p.timeout = s.timeout
 	if req.TimeoutMS > 0 {
 		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < p.timeout {
@@ -308,8 +327,66 @@ func (p *exploreParams) key() cacheKey {
 	}
 }
 
+// BatchExploreRequest is the POST /v1/explore/batch request body: an
+// ExploreRequest whose Stats list names the statistics to compute over
+// one itemset lattice in a single mining pass. Stats[0] is the primary
+// statistic — it drives discretization, universe construction (and thus
+// the universe-cache key) and polarity pruning; the Stat field is
+// ignored. The reply is a JSON array of {stat, report} pairs in Stats
+// order (or, for format csv, the reports' CSV blocks separated by
+// "# stat=<name>" comment lines).
+type BatchExploreRequest struct {
+	ExploreRequest
+	Stats []string `json:"stats"`
+}
+
+// batchReport is one element of the POST /v1/explore/batch JSON reply.
+type batchReport struct {
+	Stat   string       `json:"stat"`
+	Report *core.Report `json:"report"`
+}
+
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
-	s.tracer.Counter(obs.CtrServerRequestPrefix + "explore").Add(1)
+	s.serveExplore(w, r, false)
+}
+
+func (s *Server) handleExploreBatch(w http.ResponseWriter, r *http.Request) {
+	s.serveExplore(w, r, true)
+}
+
+// parseStats normalizes a batch request's statistic list: lower-cased,
+// trimmed, no blanks, no duplicates, at least one entry.
+func parseStats(raw []string) ([]string, error) {
+	seen := map[string]bool{}
+	var stats []string
+	for _, st := range raw {
+		st = strings.ToLower(strings.TrimSpace(st))
+		if st == "" {
+			continue
+		}
+		if seen[st] {
+			return nil, fmt.Errorf("stats names %q twice", st)
+		}
+		seen[st] = true
+		stats = append(stats, st)
+	}
+	if len(stats) == 0 {
+		return nil, fmt.Errorf("stats must name at least one statistic")
+	}
+	return stats, nil
+}
+
+// serveExplore implements both exploration endpoints: POST /v1/explore
+// (one statistic) and POST /v1/explore/batch (a statistic bundle mined
+// in one pass). Both run the same code path — a single statistic is a
+// bundle of one — so their results for a shared statistic are
+// byte-identical.
+func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool) {
+	endpoint := "explore"
+	if batch {
+		endpoint = "explore_batch"
+	}
+	s.tracer.Counter(obs.CtrServerRequestPrefix + endpoint).Add(1)
 	start := time.Now()
 	defer func() { s.hLatency.Observe(time.Since(start).Seconds()) }()
 	id := requestID(r)
@@ -317,18 +394,39 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	logger := obs.RequestLogger(s.logger, id)
 
 	var req ExploreRequest
+	var stats []string
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		logger.Warn("explore rejected", slog.String("error", err.Error()))
-		s.httpError(w, http.StatusBadRequest, "invalid request body: %v", err)
-		return
+	if batch {
+		var breq BatchExploreRequest
+		if err := dec.Decode(&breq); err != nil {
+			logger.Warn("explore rejected", slog.String("error", err.Error()))
+			s.httpError(w, http.StatusBadRequest, "invalid request body: %v", err)
+			return
+		}
+		var err error
+		if stats, err = parseStats(breq.Stats); err != nil {
+			logger.Warn("explore rejected", slog.String("error", err.Error()))
+			s.httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		req = breq.ExploreRequest
+		req.Stat = stats[0]
+	} else {
+		if err := dec.Decode(&req); err != nil {
+			logger.Warn("explore rejected", slog.String("error", err.Error()))
+			s.httpError(w, http.StatusBadRequest, "invalid request body: %v", err)
+			return
+		}
 	}
 	p, code, err := s.resolve(req)
 	if err != nil {
 		logger.Warn("explore rejected", slog.String("error", err.Error()))
 		s.httpError(w, code, "%v", err)
 		return
+	}
+	if !batch {
+		stats = []string{strings.ToLower(p.req.Stat)}
 	}
 
 	// Admission control: reject rather than queue when saturated, so
@@ -398,9 +496,30 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Assemble the outcome bundle: the cached primary plus one outcome per
+	// extra statistic. Extra outcomes are cheap to build (no discretization
+	// or universe construction), so they are not cached.
+	outs := make([]*outcome.Outcome, 0, len(stats))
+	outs = append(outs, entry.out)
+	for _, stat := range stats[1:] {
+		o, _, err := core.BuildStatistic(p.tab, stat, p.req.Actual, p.req.Predicted, p.req.Target)
+		if err != nil {
+			s.httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		outs = append(outs, o)
+	}
+	bundle, err := outcome.NewBundle(outs...)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
 	s.tracer.Counter(obs.CtrServerExplores).Add(1)
-	rep, err := core.ExploreUniverseContext(ctx, entry.uni[p.mode], core.Config{
-		Outcome:       entry.out,
+	if batch {
+		s.tracer.Counter(obs.CtrServerBatchStats).Add(int64(len(stats)))
+	}
+	reps, err := core.ExploreUniverseMultiContext(ctx, entry.uni[p.mode], core.Config{
 		Hierarchies:   entry.hs,
 		MinSupport:    p.req.S,
 		MaxLen:        p.req.MaxLen,
@@ -408,9 +527,10 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		Algorithm:     p.algorithm,
 		Mode:          p.mode,
 		Workers:       p.req.Workers,
+		Shards:        p.req.Shards,
 		Tracer:        reqTracer,
 		Progress:      prog,
-	})
+	}, bundle)
 	if err != nil {
 		if ctx.Err() != nil {
 			status = "cancelled"
@@ -421,26 +541,41 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	status = "done"
-	subgroups = len(rep.Subgroups)
+	subgroups = len(reps[0].Subgroups)
 
-	if p.req.MinT > 0 {
-		rep.Subgroups = rep.FilterMinT(p.req.MinT)
-	}
-	if p.req.Top > 0 {
-		rep.Subgroups = rep.TopK(p.req.Top)
-	}
-	if !p.req.Trace {
-		rep.Trace = nil
+	for _, rep := range reps {
+		if p.req.MinT > 0 {
+			rep.Subgroups = rep.FilterMinT(p.req.MinT)
+		}
+		if p.req.Top > 0 {
+			rep.Subgroups = rep.TopK(p.req.Top)
+		}
+		if !p.req.Trace {
+			rep.Trace = nil
+		}
 	}
 
 	if strings.EqualFold(p.req.Format, "csv") {
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
-		if err := rep.WriteCSV(w); err != nil {
-			return // reply already partially written
+		for i, rep := range reps {
+			if batch {
+				fmt.Fprintf(w, "# stat=%s\n", stats[i])
+			}
+			if err := rep.WriteCSV(w); err != nil {
+				return // reply already partially written
+			}
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, rep)
+	if batch {
+		out := make([]batchReport, len(reps))
+		for i, rep := range reps {
+			out[i] = batchReport{Stat: stats[i], Report: rep}
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	writeJSON(w, http.StatusOK, reps[0])
 }
 
 // exploreCancelled answers a request whose context expired: 504 on
