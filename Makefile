@@ -7,18 +7,20 @@
 #   make smoke        1-iteration pipeline benches + CLI trace-JSON round trip
 #   make smoke-daemon live hdivexplorerd round trip: explore, /metrics,
 #                     /v1/progress, Chrome-trace export, debug listener
+#   make test-faults  fault-injection + budget + panic-containment suite
+#                     under the race detector
 
 GO ?= go
 # BENCHTIME feeds -benchtime: the default 1s gives stable numbers; CI
 # passes 1x for a fast structural run. BENCHOUT is the JSON artifact;
 # BENCHBASE is the committed baseline benchdiff compares it against.
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_PR4.json
-BENCHBASE ?= BENCH_PR2.json
+BENCHOUT ?= BENCH_PR5.json
+BENCHBASE ?= BENCH_PR4.json
 
-.PHONY: check vet build test race bench benchdiff smoke smoke-daemon fmt
+.PHONY: check vet build test race bench benchdiff smoke smoke-daemon test-faults fmt
 
-check: vet build race smoke smoke-daemon
+check: vet build race test-faults smoke smoke-daemon
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +33,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# test-faults runs the failure-containment suite under the race
+# detector: the faultinject package itself, plus every fault-injection,
+# budget-truncation, panic-recovery and saturation test in the engine,
+# miners and HTTP server (FuzzExploreDecode runs its seed corpus only).
+test-faults:
+	$(GO) test -race ./internal/faultinject
+	$(GO) test -race -run 'Fault|Budget|Panic|Readyz|RetryAfter|SoftDeadline|FuzzExploreDecode|Daemon' \
+		./internal/engine ./internal/fpm ./internal/server ./cmd/hdivexplorerd
 
 # bench runs the full suite and also writes $(BENCHOUT): a JSON record
 # per benchmark (name, iterations, ns/op, B/op, allocs/op and custom

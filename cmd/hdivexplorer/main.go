@@ -42,6 +42,9 @@ type cliConfig struct {
 	s, st, minT                              float64
 	polarity                                 bool
 	maxLen, top, workers, shards             int
+	budgetCandidates, budgetItemsets         int
+	budgetDeadline                           time.Duration
+	budgetHeap                               uint64
 	trace, progress                          bool
 	traceJSON, traceChrome                   string
 	cpuProfile, memProfile                   string
@@ -75,6 +78,10 @@ func main() {
 	flag.StringVar(&c.format, "format", "text", "output format: text, csv or json")
 	flag.IntVar(&c.workers, "workers", 0, "parallel mining goroutines (0 = serial)")
 	flag.IntVar(&c.shards, "shards", 0, "row shards for the mining data plane (0 = automatic)")
+	flag.IntVar(&c.budgetCandidates, "budget-candidates", 0, "cap on evaluated itemset candidates (0 = unlimited); exhaustion truncates the report")
+	flag.IntVar(&c.budgetItemsets, "budget-itemsets", 0, "cap on frequent itemsets kept (0 = unlimited); exhaustion truncates the report")
+	flag.DurationVar(&c.budgetDeadline, "budget-deadline", 0, "soft mining deadline (0 = none); expiry truncates the report instead of failing")
+	flag.Uint64Var(&c.budgetHeap, "budget-heap-bytes", 0, "heap watermark that truncates mining (0 = off)")
 	flag.BoolVar(&c.trace, "trace", false, "print the pipeline span tree and counters to stderr")
 	flag.BoolVar(&c.progress, "progress", false, "print a live mining progress line to stderr every 500ms")
 	flag.StringVar(&c.traceJSON, "trace-json", "", "write the trace snapshot as JSON to this file")
@@ -107,6 +114,12 @@ func run(c cliConfig) error {
 	}
 	if c.shards < 0 {
 		return usageError{fmt.Sprintf("-shards must be >= 0 (got %d)", c.shards)}
+	}
+	if c.budgetCandidates < 0 || c.budgetItemsets < 0 || c.budgetDeadline < 0 {
+		return usageError{"-budget-* values must be >= 0"}
+	}
+	if err := hdiv.ArmFaultsFromEnv(); err != nil {
+		return usageError{err.Error()}
 	}
 	if c.s <= 0 || c.s > 1 {
 		return usageError{fmt.Sprintf("-s must be a support fraction in (0, 1] (got %v)", c.s)}
@@ -165,8 +178,14 @@ func run(c cliConfig) error {
 		PolarityPrune: c.polarity,
 		Workers:       c.workers,
 		Shards:        c.shards,
-		Exclude:       exclude,
-		Tracer:        tracer,
+		ResourceBudget: hdiv.Budget{
+			MaxCandidates: c.budgetCandidates,
+			MaxItemsets:   c.budgetItemsets,
+			SoftDeadline:  c.budgetDeadline,
+			MaxHeapBytes:  c.budgetHeap,
+		},
+		Exclude: exclude,
+		Tracer:  tracer,
 	}
 	switch strings.ToLower(c.criterion) {
 	case "divergence":
@@ -286,8 +305,13 @@ func emitText(c cliConfig, rep *hdiv.Report, o *hdiv.Outcome) {
 	fmt.Fprintf(c.stdout, "dataset: %d rows, %d items explored, %s=%.4f overall\n",
 		rep.NumRows, rep.NumItems, o.Name, rep.Global)
 	fmt.Fprintf(c.stdout, "frequent subgroups: %d (mining %v)\n", len(rep.Subgroups), rep.Elapsed)
-	fmt.Fprintf(c.stdout, "mining: %d candidates, %d pruned by support, %d pruned by polarity\n\n",
+	fmt.Fprintf(c.stdout, "mining: %d candidates, %d pruned by support, %d pruned by polarity\n",
 		rep.Mining.Candidates, rep.Mining.PrunedSupport, rep.Mining.PrunedPolarity)
+	if rep.Truncated {
+		fmt.Fprintf(c.stdout, "NOTE: exploration truncated (budget exhausted: %s); subgroups shown are correctly scored but the lattice was not fully explored\n",
+			rep.Exhausted)
+	}
+	fmt.Fprintln(c.stdout)
 	if c.minT > 0 {
 		filtered := rep.FilterMinT(c.minT)
 		top := c.top

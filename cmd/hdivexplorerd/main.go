@@ -14,9 +14,20 @@
 //
 // Endpoints: POST /v1/explore, POST /v1/explore/batch (several
 // statistics over one mining pass), GET /v1/datasets, GET /v1/progress,
-// GET /v1/progress/{id}, GET /v1/trace/{id}, GET /healthz, GET /metrics
-// (Prometheus text format). SIGINT/SIGTERM trigger a graceful shutdown
-// that drains in-flight explorations.
+// GET /v1/progress/{id}, GET /v1/trace/{id}, GET /healthz, GET /readyz,
+// GET /metrics (Prometheus text format).
+//
+// The listener comes up immediately; GET /readyz answers 503 while the
+// datasets load, 200 once the daemon can take traffic, and 503 again
+// while a SIGINT/SIGTERM-triggered graceful shutdown drains in-flight
+// explorations (liveness, GET /healthz, stays 200 throughout). Point
+// load-balancer readiness probes at /readyz and liveness probes at
+// /healthz.
+//
+// The -budget-* flags bound every exploration's resource consumption;
+// on exhaustion the request is answered 200 with a ranked report flagged
+// "truncated" instead of stalling or exhausting the machine. Requests
+// may tighten (never loosen) the budget via the body's budget object.
 //
 // Every exploration carries a correlation ID (client-supplied via
 // X-Request-ID or generated, echoed in the response header) that keys
@@ -36,14 +47,18 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
+	"repro/internal/fpm"
 	"repro/internal/server"
 )
 
@@ -77,6 +92,16 @@ type daemonConfig struct {
 	timeout   time.Duration
 	drain     time.Duration
 	logJSON   bool
+	budget    fpm.Budget
+
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+
+	// onListen, when non-nil, receives the bound listener address before
+	// serving starts. Tests use it to reach a daemon started on port 0.
+	onListen func(addr string)
 }
 
 func main() {
@@ -89,6 +114,16 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request exploration timeout")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "http.Server.ReadHeaderTimeout: slow-header (Slowloris) guard")
+		readTimeout       = flag.Duration("read-timeout", time.Minute, "http.Server.ReadTimeout: full request read bound (0 = none)")
+		writeTimeout      = flag.Duration("write-timeout", 2*time.Minute, "http.Server.WriteTimeout: response write bound; keep it above -timeout (0 = none)")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "http.Server.IdleTimeout: keep-alive connection reap (0 = none)")
+
+		budgetCandidates = flag.Int("budget-candidates", 0, "per-exploration cap on evaluated itemset candidates (0 = unlimited); exhaustion truncates the report")
+		budgetItemsets   = flag.Int("budget-itemsets", 0, "per-exploration cap on frequent itemsets kept (0 = unlimited); exhaustion truncates the report")
+		budgetDeadline   = flag.Duration("budget-deadline", 0, "per-exploration soft mining deadline (0 = none); expiry truncates the report instead of failing the request")
+		budgetHeap       = flag.Uint64("budget-heap-bytes", 0, "process heap watermark that truncates in-flight mining (0 = off)")
 	)
 	flag.Var(&datasets, "dataset", "dataset to serve as name=path.csv (repeatable, required)")
 	flag.Parse()
@@ -96,6 +131,16 @@ func main() {
 		datasets: datasets, addr: *addr, debugAddr: *debugAddr,
 		inflight: *inflight, cacheMax: *cacheMax,
 		timeout: *timeout, drain: *drain, logJSON: *logJSON,
+		budget: fpm.Budget{
+			MaxCandidates: *budgetCandidates,
+			MaxItemsets:   *budgetItemsets,
+			SoftDeadline:  *budgetDeadline,
+			MaxHeapBytes:  *budgetHeap,
+		},
+		readHeaderTimeout: *readHeaderTimeout,
+		readTimeout:       *readTimeout,
+		writeTimeout:      *writeTimeout,
+		idleTimeout:       *idleTimeout,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "hdivexplorerd:", err)
@@ -117,9 +162,31 @@ func debugMux() *http.ServeMux {
 	return mux
 }
 
+// loadingMux is the handler served between listener start and dataset
+// load completion: the process is alive (/healthz 200) but not ready
+// (/readyz 503), and every other request is turned away with 503 so
+// probes and eager clients get a consistent "not yet" instead of a
+// connection refused or a partial service.
+func loadingMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "loading datasets", http.StatusServiceUnavailable)
+	})
+	return mux
+}
+
 func run(cfg daemonConfig) error {
 	if len(cfg.datasets) == 0 {
 		return fmt.Errorf("at least one -dataset name=path.csv is required")
+	}
+	// Deterministic fault injection for the integration suite; inert (and
+	// free) unless HDIV_FAILPOINTS is set.
+	if err := faultinject.ArmFromEnv(); err != nil {
+		return fmt.Errorf("%s: %w", faultinject.EnvVar, err)
 	}
 	var logger *slog.Logger
 	if cfg.logJSON {
@@ -127,35 +194,61 @@ func run(cfg daemonConfig) error {
 	} else {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
-	h, err := server.New(server.Config{
-		Datasets:       cfg.datasets,
-		MaxInFlight:    cfg.inflight,
-		RequestTimeout: cfg.timeout,
-		CacheMax:       cfg.cacheMax,
-		Logger:         logger,
+
+	// The listener starts before the datasets load: a gate handler answers
+	// /readyz 503 (and everything else 503, /healthz 200) until server.New
+	// finishes in the background, then the real handler is swapped in. A
+	// failed load surfaces on loaded and shuts the daemon down.
+	var handler atomic.Pointer[http.Handler]
+	gate := http.Handler(loadingMux())
+	handler.Store(&gate)
+	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*handler.Load()).ServeHTTP(w, r)
 	})
-	if err != nil {
-		return err
-	}
-	for _, name := range h.Datasets() {
-		logger.Info("serving dataset", slog.String("dataset", name))
-	}
 
 	srv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           h,
-		ReadHeaderTimeout: 10 * time.Second,
+		Handler:           root,
+		ReadHeaderTimeout: cfg.readHeaderTimeout,
+		ReadTimeout:       cfg.readTimeout,
+		WriteTimeout:      cfg.writeTimeout,
+		IdleTimeout:       cfg.idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	loaded := make(chan error, 1)
+	var explorer atomic.Pointer[server.Server]
+	go func() {
+		h, err := server.New(server.Config{
+			Datasets:       cfg.datasets,
+			MaxInFlight:    cfg.inflight,
+			RequestTimeout: cfg.timeout,
+			CacheMax:       cfg.cacheMax,
+			Budget:         cfg.budget,
+			Logger:         logger,
+		})
+		if err != nil {
+			loaded <- err
+			return
+		}
+		for _, name := range h.Datasets() {
+			logger.Info("serving dataset", slog.String("dataset", name))
+		}
+		explorer.Store(h)
+		ready := http.Handler(h)
+		handler.Store(&ready)
+		logger.Info("ready")
+		loaded <- nil
+	}()
 
 	var dsrv *http.Server
 	if cfg.debugAddr != "" {
 		dsrv = &http.Server{
 			Addr:              cfg.debugAddr,
 			Handler:           debugMux(),
-			ReadHeaderTimeout: 10 * time.Second,
+			ReadHeaderTimeout: cfg.readHeaderTimeout,
 		}
 		go func() {
 			logger.Info("debug listener on", slog.String("addr", cfg.debugAddr))
@@ -165,21 +258,44 @@ func run(cfg daemonConfig) error {
 		}()
 	}
 
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	if cfg.onListen != nil {
+		cfg.onListen(ln.Addr().String())
+	}
 	errc := make(chan error, 1)
 	go func() {
-		logger.Info("listening", slog.String("addr", cfg.addr))
-		errc <- srv.ListenAndServe()
+		logger.Info("listening", slog.String("addr", ln.Addr().String()))
+		errc <- srv.Serve(ln)
 	}()
 
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// Interrupted while the datasets were still loading; fall through
+		// to the drain path (there are no explorations to wait for).
+	case err := <-loaded:
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		select {
+		case err := <-errc:
+			return err
+		case <-ctx.Done():
+		}
 	}
 
-	// Drain: stop accepting connections, let in-flight explorations
-	// finish within the drain budget, then force-close stragglers.
+	// Drain: flip /readyz to 503 so load balancers stop routing here, stop
+	// accepting connections, let in-flight explorations finish within the
+	// drain budget, then force-close stragglers.
 	logger.Info("shutting down", slog.Duration("drain", cfg.drain))
+	if h := explorer.Load(); h != nil {
+		h.StartDrain()
+	}
 	sctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if dsrv != nil {

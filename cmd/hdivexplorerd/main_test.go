@@ -1,0 +1,218 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/fpm"
+	"repro/internal/server"
+)
+
+// writeTestCSV materializes a small dataset with a mispredicted x > 80
+// tail, mirroring the server package's anomaly fixture.
+func writeTestCSV(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("x,y,p\n")
+	for i := 0; i < 600; i++ {
+		x := i % 100
+		y := "false"
+		if i%2 == 0 {
+			y = "true"
+		}
+		p := y
+		if x > 80 {
+			if p == "true" {
+				p = "false"
+			} else {
+				p = "true"
+			}
+		}
+		fmt.Fprintf(&b, "%d,%s,%s\n", x, y, p)
+	}
+	path := t.TempDir() + "/anomaly.csv"
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// startDaemon runs the daemon on a random port and returns its base URL
+// plus the channel run's error arrives on.
+func startDaemon(t *testing.T, cfg daemonConfig) (string, chan error) {
+	t.Helper()
+	addrc := make(chan string, 1)
+	cfg.addr = "127.0.0.1:0"
+	cfg.onListen = func(addr string) { addrc <- addr }
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(cfg) }()
+	select {
+	case addr := <-addrc:
+		return "http://" + addr, runErr
+	case err := <-runErr:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never bound its listener")
+	}
+	return "", nil
+}
+
+// get fetches a URL and returns status plus body.
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// awaitReady polls /readyz until it answers 200 (the loading gate has
+// been swapped for the real handler).
+func awaitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if code, _ := get(t, base+"/readyz"); code == 200 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("daemon never became ready")
+}
+
+// TestDaemonLifecycle drives a real daemon through its states: liveness
+// up immediately, readiness gating the dataset load (covering the
+// loading-gate handler swap), a budgeted exploration answering 200 with
+// the report flagged truncated, and a clean SIGTERM-triggered drain.
+func TestDaemonLifecycle(t *testing.T) {
+	base, runErr := startDaemon(t, daemonConfig{
+		datasets: []server.DatasetConfig{{Name: "anomaly", Path: writeTestCSV(t)}},
+		timeout:  30 * time.Second,
+		drain:    30 * time.Second,
+		budget:   fpm.Budget{MaxItemsets: 1},
+	})
+
+	// The listener is up before the datasets finish loading; liveness must
+	// already answer. (Readiness may or may not still be 503 — the load is
+	// fast — so only its eventual 200 is asserted.)
+	if code, body := get(t, base+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthz during load = %d %q", code, body)
+	}
+	awaitReady(t, base)
+
+	// The -budget-itemsets cap reaches the miner: the exploration answers
+	// 200 with the report flagged truncated.
+	resp, err := http.Post(base+"/v1/explore", "application/json", strings.NewReader(
+		`{"dataset":"anomaly","stat":"error","actual":"y","predicted":"p"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("explore: %d %s", resp.StatusCode, body)
+	}
+	var rep struct {
+		Truncated bool   `json:"truncated"`
+		Exhausted string `json:"exhausted"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated || rep.Exhausted != fpm.ExhaustedItemsets {
+		t.Errorf("budgeted explore: truncated=%v exhausted=%q, want true/%q",
+			rep.Truncated, rep.Exhausted, fpm.ExhaustedItemsets)
+	}
+
+	// SIGTERM drains and exits cleanly. (run installs its own handler via
+	// signal.NotifyContext, so the test binary survives the signal.)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+// TestDaemonRejectsBadFailpoints pins startup validation of the
+// HDIV_FAILPOINTS environment variable: a malformed spec fails fast with
+// an error naming the variable instead of silently serving without the
+// requested faults.
+func TestDaemonRejectsBadFailpoints(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	t.Setenv(faultinject.EnvVar, "fpm.candidate_batch=explode")
+	err := run(daemonConfig{
+		datasets: []server.DatasetConfig{{Name: "anomaly", Path: writeTestCSV(t)}},
+		addr:     "127.0.0.1:0",
+	})
+	if err == nil || !strings.Contains(err.Error(), faultinject.EnvVar) {
+		t.Fatalf("bad failpoint spec: err = %v, want mention of %s", err, faultinject.EnvVar)
+	}
+}
+
+// TestDaemonArmsFailpointsFromEnv checks a valid HDIV_FAILPOINTS spec is
+// armed during startup and observable end to end: the injected mining
+// error surfaces as a 500 while the daemon keeps serving.
+func TestDaemonArmsFailpointsFromEnv(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	t.Setenv(faultinject.EnvVar, "fpm.candidate_batch=error(injected from env)@1")
+	base, runErr := startDaemon(t, daemonConfig{
+		datasets: []server.DatasetConfig{{Name: "anomaly", Path: writeTestCSV(t)}},
+		timeout:  30 * time.Second,
+		drain:    30 * time.Second,
+	})
+	awaitReady(t, base)
+
+	body := `{"dataset":"anomaly","stat":"error","actual":"y","predicted":"p"}`
+	resp, err := http.Post(base+"/v1/explore", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError || !strings.Contains(string(reply), "injected from env") {
+		t.Fatalf("armed exploration: %d %s, want 500 with the injected error", resp.StatusCode, reply)
+	}
+
+	// @1 fired once; the daemon keeps serving and the retry succeeds.
+	resp, err = http.Post(base+"/v1/explore", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("retry after injected error: %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}

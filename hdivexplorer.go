@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/discretize"
+	"repro/internal/faultinject"
 	"repro/internal/fpm"
 	"repro/internal/hierarchy"
 	"repro/internal/obs"
@@ -156,6 +157,15 @@ const (
 	EntropyGain = discretize.EntropyGain
 )
 
+// ArmFaultsFromEnv arms the deterministic fault-injection failpoints
+// listed in the HDIV_FAILPOINTS environment variable (comma-separated
+// site=spec pairs, e.g. "dataset.read_csv=error(disk gone)"); see
+// internal/faultinject for the spec grammar and DESIGN.md §Failure
+// containment for the site catalog. A no-op when the variable is unset;
+// disarmed failpoints cost one atomic load. Intended for fault-injection
+// testing of binaries built on this package.
+var ArmFaultsFromEnv = faultinject.ArmFromEnv
+
 // Discretizers.
 var (
 	// Tree builds the item hierarchy for one continuous attribute.
@@ -183,6 +193,10 @@ type (
 	Mode = core.Mode
 	// Algorithm selects the mining algorithm.
 	Algorithm = fpm.Algorithm
+	// Budget bounds a mining run's resource consumption; on exhaustion the
+	// exploration returns a ranked Report flagged Truncated instead of
+	// failing. The zero value is unlimited.
+	Budget = fpm.Budget
 )
 
 // Exploration modes and algorithms.
@@ -253,6 +267,10 @@ type PipelineOptions struct {
 	// layout). Ranked output is byte-identical across shard counts for
 	// boolean outcomes (all built-in rate statistics).
 	Shards int
+	// ResourceBudget bounds the mining run; on exhaustion the pipeline
+	// returns a ranked Report flagged Truncated instead of failing. The
+	// zero value is unlimited.
+	ResourceBudget Budget
 	// Taxonomies supplies multi-level hierarchies for specific categorical
 	// attributes; all other categorical attributes get flat hierarchies.
 	Taxonomies []*Hierarchy
@@ -362,6 +380,7 @@ func pipelinePrepare(ctx context.Context, t *Table, o *Outcome, opt *PipelineOpt
 		Mode:          opt.Mode,
 		Workers:       opt.Workers,
 		Shards:        opt.Shards,
+		Budget:        opt.ResourceBudget,
 		Tracer:        opt.Tracer,
 		Progress:      opt.Progress,
 	}, nil

@@ -214,8 +214,13 @@ type reportJSON struct {
 	NumItems  int             `json:"num_items"`
 	ElapsedMS float64         `json:"elapsed_ms"`
 	Mining    fpm.MiningStats `json:"mining"`
-	Subgroups []subgroupJSON  `json:"subgroups"`
-	Trace     *obs.Trace      `json:"trace,omitempty"`
+	// Truncated/Exhausted surface budget-cut runs; omitted (keeping the
+	// serialization of unbudgeted runs unchanged) when the lattice was
+	// fully explored.
+	Truncated bool           `json:"truncated,omitempty"`
+	Exhausted string         `json:"exhausted,omitempty"`
+	Subgroups []subgroupJSON `json:"subgroups"`
+	Trace     *obs.Trace     `json:"trace,omitempty"`
 }
 
 // MarshalJSON serializes the report: global statistic, dataset and
@@ -229,6 +234,8 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		NumItems:  r.NumItems,
 		ElapsedMS: float64(r.Elapsed.Nanoseconds()) / 1e6,
 		Mining:    r.Mining,
+		Truncated: r.Truncated,
+		Exhausted: r.Exhausted,
 		Trace:     r.Trace,
 	}
 	for i := range r.Subgroups {

@@ -76,6 +76,11 @@ type Config struct {
 	// outcomes — every built-in rate statistic — ranked output is
 	// byte-identical across shard counts.
 	Shards int
+	// Budget bounds the mining run's resource consumption; on exhaustion
+	// the exploration returns a ranked Report flagged Truncated instead of
+	// failing. The zero value is unlimited. See fpm.Budget for the
+	// per-dimension determinism guarantees.
+	Budget fpm.Budget
 	// Tracer, when non-nil, receives exploration spans (universe build,
 	// mining, ranking) and the fpm.* counters; the report's Trace field is
 	// set to its snapshot. Nil disables all collection.
@@ -126,6 +131,13 @@ type Report struct {
 	Elapsed time.Duration
 	// Mining reports candidate/frequent counts from the miner.
 	Mining fpm.MiningStats
+	// Truncated marks an exploration cut short by an exhausted
+	// Config.Budget: every subgroup present is correctly scored and the
+	// ranking over them is exact, but the lattice was not fully explored.
+	// Exhausted names the budget dimension that ran out (one of the
+	// fpm.Exhausted* constants). Both are zero on unbudgeted runs.
+	Truncated bool
+	Exhausted string
 	// Trace is the observability snapshot (spans, counters, gauges) when
 	// the exploration ran with a Config.Tracer; nil otherwise. It covers
 	// everything the tracer saw, including upstream parse/discretize spans
@@ -336,6 +348,7 @@ func exploreUniverseMulti(ctx context.Context, u *fpm.Universe, cfg Config, b *o
 		Algorithm:     cfg.Algorithm,
 		Workers:       cfg.Workers,
 		Shards:        cfg.Shards,
+		Budget:        cfg.Budget,
 		Tracer:        cfg.Tracer,
 		TraceParent:   cfg.span,
 		Progress:      cfg.Progress,
@@ -365,11 +378,13 @@ func exploreUniverseMulti(ctx context.Context, u *fpm.Universe, cfg Config, b *o
 		}
 		fpm.SortByDivergence(items, o, false, false)
 		rep := &Report{
-			Global:   o.GlobalMean(),
-			NumRows:  u.NumRows,
-			NumItems: len(u.Items),
-			Elapsed:  elapsed,
-			Mining:   res.Stats,
+			Global:    o.GlobalMean(),
+			NumRows:   u.NumRows,
+			NumItems:  len(u.Items),
+			Elapsed:   elapsed,
+			Mining:    res.Stats,
+			Truncated: res.Truncated,
+			Exhausted: res.Exhausted,
 		}
 		rep.Subgroups = make([]Subgroup, len(items))
 		for i, m := range items {

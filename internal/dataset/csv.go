@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -47,6 +48,9 @@ func ReadCSV(r io.Reader, opts CSVOptions) (*Table, error) {
 	span := opts.Tracer.Start(obs.SpanReadCSV)
 	defer span.End()
 
+	if err := faultinject.Hit(faultinject.SiteCSVLoad); err != nil {
+		return nil, err
+	}
 	cr := csv.NewReader(r)
 	if opts.Comma != 0 {
 		cr.Comma = opts.Comma

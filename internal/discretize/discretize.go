@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/faultinject"
 	"repro/internal/hierarchy"
 	"repro/internal/obs"
 	"repro/internal/outcome"
@@ -89,6 +90,9 @@ func Tree(t *dataset.Table, attr string, o *outcome.Outcome, opts TreeOptions) (
 		return nil, fmt.Errorf("discretize: entropy criterion requires a boolean outcome, %q is not", o.Name)
 	}
 
+	if err := faultinject.Hit(faultinject.SiteDiscretizeTree); err != nil {
+		return nil, err
+	}
 	span := opts.parent.Start(obs.SpanTreePrefix + attr)
 	if span == nil {
 		span = opts.Tracer.Start(obs.SpanTreePrefix + attr)

@@ -20,6 +20,7 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -166,6 +167,34 @@ func AccumulateAll(p Plan, rows, valid *bitvec.Vector, vals []float64, boolean b
 	return a
 }
 
+// PanicError is a worker panic recovered by ParallelFor (or by a miner's
+// serial section): the original panic value plus the stack of the
+// panicking goroutine, captured at recovery. Containment layers — the
+// miners, the HTTP server — convert these into failed requests instead of
+// dying with the process.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the panicking goroutine's stack (debug.Stack output).
+	Stack string
+}
+
+// Error renders the panic value; the stack is carried separately so logs
+// can include it without bloating client-facing messages.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("recovered panic: %v", e.Value)
+}
+
+// RecoverError converts a recover() value into a *PanicError capturing
+// the current stack, or returns nil for a nil value. Call it directly
+// inside a deferred function so the stack still shows the panic site.
+func RecoverError(v any) *PanicError {
+	if v == nil {
+		return nil
+	}
+	return &PanicError{Value: v, Stack: string(debug.Stack())}
+}
+
 // ParallelFor runs fn(0..n-1) across at most workers goroutines; workers
 // ≤ 1 runs inline. The worker count is clamped to both n and
 // runtime.GOMAXPROCS(0), so callers may pass arbitrarily large values
@@ -173,12 +202,31 @@ func AccumulateAll(p Plan, rows, valid *bitvec.Vector, vals []float64, boolean b
 // independent. When tr is non-nil, each worker's completed-task count is
 // recorded under obs.CtrWorkerTaskPrefix+index and the clamped worker
 // count under obs.GaugeWorkers.
-func ParallelFor(n, workers int, tr *obs.Tracer, fn func(i int)) {
+//
+// A panic in fn is recovered into a *PanicError (the first one wins;
+// obs.CtrPanicsRecovered counts every recovery) instead of crossing the
+// goroutine boundary and killing the process. After a panic, remaining
+// tasks are abandoned: workers stop pulling new indices, in-flight tasks
+// finish, and ParallelFor returns the error. Callers must treat their
+// task outputs as incomplete when the returned error is non-nil.
+func ParallelFor(n, workers int, tr *obs.Tracer, fn func(i int)) error {
 	if workers > n {
 		workers = n
 	}
 	if p := runtime.GOMAXPROCS(0); workers > p {
 		workers = p
+	}
+	var panicked atomic.Pointer[PanicError]
+	// call runs one task, recovering a panic into the first-wins slot.
+	call := func(i int) (ok bool) {
+		defer func() {
+			if pe := RecoverError(recover()); pe != nil {
+				tr.Counter(obs.CtrPanicsRecovered).Add(1)
+				panicked.CompareAndSwap(nil, pe)
+			}
+		}()
+		fn(i)
+		return true
 	}
 	if workers <= 1 || n < 2 {
 		if tr != nil {
@@ -186,9 +234,14 @@ func ParallelFor(n, workers int, tr *obs.Tracer, fn func(i int)) {
 			tr.Counter(fmt.Sprintf("%s%d", obs.CtrWorkerTaskPrefix, 0)).Add(int64(n))
 		}
 		for i := 0; i < n; i++ {
-			fn(i)
+			if !call(i) {
+				break
+			}
 		}
-		return
+		if pe := panicked.Load(); pe != nil {
+			return pe
+		}
+		return nil
 	}
 	tr.SetGauge(obs.GaugeWorkers, float64(workers))
 	var wg sync.WaitGroup
@@ -203,7 +256,12 @@ func ParallelFor(n, workers int, tr *obs.Tracer, fn func(i int)) {
 				if i >= n {
 					break
 				}
-				fn(i)
+				if !call(i) {
+					// Abandon the remaining tasks: fast-forward the shared
+					// cursor so every worker's next pull is out of range.
+					next.Store(int64(n))
+					break
+				}
 				tasks++
 			}
 			if tr != nil {
@@ -212,4 +270,8 @@ func ParallelFor(n, workers int, tr *obs.Tracer, fn func(i int)) {
 		}(w)
 	}
 	wg.Wait()
+	if pe := panicked.Load(); pe != nil {
+		return pe
+	}
+	return nil
 }

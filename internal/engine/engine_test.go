@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"errors"
 	"math/rand"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -206,5 +208,54 @@ func TestParallelForCounters(t *testing.T) {
 	}
 	if g := snap.Gauges[obs.GaugeWorkers]; g < 1 {
 		t.Errorf("worker gauge = %v, want >= 1", g)
+	}
+}
+
+// TestParallelForPanic pins the containment contract: a panicking task is
+// recovered into a *PanicError carrying the panic value and a stack that
+// names the panic site, remaining tasks are abandoned, the recovery is
+// counted, and the process survives — at every worker shape.
+func TestParallelForPanic(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8} {
+		tr := obs.New()
+		var ran atomic.Int64
+		err := ParallelFor(100, workers, tr, func(i int) {
+			if i == 3 {
+				panic("kaboom at 3")
+			}
+			ran.Add(1)
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: want *PanicError, got %v", workers, err)
+		}
+		if pe.Value != "kaboom at 3" {
+			t.Errorf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		if !strings.Contains(pe.Error(), "kaboom at 3") {
+			t.Errorf("workers=%d: Error() = %q", workers, pe.Error())
+		}
+		if !strings.Contains(pe.Stack, "engine_test") {
+			t.Errorf("workers=%d: stack does not name the panic site:\n%s", workers, pe.Stack)
+		}
+		if got := ran.Load(); got >= 100 {
+			t.Errorf("workers=%d: %d tasks ran, want < 100 (abandon after panic)", workers, got)
+		}
+		if c := tr.Snapshot().Counters[obs.CtrPanicsRecovered]; c < 1 {
+			t.Errorf("workers=%d: recovery counter = %d", workers, c)
+		}
+	}
+	// No panic → nil error, all tasks run.
+	var ran atomic.Int64
+	if err := ParallelFor(50, 4, nil, func(i int) { ran.Add(1) }); err != nil || ran.Load() != 50 {
+		t.Fatalf("clean run: err=%v ran=%d", err, ran.Load())
+	}
+}
+
+// TestRecoverErrorNil pins that RecoverError passes nil through, so it can
+// wrap recover() unconditionally.
+func TestRecoverErrorNil(t *testing.T) {
+	if pe := RecoverError(nil); pe != nil {
+		t.Fatalf("RecoverError(nil) = %v", pe)
 	}
 }

@@ -1,0 +1,179 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Hit("nothing.armed"); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+}
+
+func TestErrorAction(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm("a.site", "error"); err != nil {
+		t.Fatal(err)
+	}
+	err := Hit("a.site")
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *Error, got %v", err)
+	}
+	if fe.Site != "a.site" {
+		t.Fatalf("site = %q", fe.Site)
+	}
+	// Other sites stay clean while one is armed.
+	if err := Hit("other.site"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+}
+
+func TestErrorMessage(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm("a.site", "error(disk gone)"); err != nil {
+		t.Fatal(err)
+	}
+	err := Hit("a.site")
+	if err == nil || !strings.Contains(err.Error(), "disk gone") {
+		t.Fatalf("want custom message, got %v", err)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm("a.site", "panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("no panic")
+		}
+		if s, ok := v.(string); !ok || !strings.Contains(s, "a.site") {
+			t.Fatalf("panic value %v does not name the site", v)
+		}
+	}()
+	Hit("a.site")
+}
+
+func TestDelayAction(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm("a.site", "delay(30ms)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit("a.site"); err != nil {
+		t.Fatalf("delay returned error %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay too short: %v", d)
+	}
+}
+
+func TestNthHit(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm("a.site", "error@3"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		err := Hit("a.site")
+		if i == 3 && err == nil {
+			t.Fatal("3rd hit did not fire")
+		}
+		if i != 3 && err != nil {
+			t.Fatalf("hit %d fired: %v", i, err)
+		}
+	}
+	// Re-arming resets the hit count.
+	if err := Arm("a.site", "error@1"); err != nil {
+		t.Fatal(err)
+	}
+	if Hit("a.site") == nil {
+		t.Fatal("re-armed 1st hit did not fire")
+	}
+}
+
+func TestDisarmAndReset(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm("a.site", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if !Armed("a.site") {
+		t.Fatal("Armed false after Arm")
+	}
+	Disarm("a.site")
+	if Armed("a.site") || Hit("a.site") != nil {
+		t.Fatal("site still live after Disarm")
+	}
+	Disarm("a.site") // idempotent
+	if err := Arm("b.site", "error"); err != nil {
+		t.Fatal(err)
+	}
+	Reset()
+	if Armed("b.site") || Hit("b.site") != nil {
+		t.Fatal("site still live after Reset")
+	}
+}
+
+func TestArmList(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := armList(" x.a=error(boom) , y.b=panic@2 "); err != nil {
+		t.Fatal(err)
+	}
+	if !Armed("x.a") || !Armed("y.b") {
+		t.Fatal("armList did not arm both sites")
+	}
+	if err := armList(""); err != nil {
+		t.Fatalf("empty list: %v", err)
+	}
+	if err := armList("garbage"); err == nil {
+		t.Fatal("want error for pair without =")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "explode", "error@0", "error@x", "delay", "delay(soon)",
+		"delay(-1s)", "error(unbalanced",
+	} {
+		if err := Arm("a.site", spec); err == nil {
+			t.Errorf("Arm(%q) accepted", spec)
+		}
+	}
+	t.Cleanup(Reset)
+}
+
+// TestConcurrentHits drives an armed site from many goroutines under
+// -race: exactly one fires for @N, and the registry mutations race with
+// hits safely.
+func TestConcurrentHits(t *testing.T) {
+	t.Cleanup(Reset)
+	if err := Arm("a.site", "error@50"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var fired sync.Map
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if err := Hit("a.site"); err != nil {
+					fired.Store(err, true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	n := 0
+	fired.Range(func(any, any) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("@50 fired %d times over 200 hits", n)
+	}
+}

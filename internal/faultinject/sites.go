@@ -1,0 +1,23 @@
+package faultinject
+
+// Canonical failpoint sites planted across the pipeline. DESIGN.md
+// §Failure containment documents what each site covers and what the
+// fault-injection suite pins about it.
+const (
+	// SiteCSVLoad fires at the start of dataset.ReadCSV, before any bytes
+	// are parsed — a failing or stalling dataset source.
+	SiteCSVLoad = "dataset.read_csv"
+	// SiteDiscretizeTree fires once per continuous attribute inside
+	// discretize.Tree, before the attribute's hierarchy is grown.
+	SiteDiscretizeTree = "discretize.tree"
+	// SiteCandidateBatch fires once per candidate batch in both miners:
+	// each Apriori level and each FP-Growth conditional universe (the
+	// hBatch observation sites).
+	SiteCandidateBatch = "fpm.candidate_batch"
+	// SiteShardMerge fires once per shard merge: each FP-Growth shard-tree
+	// absorb and each Apriori partial-count reduction.
+	SiteShardMerge = "engine.shard_merge"
+	// SiteCacheFill fires inside the server's universe-cache build
+	// function, while singleflight waiters block on the entry.
+	SiteCacheFill = "server.cache_fill"
+)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/outcome"
 	"repro/internal/stats"
@@ -190,18 +191,31 @@ type weightedPath struct {
 // tree — and everything mined from it — is identical across shard and
 // worker counts. With a single shard the build is exactly the unsharded
 // construction.
-func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, plan engine.Plan, span *obs.Span, cancel *canceller, hBatch *obs.Histogram) *Result {
+//
+// A deterministic budget (MaxCandidates or MaxItemsets) serializes the
+// growth phase: the recursion then visits branches in the fixed serial
+// order, so the truncation point — and hence the ranked output — is
+// byte-identical across Workers and Shards. A capped run is bounded by
+// construction, so the lost parallelism is bounded too. The soft
+// dimensions (deadline, heap) stay parallel and stop cooperatively.
+func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, plan engine.Plan, span *obs.Span, cancel *canceller, budget *budgetTracker, hBatch *obs.Histogram) (*Result, error) {
 	res := &Result{}
 	prog := opt.Progress
 	nOut := bun.Len()
+	stopped := func() bool { return cancel.cancelled() || budget.softExhausted() != "" }
 
 	// Global frequent items, ranked by support descending (ties by index).
 	scan := span.Start(obs.SpanMineScan)
 	prog.SetLevel(1)
 	hBatch.Observe(float64(len(u.Items)))
+	if err := faultinject.Hit(faultinject.SiteCandidateBatch); err != nil {
+		scan.End()
+		return nil, err
+	}
+	nAllowed := budget.allowCandidates(len(u.Items))
 	type freq struct{ item, count int }
 	var fr []freq
-	for i := range u.Items {
+	for i := 0; i < nAllowed; i++ {
 		res.Stats.Candidates++
 		prog.AddCandidates(1)
 		if c := u.Rows[i].Count(); c >= minCount {
@@ -228,7 +242,7 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 	build := span.Start(obs.SpanMineBuild)
 	nShards := plan.NumShards()
 	trees := make([]*fpTree, nShards)
-	engine.ParallelFor(nShards, opt.Workers, opt.Tracer, func(s int) {
+	if err := engine.ParallelFor(nShards, opt.Workers, opt.Tracer, func(s int) {
 		if cancel.cancelled() {
 			trees[s] = newFPTree(order)
 			return
@@ -238,7 +252,10 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 		if tr := opt.Tracer; tr != nil {
 			tr.Counter(fmt.Sprintf("%s%d", obs.CtrShardRowsPrefix, s)).Add(int64(rows))
 		}
-	})
+	}); err != nil {
+		build.End()
+		return nil, err
+	}
 	tree := trees[0]
 	if nShards > 1 {
 		merge := build.Start(obs.SpanMineMerge)
@@ -246,13 +263,18 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 			if cancel.cancelled() {
 				break
 			}
+			if err := faultinject.Hit(faultinject.SiteShardMerge); err != nil {
+				merge.End()
+				build.End()
+				return nil, err
+			}
 			tree.absorb(trees[s])
 		}
 		merge.End()
 	}
 	build.End()
 	if cancel.cancelled() {
-		return res
+		return res, nil
 	}
 
 	// branch mines the suffix {item}+suffix rooted at one header item of
@@ -262,8 +284,9 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 	var local func(acc *fpLocal, t *fpTree, idx int, suffix []int)
 	local = func(acc *fpLocal, t *fpTree, idx int, suffix []int) {
 		// Each (conditional tree, header item) pair is one candidate; bail
-		// out here and the whole recursion unwinds promptly on cancel.
-		if cancel.cancelled() {
+		// out here and the whole recursion unwinds promptly on cancel,
+		// soft-budget exhaustion or an injected branch failure.
+		if acc.err != nil || stopped() {
 			return
 		}
 		it := t.order[idx]
@@ -285,6 +308,12 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 			}
 		}
 		if total < minCount {
+			return
+		}
+		// Itemset budget: consumed in the fixed serial order (a
+		// deterministic budget forces Workers=1 on the growth phase), so
+		// which itemsets make the cut is reproducible.
+		if budget.allowItemsets(1) < 1 {
 			return
 		}
 		itemset := append([]int{it}, suffix...)
@@ -333,7 +362,11 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 			return
 		}
 		// Conditional universe: items frequent within the base, keeping
-		// the parent tree's rank order.
+		// the parent tree's rank order. The whole batch must fit the
+		// remaining candidate budget; otherwise this expansion stops here.
+		if budget.allowCandidates(len(t.order)) < len(t.order) {
+			return
+		}
 		var condOrder []int
 		for _, oi := range t.order {
 			acc.candidates++
@@ -349,6 +382,10 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 			return
 		}
 		hBatch.Observe(float64(len(condOrder)))
+		if err := faultinject.Hit(faultinject.SiteCandidateBatch); err != nil {
+			acc.err = err
+			return
+		}
 		cond := newFPTree(condOrder)
 		for _, wp := range base {
 			kept := wp.items[:0]
@@ -372,14 +409,26 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 	// Each branch accumulates locally; concatenating in branch order makes
 	// the output identical to the serial traversal.
 	grow := span.Start(obs.SpanMineGrow)
+	defer grow.End()
 	nBranch := len(tree.order)
 	locals := make([]fpLocal, nBranch)
-	engine.ParallelFor(nBranch, opt.Workers, opt.Tracer, func(j int) {
+	growWorkers := opt.Workers
+	if opt.Budget.deterministic() {
+		// Serialize so budget consumption follows the fixed branch order;
+		// the budget bounds the total work, so serial stays affordable.
+		growWorkers = 1
+	}
+	if err := engine.ParallelFor(nBranch, growWorkers, opt.Tracer, func(j int) {
 		idx := nBranch - 1 - j
 		local(&locals[j], tree, idx, nil)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	maxDepth := 0
 	for j := range locals {
+		if locals[j].err != nil {
+			return nil, locals[j].err
+		}
 		res.Itemsets = append(res.Itemsets, locals[j].itemsets...)
 		res.Stats.Candidates += locals[j].candidates
 		res.Stats.PrunedSupport += locals[j].prunedSupport
@@ -388,9 +437,8 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 			maxDepth = locals[j].maxDepth
 		}
 	}
-	grow.End()
 	opt.Tracer.MaxGauge(obs.GaugeMaxDepth, float64(maxDepth))
-	return res
+	return res, nil
 }
 
 // fpLocal accumulates one FP-Growth branch's results.
@@ -400,4 +448,5 @@ type fpLocal struct {
 	prunedSupport  int
 	prunedPolarity int
 	maxDepth       int
+	err            error // injected failure surfaced from this branch
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bitvec"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/outcome"
 	"repro/internal/stats"
@@ -80,6 +81,12 @@ type Options struct {
 	// the final Progress totals equal the deterministic Stats. The caller
 	// owns the lifecycle (and calls Finish); a nil Progress costs nothing.
 	Progress *obs.Progress
+	// Budget bounds the run's resource consumption; on exhaustion the
+	// miner stops expanding the lattice and returns a Result flagged
+	// Truncated instead of failing. The zero value is unlimited. See the
+	// Budget type for the per-dimension determinism guarantees; note that
+	// a deterministic budget serializes FP-Growth's growth phase.
+	Budget Budget
 }
 
 // MiningStats reports work done by a mining run. All fields are
@@ -105,6 +112,12 @@ type Result struct {
 	Itemsets []MinedItemset
 	Stats    MiningStats
 	NumRows  int
+	// Truncated marks a run cut short by an exhausted Options.Budget: the
+	// itemsets present are correctly scored, but the lattice was not fully
+	// explored. Exhausted names the dimension that ran out (one of the
+	// Exhausted* constants). Both are zero on unbudgeted runs.
+	Truncated bool
+	Exhausted string
 }
 
 // Mine runs frequent generalized itemset mining with integrated divergence
@@ -130,6 +143,9 @@ func MineMulti(u *Universe, b *outcome.Bundle, opt Options) (*Result, error) {
 	}
 	if b == nil || b.Len() == 0 {
 		return nil, fmt.Errorf("fpm: empty outcome bundle")
+	}
+	if err := opt.Budget.Validate(); err != nil {
+		return nil, err
 	}
 	if err := u.Validate(); err != nil {
 		return nil, err
@@ -157,20 +173,38 @@ func MineMulti(u *Universe, b *outcome.Bundle, opt Options) (*Result, error) {
 	opt.Tracer.SetGauge(obs.GaugeShards, float64(plan.NumShards()))
 	cancel := watchContext(ctx)
 	defer cancel.release()
+	budget := newBudgetTracker(opt.Budget)
+	defer budget.release()
 	span := opt.TraceParent.Start(obs.SpanMine)
 	if span == nil {
 		span = opt.Tracer.Start(obs.SpanMine)
 	}
 	hBatch := opt.Tracer.Histogram(obs.HistCandidateBatch, obs.SizeBuckets)
-	var res *Result
-	switch opt.Algorithm {
-	case Apriori:
-		res = mineApriori(u, b, opt, minCount, plan, span, cancel, hBatch)
-	case FPGrowth:
-		res = mineFPGrowth(u, b, opt, minCount, plan, span, cancel, hBatch)
-	default:
+	// The dispatch closure contains the miners' serial sections (candidate
+	// generation, shard merges, result assembly); a panic there is
+	// recovered into a *engine.PanicError just like ParallelFor recovers
+	// its workers' panics, so a poisoned request fails instead of killing
+	// the process.
+	mineRun := func() (r *Result, err error) {
+		defer func() {
+			if pe := engine.RecoverError(recover()); pe != nil {
+				opt.Tracer.Counter(obs.CtrPanicsRecovered).Add(1)
+				r, err = nil, pe
+			}
+		}()
+		switch opt.Algorithm {
+		case Apriori:
+			return mineApriori(u, b, opt, minCount, plan, span, cancel, budget, hBatch)
+		case FPGrowth:
+			return mineFPGrowth(u, b, opt, minCount, plan, span, cancel, budget, hBatch)
+		default:
+			return nil, fmt.Errorf("fpm: unknown algorithm %v", opt.Algorithm)
+		}
+	}
+	res, err := mineRun()
+	if err != nil {
 		span.End()
-		return nil, fmt.Errorf("fpm: unknown algorithm %v", opt.Algorithm)
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		span.End()
@@ -178,6 +212,11 @@ func MineMulti(u *Universe, b *outcome.Bundle, opt Options) (*Result, error) {
 	}
 	res.NumRows = u.NumRows
 	res.Stats.Frequent = len(res.Itemsets)
+	if trunc, dim := budget.truncated(); trunc {
+		res.Truncated = true
+		res.Exhausted = dim
+		opt.Tracer.Counter(obs.CtrBudgetExhaustedPrefix + dim).Add(1)
+	}
 	span.End()
 	if tr := opt.Tracer; tr != nil {
 		tr.Counter(obs.CtrCandidates).Add(int64(res.Stats.Candidates))
@@ -259,10 +298,18 @@ func momentsMulti(p engine.Plan, b *outcome.Bundle, rows *bitvec.Vector) (m stat
 // outcome moments are accumulated shard by shard and merged in ascending
 // shard order, so the output is deterministic regardless of both Workers
 // and the shard count.
-func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, plan engine.Plan, span *obs.Span, cancel *canceller, hBatch *obs.Histogram) *Result {
+//
+// Budget enforcement rides the same determinism: each level's candidate
+// slice is generated deterministically and then trimmed to the remaining
+// candidate budget as a prefix, and itemset-budget checks happen in the
+// caller-goroutine merge loops — so a truncated ranked output is
+// byte-identical across Workers and Shards. The soft dimensions
+// (deadline, heap) stop the run cooperatively like cancellation.
+func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, plan engine.Plan, span *obs.Span, cancel *canceller, budget *budgetTracker, hBatch *obs.Histogram) (*Result, error) {
 	res := &Result{}
 	prog := opt.Progress
 	nShards := plan.NumShards()
+	stopped := func() bool { return cancel.cancelled() || budget.softExhausted() != "" }
 
 	type entry struct {
 		items []int
@@ -273,14 +320,22 @@ func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, pl
 	scan := span.Start(obs.SpanMineScan)
 	prog.SetLevel(1)
 	hBatch.Observe(float64(len(u.Items)))
+	if err := faultinject.Hit(faultinject.SiteCandidateBatch); err != nil {
+		scan.End()
+		return nil, err
+	}
+	nAllowed := budget.allowCandidates(len(u.Items))
 	var level []entry
-	for i := range u.Items {
+	for i := 0; i < nAllowed; i++ {
 		res.Stats.Candidates++
 		prog.AddCandidates(1)
 		if u.Rows[i].Count() < minCount {
 			res.Stats.PrunedSupport++
 			prog.AddPruned(1)
 			continue
+		}
+		if budget.allowItemsets(1) < 1 {
+			break
 		}
 		level = append(level, entry{items: []int{i}, rows: u.Rows[i]})
 		prog.AddFrequent(1)
@@ -303,6 +358,9 @@ func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, pl
 	levels := span.Start(obs.SpanMineLevels)
 	defer levels.End()
 	for k := 2; opt.MaxLen == 0 || k <= opt.MaxLen; k++ {
+		if budget.detExhausted() || stopped() {
+			return res, nil
+		}
 		prog.SetLevel(k)
 		// Phase 1: candidate generation. The level is sorted
 		// lexicographically by construction (level 1 is index-ordered;
@@ -314,8 +372,8 @@ func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, pl
 		}
 		var cands []candidate
 		for a := 0; a < len(level); a++ {
-			if cancel.cancelled() {
-				return res
+			if stopped() {
+				return res, nil
 			}
 			ea := level[a]
 			for b := a + 1; b < len(level); b++ {
@@ -341,8 +399,17 @@ func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, pl
 				cands = append(cands, candidate{items: cand, base: a, extra: y})
 			}
 		}
+		// Trim the deterministically-generated candidate list to the
+		// remaining candidate budget: a prefix cut, so the truncation point
+		// is independent of Workers and Shards.
+		if allowed := budget.allowCandidates(len(cands)); allowed < len(cands) {
+			cands = cands[:allowed]
+		}
 		res.Stats.Candidates += len(cands)
 		hBatch.Observe(float64(len(cands)))
+		if err := faultinject.Hit(faultinject.SiteCandidateBatch); err != nil {
+			return nil, err
+		}
 
 		// Phase 2a: sharded support counting. Each (candidate, shard) pair
 		// is one task computing a fused AND+popcount over the shard's word
@@ -350,8 +417,8 @@ func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, pl
 		// datasets expose shard-level parallelism and the totals are
 		// independent of the task interleaving.
 		partial := make([]int, len(cands)*nShards)
-		engine.ParallelFor(len(cands)*nShards, opt.Workers, opt.Tracer, func(t int) {
-			if cancel.cancelled() {
+		if err := engine.ParallelFor(len(cands)*nShards, opt.Workers, opt.Tracer, func(t int) {
+			if stopped() {
 				return
 			}
 			c, s := t/nShards, t%nShards
@@ -362,9 +429,14 @@ func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, pl
 			}
 			lo, hi := plan.WordRange(s)
 			partial[t] = level[cands[c].base].rows.AndCountRange(u.Rows[cands[c].extra], lo, hi)
-		})
-		if cancel.cancelled() {
-			return res
+		}); err != nil {
+			return nil, err
+		}
+		if stopped() {
+			return res, nil
+		}
+		if err := faultinject.Hit(faultinject.SiteShardMerge); err != nil {
+			return nil, err
 		}
 		counts := make([]int, len(cands))
 		var survivors []int
@@ -384,17 +456,19 @@ func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, pl
 		evaluated := make([]*entry, len(cands))
 		moments := make([]stats.Moments, len(cands))
 		multi := make([][]stats.Moments, len(cands))
-		engine.ParallelFor(len(survivors), opt.Workers, opt.Tracer, func(i int) {
-			if cancel.cancelled() {
+		if err := engine.ParallelFor(len(survivors), opt.Workers, opt.Tracer, func(i int) {
+			if stopped() {
 				return
 			}
 			c := cands[survivors[i]]
 			rows := level[c.base].rows.Clone().And(u.Rows[c.extra])
 			evaluated[survivors[i]] = &entry{items: c.items, rows: rows}
 			moments[survivors[i]], multi[survivors[i]] = momentsMulti(plan, bun, rows)
-		})
-		if cancel.cancelled() {
-			return res
+		}); err != nil {
+			return nil, err
+		}
+		if stopped() {
+			return res, nil
 		}
 
 		var next []entry
@@ -404,6 +478,9 @@ func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, pl
 				res.Stats.PrunedSupport++
 				prog.AddPruned(1)
 				continue
+			}
+			if budget.allowItemsets(1) < 1 {
+				return res, nil
 			}
 			next = append(next, *e)
 			prog.AddFrequent(1)
@@ -421,7 +498,7 @@ func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, pl
 		level = next
 		frequent = nextKeys
 	}
-	return res
+	return res, nil
 }
 
 // polarityCompatible reports whether appending item y to the itemset keeps

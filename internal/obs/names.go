@@ -70,6 +70,16 @@ const (
 	// deterministic per shard for a given plan.
 	CtrShardRowsPrefix = "engine.shard_rows.s"
 
+	// CtrPanicsRecovered counts panics recovered into errors by the
+	// failure-containment layer: engine.ParallelFor worker recoveries and
+	// the miners' serial-section recoveries. Zero in a healthy process.
+	CtrPanicsRecovered = "engine.panics_recovered"
+
+	// CtrBudgetExhaustedPrefix + dimension (candidates, itemsets,
+	// deadline, heap) counts mining runs truncated because that resource
+	// budget was exhausted.
+	CtrBudgetExhaustedPrefix = "fpm.budget_exhausted."
+
 	// Serving-layer counters (internal/server, accumulated on the server's
 	// lifetime tracer and rendered by GET /metrics).
 	//
@@ -96,6 +106,13 @@ const (
 	// cover several).
 	CtrServerCacheEvictions = "server.universe_cache_evictions"
 	CtrServerBatchStats     = "server.batch_statistics"
+
+	// CtrServerPanics counts handler panics recovered by the server's
+	// recovery middleware (each answered with a 500 while the daemon keeps
+	// serving); CtrServerTruncated counts explorations answered 200 with a
+	// budget-truncated (best-effort) report.
+	CtrServerPanics    = "server.panics_recovered"
+	CtrServerTruncated = "server.explorations_truncated"
 )
 
 // Canonical gauge names.
@@ -159,6 +176,9 @@ var MetricHelp = map[string]string{
 	"server_universe_cache_misses":    "Universe-cache lookups that built a new universe.",
 	"server_universe_cache_evictions": "Universe-cache entries evicted by the LRU capacity bound.",
 	"server_batch_statistics":         "Statistics computed across /v1/explore/batch requests.",
+	"server_panics_recovered":         "Handler panics recovered by the middleware (answered 500, daemon alive).",
+	"server_explorations_truncated":   "Explorations answered 200 with a budget-truncated report.",
+	"engine_panics_recovered":         "Worker and miner panics recovered into errors.",
 	"engine_shards":                   "Row shards of the engine data plane in the last mining run.",
 	"server_in_flight":                "Explorations currently running.",
 	"server_in_flight_max":            "High-water mark of concurrent explorations.",

@@ -9,6 +9,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/discretize"
+	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/fpm"
 	"repro/internal/hierarchy"
 	"repro/internal/obs"
@@ -100,7 +102,7 @@ func (c *universeCache) get(ctx context.Context, key cacheKey, build func(*cache
 		c.entries[key] = c.lru.PushFront(&lruItem{key: key, entry: e})
 		c.evictOverflowLocked()
 		go func() {
-			e.err = build(e)
+			e.err = runBuild(build, e)
 			if e.err != nil {
 				c.remove(key, e)
 			}
@@ -144,6 +146,20 @@ func (c *universeCache) remove(key cacheKey, e *cacheEntry) {
 	}
 }
 
+// runBuild invokes build, converting a panic into an error: the build
+// goroutine is detached, so an unrecovered panic there would kill the
+// whole process instead of failing one entry. With the recover, a
+// panicking build poisons only its own waiters — the error is returned
+// to every request waiting on the entry and the entry is never cached.
+func runBuild(build func(*cacheEntry) error, e *cacheEntry) (err error) {
+	defer func() {
+		if pe := engine.RecoverError(recover()); pe != nil {
+			err = pe
+		}
+	}()
+	return build(e)
+}
+
 // buildEntry runs pipeline stages 1–2 for one cache key on the given
 // table: statistic resolution, tree discretization of every continuous
 // attribute, flat hierarchies for the remaining categorical attributes,
@@ -152,6 +168,9 @@ func (c *universeCache) remove(key cacheKey, e *cacheEntry) {
 // explorations are indistinguishable from CLI ones. The tracer (usually
 // the first requester's, possibly nil) receives the discretize spans.
 func buildEntry(e *cacheEntry, tab *dataset.Table, key cacheKey, tracer *obs.Tracer) error {
+	if err := faultinject.Hit(faultinject.SiteCacheFill); err != nil {
+		return err
+	}
 	out, excludes, err := core.BuildStatistic(tab, key.stat, key.actual, key.predicted, key.target)
 	if err != nil {
 		return err

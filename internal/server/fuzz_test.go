@@ -1,0 +1,65 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzExploreDecode throws arbitrary bytes at both exploration
+// endpoints' request decoding: the server must never panic (the fuzzer
+// fails on any panic through ServeHTTP) and must answer malformed or
+// oversized bodies with a 4xx, never a 5xx.
+func FuzzExploreDecode(f *testing.F) {
+	f.Add([]byte(`{"dataset":"anomaly","stat":"error","actual":"y","predicted":"p"}`))
+	f.Add([]byte(`{"dataset":"anomaly","budget":{"max_itemsets":1}}`))
+	f.Add([]byte(`{"dataset":"anomaly","budget":{"max_candidates":-1}}`))
+	f.Add([]byte(`{"stats":["error","fpr"],"dataset":"anomaly"}`))
+	f.Add([]byte(`{"bogus_field":1}`))
+	f.Add([]byte(`{"dataset":42}`))
+	f.Add([]byte(`{"dataset":"anomaly","workers":-3,"shards":-9}`))
+	f.Add([]byte(`{"dataset":"anomaly","timeout_ms":-5,"s":-0.5,"max_len":-2}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"dataset":"anomaly","format":"` + strings.Repeat("x", 1<<11) + `"}`))
+	f.Add(bytes.Repeat([]byte(`{"dataset":"anomaly"}`), 1<<16)) // > 1MiB: MaxBytesReader territory
+
+	s, err := New(Config{Datasets: []DatasetConfig{{Name: "anomaly", Table: anomalyTable(f)}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	// decodes reports whether body parses as the endpoint's request type
+	// under the same decoder discipline the server uses.
+	decodes := func(body []byte, into any) bool {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		return dec.Decode(into) == nil
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		for _, ep := range []struct {
+			path string
+			req  func() any
+		}{
+			{"/v1/explore", func() any { return new(ExploreRequest) }},
+			{"/v1/explore/batch", func() any { return new(BatchExploreRequest) }},
+		} {
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, httptest.NewRequest("POST", ep.path, bytes.NewReader(body)))
+			if rec.Code >= 500 {
+				t.Fatalf("%s: status %d for body %q", ep.path, rec.Code, body)
+			}
+			// Anything that is not a decodable request object must be turned
+			// away as a client error.
+			if len(body) > 1<<20 || !decodes(body, ep.req()) {
+				if rec.Code < 400 || rec.Code > 499 {
+					t.Fatalf("%s: malformed body answered %d, want 4xx (body %q)", ep.path, rec.Code, body)
+				}
+			}
+		}
+	})
+}

@@ -86,6 +86,20 @@ func (g *requestRegistry) finish(st *requestState, trace *obs.Trace, status stri
 	}
 }
 
+// oldestActive returns the start time of the longest-running in-flight
+// request, feeding the 429 Retry-After estimate. ok is false when
+// nothing is in flight.
+func (g *requestRegistry) oldestActive() (oldest time.Time, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, st := range g.active {
+		if !ok || st.Started.Before(oldest) {
+			oldest, ok = st.Started, true
+		}
+	}
+	return oldest, ok
+}
+
 // get returns the state for an ID plus a consistent copy of its Status
 // and Trace (the fields finish mutates). Active requests win over
 // completed ones.

@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/discretize"
+	"repro/internal/engine"
 	"repro/internal/fpm"
 	"repro/internal/obs"
 	"repro/internal/outcome"
@@ -49,6 +51,12 @@ type Config struct {
 	// (dataset, statistic, criterion, st) entries, the least-recently-used
 	// one is evicted. 0 defaults to 32; negative disables the bound.
 	CacheMax int
+	// Budget is the default resource budget applied to every exploration:
+	// on exhaustion the request is answered 200 with a ranked report
+	// flagged "truncated" instead of running away with the machine.
+	// Requests may tighten individual dimensions via the body's budget
+	// object but never loosen them. The zero value is unlimited.
+	Budget fpm.Budget
 	// Tracer accumulates the server.* lifetime counters, gauges and
 	// histograms rendered by GET /metrics. Each exploration runs on its
 	// own per-request tracer whose counters are folded in here on
@@ -74,7 +82,9 @@ type Server struct {
 	cache    *universeCache
 	sem      chan struct{}
 	timeout  time.Duration
+	budget   fpm.Budget
 	inFlight atomic.Int64
+	draining atomic.Bool
 }
 
 // New loads every configured dataset and returns the ready-to-serve
@@ -99,6 +109,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = obs.NopLogger()
 	}
+	if err := cfg.Budget.Validate(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	s := &Server{
 		mux:      http.NewServeMux(),
 		tracer:   cfg.Tracer,
@@ -109,6 +122,7 @@ func New(cfg Config) (*Server, error) {
 		cache:    newUniverseCache(cfg.CacheMax, cfg.Tracer.Counter(obs.CtrServerCacheEvictions)),
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		timeout:  cfg.RequestTimeout,
+		budget:   cfg.Budget,
 	}
 	for _, d := range cfg.Datasets {
 		if d.Name == "" {
@@ -130,6 +144,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.tracer.SetGauge(obs.GaugeServerDatasets, float64(len(s.order)))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
@@ -140,9 +155,45 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// ServeHTTP dispatches to the server's endpoints.
+// ServeHTTP dispatches to the server's endpoints. Every request runs
+// under recovery middleware: a panicking handler is answered with a 500
+// naming the request's correlation ID (best-effort — the reply may
+// already be partially written) while the daemon keeps serving. The
+// panic value and stack go to the log and obs.CtrServerPanics; per-panic
+// state (spans, registry entries, semaphore slots) is released by the
+// handlers' own defers during unwinding, so a recovered panic leaks
+// nothing. http.ErrAbortHandler is re-raised: it is net/http's own
+// drop-the-connection idiom, not a failure.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		if v == http.ErrAbortHandler {
+			panic(v)
+		}
+		pe := engine.RecoverError(v)
+		s.tracer.Counter(obs.CtrServerPanics).Add(1)
+		id := w.Header().Get("X-Request-ID") // set early by serveExplore
+		s.logger.Error("handler panic",
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("panic", fmt.Sprint(pe.Value)),
+			slog.String("stack", pe.Stack),
+		)
+		s.httpError(w, http.StatusInternalServerError, "internal error (request %s)", id)
+	}()
 	s.mux.ServeHTTP(w, r)
+}
+
+// StartDrain flips the server into draining mode: GET /readyz answers
+// 503 so load balancers stop routing new work here, while /healthz and
+// every exploration endpoint keep working so in-flight requests finish.
+// Call it on SIGTERM, before http.Server.Shutdown. Idempotent.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
 }
 
 // httpError answers the request with a plain-text error and counts it.
@@ -155,6 +206,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.tracer.Counter(obs.CtrServerRequestPrefix + "healthz").Add(1)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: 200 once the server can take
+// traffic, 503 while draining. Liveness (/healthz) stays 200 throughout a
+// drain — the process is healthy, it just should not receive new work.
+// The not-yet-loaded window is the daemon's concern: cmd/hdivexplorerd
+// answers /readyz 503 itself until New has returned.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.tracer.Counter(obs.CtrServerRequestPrefix + "readyz").Add(1)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -242,6 +309,26 @@ type ExploreRequest struct {
 	// TimeoutMS shortens the server's per-request timeout (it can never
 	// extend it).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Budget tightens the server's per-request mining budget; like
+	// TimeoutMS it can only narrow the server's configuration, never widen
+	// it. A budget-exhausted exploration still answers 200, with the
+	// report flagged "truncated".
+	Budget *BudgetRequest `json:"budget,omitempty"`
+}
+
+// BudgetRequest is the per-request mining budget of an ExploreRequest.
+// Each dimension combines with the server's configured budget by taking
+// the tighter (smaller nonzero) value; 0 leaves the server's setting in
+// force. The heap watermark is deliberately absent — it is a
+// process-level guard, not a per-request knob.
+type BudgetRequest struct {
+	// MaxCandidates caps evaluated itemset candidates.
+	MaxCandidates int `json:"max_candidates,omitempty"`
+	// MaxItemsets caps frequent itemsets kept.
+	MaxItemsets int `json:"max_itemsets,omitempty"`
+	// SoftDeadlineMS bounds mining wall-clock; expiry truncates the
+	// report instead of failing the request (unlike timeout_ms).
+	SoftDeadlineMS int `json:"soft_deadline_ms,omitempty"`
 }
 
 // exploreParams is a validated, defaulted ExploreRequest.
@@ -252,6 +339,7 @@ type exploreParams struct {
 	mode      core.Mode
 	algorithm fpm.Algorithm
 	timeout   time.Duration
+	budget    fpm.Budget
 }
 
 // resolve validates the request and applies CLI-equivalent defaults.
@@ -311,7 +399,39 @@ func (s *Server) resolve(req ExploreRequest) (*exploreParams, int, error) {
 			p.timeout = d
 		}
 	}
+	p.budget = s.budget
+	if b := req.Budget; b != nil {
+		if b.MaxCandidates < 0 || b.MaxItemsets < 0 || b.SoftDeadlineMS < 0 {
+			return nil, http.StatusBadRequest, fmt.Errorf("budget dimensions must be >= 0")
+		}
+		p.budget.MaxCandidates = tighten(p.budget.MaxCandidates, b.MaxCandidates)
+		p.budget.MaxItemsets = tighten(p.budget.MaxItemsets, b.MaxItemsets)
+		p.budget.SoftDeadline = time.Duration(tighten64(int64(p.budget.SoftDeadline),
+			int64(b.SoftDeadlineMS)*int64(time.Millisecond)))
+	}
 	return p, 0, nil
+}
+
+// tighten combines a configured limit with a requested one: the smaller
+// nonzero value wins, 0 meaning "no limit from this side".
+func tighten(configured, requested int) int {
+	if requested <= 0 {
+		return configured
+	}
+	if configured <= 0 || requested < configured {
+		return requested
+	}
+	return configured
+}
+
+func tighten64(configured, requested int64) int64 {
+	if requested <= 0 {
+		return configured
+	}
+	if configured <= 0 || requested < configured {
+		return requested
+	}
+	return configured
 }
 
 // key derives the universe-cache key for the resolved request.
@@ -435,7 +555,7 @@ func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool
 	case s.sem <- struct{}{}:
 	default:
 		s.tracer.Counter(obs.CtrServerRejected).Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter(time.Now())))
 		s.httpError(w, http.StatusTooManyRequests, "exploration limit reached, retry later")
 		return
 	}
@@ -492,7 +612,15 @@ func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool
 			s.exploreCancelled(w, ctx)
 			return
 		}
-		s.httpError(w, http.StatusBadRequest, "%v", err)
+		// Build errors are normally the client's fault (bad column names),
+		// but a panic recovered inside the build is ours.
+		code := http.StatusBadRequest
+		var pe *engine.PanicError
+		if errors.As(err, &pe) {
+			s.tracer.Counter(obs.CtrServerPanics).Add(1)
+			code = http.StatusInternalServerError
+		}
+		s.httpError(w, code, "%v", err)
 		return
 	}
 
@@ -528,6 +656,7 @@ func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool
 		Mode:          p.mode,
 		Workers:       p.req.Workers,
 		Shards:        p.req.Shards,
+		Budget:        p.budget,
 		Tracer:        reqTracer,
 		Progress:      prog,
 	}, bundle)
@@ -541,6 +670,12 @@ func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool
 		return
 	}
 	status = "done"
+	if reps[0].Truncated {
+		// Still a 200: the ranked prefix is valid, the lattice just was
+		// not fully explored. The flag travels in the report body.
+		status = "truncated"
+		s.tracer.Counter(obs.CtrServerTruncated).Add(1)
+	}
 	subgroups = len(reps[0].Subgroups)
 
 	for _, rep := range reps {
@@ -576,6 +711,40 @@ func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool
 		return
 	}
 	writeJSON(w, http.StatusOK, reps[0])
+}
+
+// retryAfter estimates the Retry-After seconds for a 429: a slot frees
+// when some in-flight exploration finishes, and the hard bound on that is
+// the oldest one's remaining timeout budget. The estimate is that
+// residual, rounded up to whole seconds and clamped to [1, ceil(server
+// timeout)] — so a server whose oldest exploration is nearly done hints
+// an immediate retry, while one that just admitted a full batch hints the
+// full window.
+func (s *Server) retryAfter(now time.Time) int {
+	ceil := func(d time.Duration) int {
+		n := int((d + time.Second - 1) / time.Second)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	max := ceil(s.timeout)
+	oldest, ok := s.requests.oldestActive()
+	if !ok {
+		// Saturated with nothing registered: requests sit between semaphore
+		// acquire and registry start, a microseconds-wide window. The
+		// tightest honest hint is 1s.
+		return 1
+	}
+	remaining := s.timeout - now.Sub(oldest)
+	if remaining < 0 {
+		remaining = 0
+	}
+	n := ceil(remaining)
+	if n > max {
+		n = max
+	}
+	return n
 }
 
 // exploreCancelled answers a request whose context expired: 504 on

@@ -21,7 +21,7 @@ import (
 
 // anomalyTable builds the planted-anomaly dataset used across the repo's
 // end-to-end tests: the x > 80 tail is mispredicted.
-func anomalyTable(t *testing.T) *hdiv.Table {
+func anomalyTable(t testing.TB) *hdiv.Table {
 	t.Helper()
 	n := 600
 	x := make([]float64, n)

@@ -25,15 +25,18 @@ go build -o "$DIR/checktrace" ./cmd/checktrace
 DPID=$!
 trap 'kill "$DPID" 2>/dev/null || true' EXIT
 
+# Gate on readiness, not liveness: /healthz answers 200 the moment the
+# listener is up, but /readyz stays 503 until the datasets have loaded.
 for _ in $(seq 1 100); do
-    if curl -fsS "http://localhost:$PORT/healthz" >/dev/null 2>&1; then break; fi
+    if curl -fsS "http://localhost:$PORT/readyz" >/dev/null 2>&1; then break; fi
     if ! kill -0 "$DPID" 2>/dev/null; then
-        echo "daemon exited before becoming healthy:" >&2
+        echo "daemon exited before becoming ready:" >&2
         cat "$DIR/daemon.log" >&2
         exit 1
     fi
     sleep 0.1
 done
+curl -fsS "http://localhost:$PORT/readyz" >/dev/null
 curl -fsS "http://localhost:$PORT/healthz" >/dev/null
 
 # fetch URL DEST: 200 with a non-empty body or fail.
@@ -50,6 +53,13 @@ curl -fsS -X POST "http://localhost:$PORT/v1/explore" \
     -d '{"dataset":"compas","stat":"fpr","actual":"label","predicted":"prediction","polarity":true,"top":3}' \
     -o "$DIR/explore.json"
 [ -s "$DIR/explore.json" ]
+
+# A budget-capped exploration degrades gracefully: still a 200, with the
+# report flagged truncated.
+curl -fsS -X POST "http://localhost:$PORT/v1/explore" \
+    -d '{"dataset":"compas","stat":"fpr","actual":"label","predicted":"prediction","budget":{"max_itemsets":1}}' \
+    -o "$DIR/truncated.json"
+grep -q '"truncated": true' "$DIR/truncated.json"
 
 fetch "http://localhost:$PORT/metrics" "$DIR/metrics.txt"
 grep -q 'server_request_seconds_bucket{le="+Inf"}' "$DIR/metrics.txt"
