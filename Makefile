@@ -15,8 +15,8 @@ GO ?= go
 # passes 1x for a fast structural run. BENCHOUT is the JSON artifact;
 # BENCHBASE is the committed baseline benchdiff compares it against.
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_PR5.json
-BENCHBASE ?= BENCH_PR4.json
+BENCHOUT ?= BENCH_PR6.json
+BENCHBASE ?= BENCH_PR5.json
 
 .PHONY: check vet build test race bench benchdiff smoke smoke-daemon test-faults fmt
 
@@ -73,9 +73,12 @@ smoke:
 
 # smoke-daemon starts a real hdivexplorerd, runs one exploration under a
 # known request ID and checks the whole observability surface: /metrics
-# histograms, /v1/progress/{id}, the Chrome-trace export (validated by
-# checktrace -chrome), the pprof/expvar debug listener and the structured
-# request log. Artifacts land in .smoke-daemon/ for CI upload.
+# histograms (classic + OpenMetrics with runtime families and
+# exemplars), /v1/progress/{id}, the Chrome-trace export (validated by
+# checktrace -chrome), the /v1/explain/{id} cost profile, the
+# /v1/debug/requests flight recorder, the pprof/expvar debug listener
+# and the structured request log. Artifacts land in .smoke-daemon/ for
+# CI upload.
 smoke-daemon:
 	./scripts/daemon_smoke.sh .smoke-daemon
 

@@ -1,24 +1,26 @@
-// Command benchdiff compares two benchjson artifacts and flags ns/op
-// regressions on the watched benchmarks:
+// Command benchdiff compares two benchjson artifacts and flags ns/op,
+// B/op and allocs/op regressions on the watched benchmarks:
 //
 //	benchdiff -old BENCH_PR2.json -new BENCH_PR4.json
 //
-// For every benchmark present in both files it prints the ns/op ratio
-// (new/old). Watched benchmarks (-watch, a substring list defaulting to
-// the paper's tracked runtime artifacts BenchmarkTable3 and
-// BenchmarkFigure2) whose ratio exceeds -threshold (default 2.0) emit a
-// GitHub Actions `::warning::` annotation. The comparison is advisory:
-// the exit status is 0 whether or not regressions are found, so CI
-// surfaces the warning without failing the build. Only unreadable or
-// unparseable inputs exit nonzero; a missing -old baseline is reported
-// and skipped (exit 0) so fresh branches without an inherited artifact
-// still pass.
+// For every benchmark present in both files it prints the new/old ratio
+// of each tracked metric. Watched benchmarks (-watch, a substring list
+// defaulting to the paper's tracked runtime artifacts BenchmarkTable3
+// and BenchmarkFigure2) whose ns/op ratio exceeds -threshold (default
+// 2.0), or whose B/op or allocs/op ratio exceeds -alloc-threshold
+// (default 2.0), emit a GitHub Actions `::warning::` annotation. The
+// comparison is advisory: the exit status is 0 whether or not
+// regressions are found, so CI surfaces the warning without failing the
+// build. Only unreadable or unparseable inputs exit nonzero; a missing
+// -old baseline is reported and skipped (exit 0) so fresh branches
+// without an inherited artifact still pass.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -33,25 +35,33 @@ type benchFile struct {
 	} `json:"benchmarks"`
 }
 
+// trackedMetrics are the metrics compared, in display order. ns/op is
+// the primary (a benchmark without it is skipped); the allocation
+// metrics are compared when both files carry them (benchmarks run with
+// -benchmem).
+var trackedMetrics = []string{"ns/op", "B/op", "allocs/op"}
+
 func main() {
 	oldPath := flag.String("old", "", "baseline benchjson file (required)")
 	newPath := flag.String("new", "", "candidate benchjson file (required)")
 	watch := flag.String("watch", "BenchmarkTable3,BenchmarkFigure2", "comma-separated benchmark name substrings that warn on regression")
 	threshold := flag.Float64("threshold", 2.0, "ns/op ratio (new/old) above which a watched benchmark warns")
+	allocThreshold := flag.Float64("alloc-threshold", 2.0, "B/op and allocs/op ratio (new/old) above which a watched benchmark warns")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *oldPath, *newPath, strings.Split(*watch, ","), *threshold); err != nil {
+	if err := run(os.Stdout, *oldPath, *newPath, strings.Split(*watch, ","), *threshold, *allocThreshold); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-// load parses one benchjson artifact into a (package/name → ns/op) map.
-// Sub-benchmarks keep their full slash-separated names.
-func load(path string) (map[string]float64, error) {
+// load parses one benchjson artifact into a (package/name → metrics)
+// map, keeping only the tracked metrics. Sub-benchmarks keep their full
+// slash-separated names.
+func load(path string) (map[string]map[string]float64, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -60,17 +70,24 @@ func load(path string) (map[string]float64, error) {
 	if err := json.Unmarshal(raw, &f); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	m := map[string]float64{}
+	m := map[string]map[string]float64{}
 	for _, b := range f.Benchmarks {
-		if ns, ok := b.Metrics["ns/op"]; ok {
-			m[b.Package+"/"+b.Name] = ns
+		if _, ok := b.Metrics["ns/op"]; !ok {
+			continue
 		}
+		kept := map[string]float64{}
+		for _, metric := range trackedMetrics {
+			if v, ok := b.Metrics[metric]; ok {
+				kept[metric] = v
+			}
+		}
+		m[b.Package+"/"+b.Name] = kept
 	}
 	return m, nil
 }
 
-func run(w *os.File, oldPath, newPath string, watch []string, threshold float64) error {
-	oldNS, err := load(oldPath)
+func run(w io.Writer, oldPath, newPath string, watch []string, threshold, allocThreshold float64) error {
+	oldM, err := load(oldPath)
 	if os.IsNotExist(err) {
 		// No inherited baseline (fresh branch): nothing to compare against.
 		fmt.Fprintf(w, "benchdiff: baseline %s not found, skipping comparison\n", oldPath)
@@ -79,7 +96,7 @@ func run(w *os.File, oldPath, newPath string, watch []string, threshold float64)
 	if err != nil {
 		return err
 	}
-	newNS, err := load(newPath)
+	newM, err := load(newPath)
 	if err != nil {
 		return err
 	}
@@ -93,9 +110,9 @@ func run(w *os.File, oldPath, newPath string, watch []string, threshold float64)
 		return false
 	}
 
-	names := make([]string, 0, len(newNS))
-	for name := range newNS {
-		if _, ok := oldNS[name]; ok {
+	names := make([]string, 0, len(newM))
+	for name := range newM {
+		if _, ok := oldM[name]; ok {
 			names = append(names, name)
 		}
 	}
@@ -106,26 +123,36 @@ func run(w *os.File, oldPath, newPath string, watch []string, threshold float64)
 	}
 
 	regressions := 0
-	fmt.Fprintf(w, "%-72s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	fmt.Fprintf(w, "%-72s %14s %14s %8s\n", "benchmark", "old", "new", "ratio")
 	for _, name := range names {
-		o, n := oldNS[name], newNS[name]
-		ratio := n / o
-		mark := ""
-		if watched(name) {
-			mark = " [watched]"
-			if o > 0 && ratio > threshold {
-				mark = " [REGRESSION]"
-				regressions++
-				fmt.Printf("::warning title=benchmark regression::%s ns/op grew %.2fx (%.0f -> %.0f), over the %.1fx threshold\n",
-					name, ratio, o, n, threshold)
+		for _, metric := range trackedMetrics {
+			o, okOld := oldM[name][metric]
+			n, okNew := newM[name][metric]
+			if !okOld || !okNew {
+				continue
 			}
+			ratio := n / o
+			bar := threshold
+			if metric != "ns/op" {
+				bar = allocThreshold
+			}
+			mark := ""
+			if watched(name) {
+				mark = " [watched]"
+				if o > 0 && ratio > bar {
+					mark = " [REGRESSION]"
+					regressions++
+					fmt.Fprintf(w, "::warning title=benchmark regression::%s %s grew %.2fx (%.0f -> %.0f), over the %.1fx threshold\n",
+						name, metric, ratio, o, n, bar)
+				}
+			}
+			fmt.Fprintf(w, "%-72s %14.0f %14.0f %7.2fx%s\n", name+" "+metric, o, n, ratio, mark)
 		}
-		fmt.Fprintf(w, "%-72s %14.0f %14.0f %7.2fx%s\n", name, o, n, ratio, mark)
 	}
 	if regressions > 0 {
-		fmt.Fprintf(w, "benchdiff: %d watched benchmark(s) regressed beyond %.1fx (advisory only)\n", regressions, threshold)
+		fmt.Fprintf(w, "benchdiff: %d watched metric(s) regressed beyond their threshold (advisory only)\n", regressions)
 	} else {
-		fmt.Fprintf(w, "benchdiff: no watched regressions beyond %.1fx\n", threshold)
+		fmt.Fprintf(w, "benchdiff: no watched regressions beyond %.1fx ns/op, %.1fx B/op and allocs/op\n", threshold, allocThreshold)
 	}
 	return nil
 }

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBench writes a benchjson artifact with the given per-benchmark
+// metrics and returns its path.
+func writeBench(t *testing.T, name string, benches map[string]map[string]float64) string {
+	t.Helper()
+	var f benchFile
+	for bname, metrics := range benches {
+		f.Benchmarks = append(f.Benchmarks, struct {
+			Package string             `json:"package"`
+			Name    string             `json:"name"`
+			Metrics map[string]float64 `json:"metrics"`
+		}{Package: "repro", Name: bname, Metrics: metrics})
+	}
+	raw, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunAllocRegression pins the satellite contract: a watched benchmark
+// whose B/op grows past -alloc-threshold warns even when its ns/op is
+// fine, unwatched benchmarks never warn, and the exit stays advisory
+// (nil error).
+func TestRunAllocRegression(t *testing.T) {
+	oldPath := writeBench(t, "old.json", map[string]map[string]float64{
+		"BenchmarkTable3":    {"ns/op": 100, "B/op": 1000, "allocs/op": 10},
+		"BenchmarkUnrelated": {"ns/op": 100, "B/op": 50},
+	})
+	newPath := writeBench(t, "new.json", map[string]map[string]float64{
+		"BenchmarkTable3":    {"ns/op": 150, "B/op": 2500, "allocs/op": 12},
+		"BenchmarkUnrelated": {"ns/op": 1000, "B/op": 500},
+	})
+	var out bytes.Buffer
+	if err := run(&out, oldPath, newPath, []string{"BenchmarkTable3"}, 2.0, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "::warning title=benchmark regression::repro/BenchmarkTable3 B/op grew 2.50x") {
+		t.Errorf("no B/op regression warning:\n%s", s)
+	}
+	if strings.Contains(s, "BenchmarkTable3 ns/op grew") || strings.Contains(s, "allocs/op grew") {
+		t.Errorf("warned on metrics inside their threshold:\n%s", s)
+	}
+	if strings.Contains(s, "BenchmarkUnrelated ns/op grew") {
+		t.Errorf("unwatched benchmark warned:\n%s", s)
+	}
+	// Every common benchmark/metric pair gets a comparison row.
+	for _, row := range []string{
+		"BenchmarkTable3 ns/op", "BenchmarkTable3 B/op", "BenchmarkTable3 allocs/op",
+		"BenchmarkUnrelated ns/op", "BenchmarkUnrelated B/op",
+	} {
+		if !strings.Contains(s, row) {
+			t.Errorf("missing comparison row %q:\n%s", row, s)
+		}
+	}
+	if !strings.Contains(s, "[REGRESSION]") || !strings.Contains(s, "1 watched metric(s) regressed") {
+		t.Errorf("regression summary missing:\n%s", s)
+	}
+}
+
+// TestRunNsOpRegressionThreshold checks the ns/op and alloc thresholds
+// are independent knobs.
+func TestRunNsOpRegressionThreshold(t *testing.T) {
+	oldPath := writeBench(t, "old.json", map[string]map[string]float64{
+		"BenchmarkFigure2": {"ns/op": 100, "B/op": 100},
+	})
+	newPath := writeBench(t, "new.json", map[string]map[string]float64{
+		"BenchmarkFigure2": {"ns/op": 350, "B/op": 120},
+	})
+	var out bytes.Buffer
+	if err := run(&out, oldPath, newPath, []string{"BenchmarkFigure2"}, 3.0, 1.1); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "BenchmarkFigure2 ns/op grew 3.50x") {
+		t.Errorf("ns/op regression over its own threshold not flagged:\n%s", s)
+	}
+	if !strings.Contains(s, "BenchmarkFigure2 B/op grew 1.20x") {
+		t.Errorf("B/op regression over the alloc threshold not flagged:\n%s", s)
+	}
+}
+
+// TestRunNoAllocMetrics checks artifacts produced without -benchmem
+// (no B/op or allocs/op) still compare cleanly on ns/op alone.
+func TestRunNoAllocMetrics(t *testing.T) {
+	oldPath := writeBench(t, "old.json", map[string]map[string]float64{
+		"BenchmarkTable3": {"ns/op": 100},
+	})
+	newPath := writeBench(t, "new.json", map[string]map[string]float64{
+		"BenchmarkTable3": {"ns/op": 110},
+	})
+	var out bytes.Buffer
+	if err := run(&out, oldPath, newPath, []string{"BenchmarkTable3"}, 2.0, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if strings.Contains(s, "BenchmarkTable3 B/op") || strings.Contains(s, "BenchmarkTable3 allocs/op") {
+		t.Errorf("alloc rows fabricated without -benchmem data:\n%s", s)
+	}
+	if !strings.Contains(s, "no watched regressions") {
+		t.Errorf("clean comparison not reported:\n%s", s)
+	}
+}
+
+// TestRunMissingBaseline checks a fresh branch without an inherited
+// artifact skips the comparison instead of failing.
+func TestRunMissingBaseline(t *testing.T) {
+	newPath := writeBench(t, "new.json", map[string]map[string]float64{
+		"BenchmarkTable3": {"ns/op": 100},
+	})
+	var out bytes.Buffer
+	if err := run(&out, filepath.Join(t.TempDir(), "absent.json"), newPath, nil, 2.0, 2.0); err != nil {
+		t.Fatalf("missing baseline must not fail: %v", err)
+	}
+	if !strings.Contains(out.String(), "skipping comparison") {
+		t.Errorf("skip not reported: %s", out.String())
+	}
+}

@@ -11,12 +11,16 @@
 //
 //	hdivexplorer -data census.csv -target income -stat numeric -s 0.05
 //
-// Observability: -trace prints a span tree with per-stage wall time and
-// allocation deltas to stderr, -trace-json writes the machine-readable
-// spans+counters snapshot to a file, -trace-chrome writes a
-// Chrome/Perfetto trace_event file (load it at ui.perfetto.dev),
-// -progress prints a live mining progress ticker to stderr, and
-// -cpuprofile/-memprofile capture runtime/pprof profiles of the run.
+// Observability: -explain prints a query-level cost-attribution profile
+// (per-stage self/cumulative time and allocations, mining counters,
+// shard balance, budget consumption) to stderr and -explain-json writes
+// it to a file; -trace prints the raw span tree with per-stage wall time
+// and allocation deltas to stderr, -trace-json writes the
+// machine-readable spans+counters snapshot to a file, -trace-chrome
+// writes a Chrome/Perfetto trace_event file (load it at
+// ui.perfetto.dev), -progress prints a live mining progress ticker to
+// stderr, and -cpuprofile/-memprofile capture runtime/pprof profiles of
+// the run.
 package main
 
 import (
@@ -45,8 +49,8 @@ type cliConfig struct {
 	budgetCandidates, budgetItemsets         int
 	budgetDeadline                           time.Duration
 	budgetHeap                               uint64
-	trace, progress                          bool
-	traceJSON, traceChrome                   string
+	trace, progress, explain                 bool
+	traceJSON, traceChrome, explainJSON      string
 	cpuProfile, memProfile                   string
 
 	stdout, stderr io.Writer // test injection points; default os.Stdout/Stderr
@@ -82,6 +86,8 @@ func main() {
 	flag.IntVar(&c.budgetItemsets, "budget-itemsets", 0, "cap on frequent itemsets kept (0 = unlimited); exhaustion truncates the report")
 	flag.DurationVar(&c.budgetDeadline, "budget-deadline", 0, "soft mining deadline (0 = none); expiry truncates the report instead of failing")
 	flag.Uint64Var(&c.budgetHeap, "budget-heap-bytes", 0, "heap watermark that truncates mining (0 = off)")
+	flag.BoolVar(&c.explain, "explain", false, "print the query cost-attribution profile (stage times, allocations, shard balance, budget use) to stderr")
+	flag.StringVar(&c.explainJSON, "explain-json", "", "write the explain profile as JSON to this file")
 	flag.BoolVar(&c.trace, "trace", false, "print the pipeline span tree and counters to stderr")
 	flag.BoolVar(&c.progress, "progress", false, "print a live mining progress line to stderr every 500ms")
 	flag.StringVar(&c.traceJSON, "trace-json", "", "write the trace snapshot as JSON to this file")
@@ -145,7 +151,9 @@ func run(c cliConfig) error {
 	}
 
 	var tracer *hdiv.Tracer
-	if c.trace || c.traceJSON != "" || c.traceChrome != "" {
+	if c.trace || c.traceJSON != "" || c.traceChrome != "" || c.explain || c.explainJSON != "" {
+		// -explain creates the tracer too, so the profile covers parsing
+		// and discretization alongside the exploration stages.
 		tracer = hdiv.NewTracer()
 	}
 
@@ -185,6 +193,7 @@ func run(c cliConfig) error {
 			MaxHeapBytes:  c.budgetHeap,
 		},
 		Exclude: exclude,
+		Explain: c.explain || c.explainJSON != "",
 		Tracer:  tracer,
 	}
 	switch strings.ToLower(c.criterion) {
@@ -236,6 +245,9 @@ func run(c cliConfig) error {
 	}
 
 	if err := emitTrace(c, reps[0].Trace); err != nil {
+		return err
+	}
+	if err := emitExplain(c, reps[0].Explain); err != nil {
 		return err
 	}
 	if c.memProfile != "" {
@@ -415,6 +427,28 @@ func emitTrace(c cliConfig, tr *hdiv.Trace) error {
 		defer f.Close()
 		if err := tr.WriteChromeTrace(f); err != nil {
 			return fmt.Errorf("writing Chrome trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// emitExplain writes the cost-attribution profile per -explain (aligned
+// table on stderr) and -explain-json (JSON file).
+func emitExplain(c cliConfig, ex *hdiv.Explain) error {
+	if ex == nil {
+		return nil
+	}
+	if c.explain {
+		fmt.Fprint(c.stderr, ex.Text())
+	}
+	if c.explainJSON != "" {
+		f, err := os.Create(c.explainJSON)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ex.WriteJSON(f); err != nil {
+			return fmt.Errorf("writing explain JSON: %w", err)
 		}
 	}
 	return nil

@@ -310,6 +310,83 @@ func TestProgressAndChromeTrace(t *testing.T) {
 	}
 }
 
+// TestExplainOutputs exercises -explain and -explain-json: the aligned
+// cost-attribution table lands on stderr with per-stage self times and
+// the mining counters, and the JSON profile round-trips with the
+// self-time invariant intact (stage self times sum exactly to the
+// total, so the "within 10% of total" contract holds with margin).
+func TestExplainOutputs(t *testing.T) {
+	path := anomalyCSV(t)
+	jsonPath := filepath.Join(t.TempDir(), "explain.json")
+	var out, errBuf bytes.Buffer
+	c := cliConfig{
+		dataPath: path, actualCol: "y", predCol: "p",
+		stat: "error", criterion: "divergence", mode: "hierarchical",
+		algorithm: "fpgrowth", format: "text",
+		s: 0.05, st: 0.1, top: 5, workers: 2, shards: 2,
+		explain: true, explainJSON: jsonPath,
+		stdout: &out, stderr: &errBuf,
+	}
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, want := range []string{
+		"explain", "stage", "self%", "self-bytes",
+		"explore.universe", "mine", "explore.rank",
+		"mining: candidates=",
+	} {
+		if !strings.Contains(errBuf.String(), want) {
+			t.Errorf("-explain stderr missing %q:\n%s", want, errBuf.String())
+		}
+	}
+
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex obs.Explain
+	if err := json.Unmarshal(raw, &ex); err != nil {
+		t.Fatalf("-explain-json output is not a profile: %v", err)
+	}
+	if ex.TotalNS <= 0 || len(ex.Stages) == 0 {
+		t.Fatalf("profile empty: %+v", ex)
+	}
+	var selfSum int64
+	mineAlloc := false
+	for _, st := range ex.Stages {
+		selfSum += st.SelfNS
+		if strings.HasPrefix(st.Name, "mine") && st.Bytes > 0 {
+			mineAlloc = true
+		}
+	}
+	if selfSum != ex.TotalNS {
+		t.Errorf("sum(SelfNS)=%d != TotalNS=%d", selfSum, ex.TotalNS)
+	}
+	if !mineAlloc {
+		t.Error("mining stages report zero allocation delta")
+	}
+	if ex.Mining.Candidates <= 0 {
+		t.Errorf("mining counters empty: %+v", ex.Mining)
+	}
+
+	// -explain-json without -explain writes the file but keeps stderr
+	// quiet.
+	jsonOnly := filepath.Join(t.TempDir(), "only.json")
+	var errQuiet bytes.Buffer
+	c2 := c
+	c2.explain, c2.explainJSON, c2.stderr = false, jsonOnly, &errQuiet
+	if err := run(c2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(jsonOnly); err != nil {
+		t.Errorf("-explain-json alone did not write the profile: %v", err)
+	}
+	if strings.Contains(errQuiet.String(), "mining: candidates=") {
+		t.Errorf("-explain-json alone printed the text table:\n%s", errQuiet.String())
+	}
+}
+
 // TestJSONIncludesRunStats asserts -format json carries the run metadata
 // (elapsed time, universe size, mining counters), not just subgroups.
 func TestJSONIncludesRunStats(t *testing.T) {

@@ -14,8 +14,18 @@
 //
 // Endpoints: POST /v1/explore, POST /v1/explore/batch (several
 // statistics over one mining pass), GET /v1/datasets, GET /v1/progress,
-// GET /v1/progress/{id}, GET /v1/trace/{id}, GET /healthz, GET /readyz,
-// GET /metrics (Prometheus text format).
+// GET /v1/progress/{id}, GET /v1/trace/{id}, GET /v1/explain/{id}
+// (query cost-attribution profile), GET /v1/debug/requests (always-on
+// flight recorder: recent requests plus retained slow captures),
+// GET /healthz, GET /readyz, GET /metrics (Prometheus text format, or
+// OpenMetrics with request-ID exemplars when the Accept header asks;
+// both include curated runtime/metrics families).
+//
+// -trace-ring bounds how many completed requests keep their trace,
+// explain profile and flight record queryable; -slow-threshold sets the
+// latency bar over which requests are retained in full (trace +
+// explain) for post-hoc debugging, -slow-requests how many such
+// captures are kept.
 //
 // The listener comes up immediately; GET /readyz answers 503 while the
 // datasets load, 200 once the daemon can take traffic, and 503 again
@@ -94,6 +104,10 @@ type daemonConfig struct {
 	logJSON   bool
 	budget    fpm.Budget
 
+	traceRing     int
+	slowThreshold time.Duration
+	slowRequests  int
+
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
 	writeTimeout      time.Duration
@@ -115,6 +129,10 @@ func main() {
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown drain budget")
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 
+		traceRing     = flag.Int("trace-ring", server.DefaultTraceRing, "completed requests whose trace/explain/flight record stay queryable (clamped to 4096)")
+		slowThreshold = flag.Duration("slow-threshold", time.Second, "latency over which a request's full trace and explain profile are retained (negative = off)")
+		slowRequests  = flag.Int("slow-requests", 8, "how many slow requests to retain, competing by latency")
+
 		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "http.Server.ReadHeaderTimeout: slow-header (Slowloris) guard")
 		readTimeout       = flag.Duration("read-timeout", time.Minute, "http.Server.ReadTimeout: full request read bound (0 = none)")
 		writeTimeout      = flag.Duration("write-timeout", 2*time.Minute, "http.Server.WriteTimeout: response write bound; keep it above -timeout (0 = none)")
@@ -131,6 +149,7 @@ func main() {
 		datasets: datasets, addr: *addr, debugAddr: *debugAddr,
 		inflight: *inflight, cacheMax: *cacheMax,
 		timeout: *timeout, drain: *drain, logJSON: *logJSON,
+		traceRing: *traceRing, slowThreshold: *slowThreshold, slowRequests: *slowRequests,
 		budget: fpm.Budget{
 			MaxCandidates: *budgetCandidates,
 			MaxItemsets:   *budgetItemsets,
@@ -227,6 +246,9 @@ func run(cfg daemonConfig) error {
 			RequestTimeout: cfg.timeout,
 			CacheMax:       cfg.cacheMax,
 			Budget:         cfg.budget,
+			TraceRing:      cfg.traceRing,
+			SlowThreshold:  cfg.slowThreshold,
+			SlowRequests:   cfg.slowRequests,
 			Logger:         logger,
 		})
 		if err != nil {

@@ -7,7 +7,9 @@ package hdivexplorer
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/datagen"
@@ -81,6 +83,73 @@ func TestExploreDeterministicAcrossWorkers(t *testing.T) {
 					}
 					if tasks == 0 {
 						t.Errorf("workers=%d: no worker task counters recorded", workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestExplainDeterministicAcrossWorkersShards extends the determinism
+// guarantee to explain profiles: the Deterministic() view — stage tree
+// shape, mining counters, shard loads, skew and budget rows, with all
+// measured timing/allocation fields stripped — is byte-identical across
+// Workers ∈ {0, 1, 4} for each fixed shard layout, and the mining
+// counters agree across shard layouts too. The full profile must also
+// satisfy the measurement contract on a live run: self times sum exactly
+// to the total, and the mining stages report nonzero allocation deltas.
+func TestExplainDeterministicAcrossWorkersShards(t *testing.T) {
+	for _, alg := range []Algorithm{FPGrowth, Apriori} {
+		t.Run(alg.String(), func(t *testing.T) {
+			var refMining []byte
+			for _, shards := range []int{1, 4} {
+				var ref []byte
+				for _, workers := range []int{0, 1, 4} {
+					_, rep := exploreBytes(t, PipelineOptions{
+						TreeSupport: 0.1, MinSupport: 0.05,
+						Algorithm: alg, Workers: workers, Shards: shards,
+						Explain: true,
+					})
+					if rep.Explain == nil {
+						t.Fatalf("shards=%d workers=%d: Report.Explain not populated", shards, workers)
+					}
+					got, err := json.Marshal(rep.Explain.Deterministic())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ref == nil {
+						ref = got
+					} else if !bytes.Equal(got, ref) {
+						t.Errorf("shards=%d workers=%d: deterministic explain differs from serial run:\n%s\nvs\n%s",
+							shards, workers, got, ref)
+					}
+					mining, err := json.Marshal(rep.Explain.Mining)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if refMining == nil {
+						refMining = mining
+					} else if !bytes.Equal(mining, refMining) {
+						t.Errorf("shards=%d workers=%d: mining counters differ across shard layouts: %s vs %s",
+							shards, workers, mining, refMining)
+					}
+
+					// Measurement contract on the full (non-deterministic)
+					// profile: the self-time columns account for the whole
+					// run, and mining stages observed real allocations.
+					var selfSum, mineAlloc int64
+					for _, st := range rep.Explain.Stages {
+						selfSum += st.SelfNS
+						if strings.HasPrefix(st.Name, "mine") {
+							mineAlloc += st.Bytes
+						}
+					}
+					if selfSum != rep.Explain.TotalNS {
+						t.Errorf("shards=%d workers=%d: sum(SelfNS)=%d != TotalNS=%d",
+							shards, workers, selfSum, rep.Explain.TotalNS)
+					}
+					if mineAlloc == 0 {
+						t.Errorf("shards=%d workers=%d: mining stages report zero allocation delta", shards, workers)
 					}
 				}
 			}

@@ -32,7 +32,18 @@ type (
 	Progress = obs.Progress
 	// ProgressSnapshot is one consistent view of a Progress reporter.
 	ProgressSnapshot = obs.ProgressSnapshot
+	// Explain is a query-level cost-attribution profile: per-stage wall
+	// time and allocations, mining counters, shard balance, cache outcome
+	// and budget consumption, aggregated from a trace snapshot. Reports
+	// carry one when the run asked for it (PipelineOptions.Explain or
+	// ExploreConfig.Explain).
+	Explain = obs.Explain
 )
+
+// NewExplain computes an explain profile from a trace snapshot; it
+// returns nil on a nil trace. Use it to profile a run after the fact
+// when only the trace was kept.
+func NewExplain(tr *Trace) *Explain { return obs.NewExplain(tr) }
 
 // NewTracer returns an empty tracer whose clock starts now. Set it on
 // CSVOptions, PipelineOptions or ExploreConfig to instrument a run; the
@@ -276,6 +287,12 @@ type PipelineOptions struct {
 	Taxonomies []*Hierarchy
 	// Exclude lists attributes to leave out of the exploration entirely.
 	Exclude []string
+	// Explain computes a query-level cost-attribution profile for the run;
+	// the report's Explain field receives it. Implies tracing: when Tracer
+	// is nil a run-local tracer is created for the exploration stages, so
+	// Explain is self-sufficient (set Tracer too to also cover parsing and
+	// discretization in the profile).
+	Explain bool
 	// Tracer, when non-nil, instruments the whole pipeline — tree
 	// discretization, universe build, mining, ranking — with spans and
 	// counters; the report's Trace field receives the snapshot. Thread the
@@ -381,6 +398,7 @@ func pipelinePrepare(ctx context.Context, t *Table, o *Outcome, opt *PipelineOpt
 		Workers:       opt.Workers,
 		Shards:        opt.Shards,
 		Budget:        opt.ResourceBudget,
+		Explain:       opt.Explain,
 		Tracer:        opt.Tracer,
 		Progress:      opt.Progress,
 	}, nil

@@ -221,12 +221,14 @@ type reportJSON struct {
 	Exhausted string         `json:"exhausted,omitempty"`
 	Subgroups []subgroupJSON `json:"subgroups"`
 	Trace     *obs.Trace     `json:"trace,omitempty"`
+	Explain   *obs.Explain   `json:"explain,omitempty"`
 }
 
 // MarshalJSON serializes the report: global statistic, dataset and
 // universe sizes, mining time and counters, every subgroup (itemset,
 // support, divergence, t, p-value), and — when the exploration ran with a
-// tracer — the full trace snapshot.
+// tracer — the full trace snapshot and, when requested, the explain
+// profile.
 func (r *Report) MarshalJSON() ([]byte, error) {
 	out := reportJSON{
 		Global:    r.Global,
@@ -237,6 +239,7 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Truncated: r.Truncated,
 		Exhausted: r.Exhausted,
 		Trace:     r.Trace,
+		Explain:   r.Explain,
 	}
 	for i := range r.Subgroups {
 		sg := &r.Subgroups[i]

@@ -90,9 +90,23 @@ type Config struct {
 	// body returns, freezing its elapsed clock. Poll it from another
 	// goroutine to watch a long run; nil disables collection.
 	Progress *obs.Progress
+	// Explain, when true, attaches an obs.Explain cost-attribution profile
+	// (per-stage self/cumulative time and allocations, mining counters,
+	// shard split, budget consumption) to the report. A nil Tracer is
+	// upgraded to a fresh one so Explain is self-sufficient.
+	Explain bool
 
 	// span nests exploration under an enclosing span (internal).
 	span *obs.Span
+}
+
+// ensureExplainTracer upgrades a nil tracer to a fresh one when an
+// explain profile was requested, so Explain works without the caller
+// wiring observability explicitly.
+func (cfg *Config) ensureExplainTracer() {
+	if cfg.Explain && cfg.Tracer == nil && cfg.span == nil {
+		cfg.Tracer = obs.New()
+	}
 }
 
 // Subgroup is one explored data subgroup.
@@ -143,6 +157,11 @@ type Report struct {
 	// everything the tracer saw, including upstream parse/discretize spans
 	// when the same tracer was threaded through the whole pipeline.
 	Trace *obs.Trace
+	// Explain is the query-level cost-attribution profile, computed from
+	// the same snapshot when Config.Explain was set; nil otherwise. It
+	// survives Trace being stripped (the server drops Trace from responses
+	// unless requested, but keeps Explain).
+	Explain *obs.Explain `json:"explain,omitempty"`
 
 	// byKey lazily indexes subgroups by canonical itemset key for the
 	// lattice-navigation helpers.
@@ -176,6 +195,7 @@ func ExploreContext(ctx context.Context, t *dataset.Table, cfg Config) (*Report,
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: exploration cancelled: %w", err)
 	}
+	cfg.ensureExplainTracer()
 	if id := obs.RequestIDFrom(ctx); id != "" {
 		cfg.Tracer.SetID(id)
 	}
@@ -192,7 +212,7 @@ func ExploreContext(ctx context.Context, t *dataset.Table, cfg Config) (*Report,
 	rep, err := exploreUniverse(ctx, u, cfg)
 	span.End()
 	if err == nil {
-		rep.snapshotTrace(cfg.Tracer)
+		rep.snapshotTrace(cfg.Tracer, cfg.Explain)
 	}
 	return rep, err
 }
@@ -211,6 +231,7 @@ func ExploreUniverseContext(ctx context.Context, u *fpm.Universe, cfg Config) (*
 	span := cfg.span
 	owned := span == nil // Explore manages the span (and snapshot) itself
 	if owned {
+		cfg.ensureExplainTracer()
 		if id := obs.RequestIDFrom(ctx); id != "" {
 			cfg.Tracer.SetID(id)
 		}
@@ -221,7 +242,7 @@ func ExploreUniverseContext(ctx context.Context, u *fpm.Universe, cfg Config) (*
 	if owned {
 		span.End()
 		if err == nil {
-			rep.snapshotTrace(cfg.Tracer)
+			rep.snapshotTrace(cfg.Tracer, cfg.Explain)
 		}
 	}
 	return rep, err
@@ -261,6 +282,7 @@ func ExploreMultiContext(ctx context.Context, t *dataset.Table, cfg Config, b *o
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: exploration cancelled: %w", err)
 	}
+	cfg.ensureExplainTracer()
 	if id := obs.RequestIDFrom(ctx); id != "" {
 		cfg.Tracer.SetID(id)
 	}
@@ -277,7 +299,7 @@ func ExploreMultiContext(ctx context.Context, t *dataset.Table, cfg Config, b *o
 	reps, err := exploreUniverseMulti(ctx, u, cfg, b)
 	span.End()
 	if err == nil {
-		snapshotTraceAll(reps, cfg.Tracer)
+		snapshotTraceAll(reps, cfg.Tracer, cfg.Explain)
 	}
 	return reps, err
 }
@@ -294,6 +316,7 @@ func ExploreUniverseMultiContext(ctx context.Context, u *fpm.Universe, cfg Confi
 	span := cfg.span
 	owned := span == nil
 	if owned {
+		cfg.ensureExplainTracer()
 		if id := obs.RequestIDFrom(ctx); id != "" {
 			cfg.Tracer.SetID(id)
 		}
@@ -304,20 +327,26 @@ func ExploreUniverseMultiContext(ctx context.Context, u *fpm.Universe, cfg Confi
 	if owned {
 		span.End()
 		if err == nil {
-			snapshotTraceAll(reps, cfg.Tracer)
+			snapshotTraceAll(reps, cfg.Tracer, cfg.Explain)
 		}
 	}
 	return reps, err
 }
 
-// snapshotTraceAll attaches one tracer snapshot to every report.
-func snapshotTraceAll(reps []*Report, t *obs.Tracer) {
+// snapshotTraceAll attaches one tracer snapshot (and, when requested,
+// one shared explain profile) to every report.
+func snapshotTraceAll(reps []*Report, t *obs.Tracer, explain bool) {
 	if t == nil {
 		return
 	}
 	trace := t.Snapshot()
+	var ex *obs.Explain
+	if explain {
+		ex = obs.NewExplain(trace)
+	}
 	for _, r := range reps {
 		r.Trace = trace
+		r.Explain = ex
 	}
 }
 
@@ -403,11 +432,16 @@ func exploreUniverseMulti(ctx context.Context, u *fpm.Universe, cfg Config, b *o
 	return reps, nil
 }
 
-// snapshotTrace attaches the tracer's snapshot to the report (no-op on a
-// nil tracer).
-func (r *Report) snapshotTrace(t *obs.Tracer) {
-	if t != nil {
-		r.Trace = t.Snapshot()
+// snapshotTrace attaches the tracer's snapshot — and, when requested,
+// the explain profile computed from it — to the report (no-op on a nil
+// tracer).
+func (r *Report) snapshotTrace(t *obs.Tracer, explain bool) {
+	if t == nil {
+		return
+	}
+	r.Trace = t.Snapshot()
+	if explain {
+		r.Explain = obs.NewExplain(r.Trace)
 	}
 }
 

@@ -200,8 +200,9 @@ func RecoverError(v any) *PanicError {
 // runtime.GOMAXPROCS(0), so callers may pass arbitrarily large values
 // without spawning useless goroutines. fn invocations must be
 // independent. When tr is non-nil, each worker's completed-task count is
-// recorded under obs.CtrWorkerTaskPrefix+index and the clamped worker
-// count under obs.GaugeWorkers.
+// recorded under obs.CtrWorkerTaskPrefix+index, its heap-allocation
+// delta under obs.CtrWorkerAllocBytesPrefix/CtrWorkerAllocObjsPrefix,
+// and the clamped worker count under obs.GaugeWorkers.
 //
 // A panic in fn is recovered into a *PanicError (the first one wins;
 // obs.CtrPanicsRecovered counts every recovery) instead of crossing the
@@ -228,10 +229,26 @@ func ParallelFor(n, workers int, tr *obs.Tracer, fn func(i int)) error {
 		fn(i)
 		return true
 	}
+	// workerAllocs records the heap-allocation delta over one worker's
+	// lifetime under the per-worker counters the explain profile reads.
+	// Deltas are process-global samples, so overlapping workers attribute
+	// each other's allocations; negative deltas (sampling races) are
+	// dropped. Only taken when tracing, so untraced runs pay nothing.
+	workerAllocs := func(w int, startBytes, startObjs uint64) {
+		bytes, objs := obs.AllocSample()
+		if bytes > startBytes {
+			tr.Counter(fmt.Sprintf("%s%d", obs.CtrWorkerAllocBytesPrefix, w)).Add(int64(bytes - startBytes))
+		}
+		if objs > startObjs {
+			tr.Counter(fmt.Sprintf("%s%d", obs.CtrWorkerAllocObjsPrefix, w)).Add(int64(objs - startObjs))
+		}
+	}
 	if workers <= 1 || n < 2 {
 		if tr != nil {
 			tr.SetGauge(obs.GaugeWorkers, 1)
 			tr.Counter(fmt.Sprintf("%s%d", obs.CtrWorkerTaskPrefix, 0)).Add(int64(n))
+			startBytes, startObjs := obs.AllocSample()
+			defer workerAllocs(0, startBytes, startObjs)
 		}
 		for i := 0; i < n; i++ {
 			if !call(i) {
@@ -250,6 +267,10 @@ func ParallelFor(n, workers int, tr *obs.Tracer, fn func(i int)) error {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var startBytes, startObjs uint64
+			if tr != nil {
+				startBytes, startObjs = obs.AllocSample()
+			}
 			tasks := 0
 			for {
 				i := int(next.Add(1)) - 1
@@ -266,6 +287,7 @@ func ParallelFor(n, workers int, tr *obs.Tracer, fn func(i int)) error {
 			}
 			if tr != nil {
 				tr.Counter(fmt.Sprintf("%s%d", obs.CtrWorkerTaskPrefix, w)).Add(int64(tasks))
+				workerAllocs(w, startBytes, startObjs)
 			}
 		}(w)
 	}

@@ -102,6 +102,7 @@ type budgetTracker struct {
 	soft       atomic.Value // string: ExhaustedDeadline or ExhaustedHeap
 	timer      *time.Timer
 	heapTick   atomic.Int64
+	heapPeak   atomic.Uint64 // high-water mark of sampled live-heap bytes
 }
 
 // newBudgetTracker returns a tracker for b, or nil when b is zero.
@@ -198,9 +199,28 @@ func (t *budgetTracker) sampleHeap(n int) {
 	}
 	sample := []metrics.Sample{{Name: heapMetric}}
 	metrics.Read(sample)
-	if sample[0].Value.Kind() == metrics.KindUint64 && sample[0].Value.Uint64() > t.b.MaxHeapBytes {
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return
+	}
+	heap := sample[0].Value.Uint64()
+	for {
+		old := t.heapPeak.Load()
+		if heap <= old || t.heapPeak.CompareAndSwap(old, heap) {
+			break
+		}
+	}
+	if heap > t.b.MaxHeapBytes {
 		t.soft.CompareAndSwap(nil, ExhaustedHeap)
 	}
+}
+
+// heapHighWater returns the largest live-heap sample the tracker
+// observed (0 when heap budgeting is off or never sampled). Nil-safe.
+func (t *budgetTracker) heapHighWater() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.heapPeak.Load()
 }
 
 // softExhausted reports the nondeterministic dimension (deadline or heap)

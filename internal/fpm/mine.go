@@ -223,6 +223,26 @@ func MineMulti(u *Universe, b *outcome.Bundle, opt Options) (*Result, error) {
 		tr.Counter(obs.CtrPrunedSupport).Add(int64(res.Stats.PrunedSupport))
 		tr.Counter(obs.CtrPrunedPolarity).Add(int64(res.Stats.PrunedPolarity))
 		tr.Counter(obs.CtrItemsetsEmitted).Add(int64(res.Stats.Frequent))
+		// Mirror the configured budget limits (and the observed heap
+		// high-water mark) as gauges so the explain profile can derive
+		// consumption fractions per dimension.
+		if b := opt.Budget; !b.IsZero() {
+			if b.MaxCandidates > 0 {
+				tr.SetGauge(obs.GaugeBudgetMaxCandidates, float64(b.MaxCandidates))
+			}
+			if b.MaxItemsets > 0 {
+				tr.SetGauge(obs.GaugeBudgetMaxItemsets, float64(b.MaxItemsets))
+			}
+			if b.SoftDeadline > 0 {
+				tr.SetGauge(obs.GaugeBudgetSoftDeadlineNS, float64(b.SoftDeadline.Nanoseconds()))
+			}
+			if b.MaxHeapBytes > 0 {
+				tr.SetGauge(obs.GaugeBudgetMaxHeapBytes, float64(b.MaxHeapBytes))
+				if hw := budget.heapHighWater(); hw > 0 {
+					tr.MaxGauge(obs.GaugeBudgetHeapBytes, float64(hw))
+				}
+			}
+		}
 		if hs := tr.Histogram(obs.HistItemsetSupport, obs.SupportBuckets); hs != nil && u.NumRows > 0 {
 			inv := 1 / float64(u.NumRows)
 			for i := range res.Itemsets {
@@ -448,6 +468,19 @@ func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, pl
 			counts[c] = total
 			if total >= minCount {
 				survivors = append(survivors, c)
+			}
+		}
+		// Per-shard load attribution for the explain profile: fold this
+		// level's partial-count matrix into the deterministic shard-support
+		// counters. Second pass only when tracing, so untraced (benchmark)
+		// runs skip it entirely.
+		if opt.Tracer != nil {
+			for s := 0; s < nShards; s++ {
+				var col int64
+				for c := range cands {
+					col += int64(partial[c*nShards+s])
+				}
+				opt.Tracer.Counter(fmt.Sprintf("%s%d", obs.CtrShardSupportPrefix, s)).Add(col)
 			}
 		}
 

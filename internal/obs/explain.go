@@ -1,0 +1,381 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Explain is the query-level cost-attribution report: one exploration's
+// trace reduced to per-stage self/cumulative wall time and allocation
+// deltas, the mining counters, the per-shard load split with a skew
+// ratio, per-worker utilization, cache outcome and budget consumption.
+// Build one with NewExplain from any *Trace; the CLI's -explain flag,
+// the server's `"explain": true` request field and GET /v1/explain/{id}
+// all serve this struct.
+//
+// Determinism contract: for a fixed dataset, statistic and shard count,
+// every field except the timing/allocation measurements (TotalNS,
+// stage durations and byte/alloc deltas, worker split, deadline/heap
+// budget rows) is a pure function of the input — byte-identical across
+// worker counts. Deterministic() strips the measured fields so tests can
+// compare profiles across worker×shard configurations directly.
+type Explain struct {
+	RequestID string `json:"request_id,omitempty"`
+	// TotalNS is the summed wall time of the trace's root spans.
+	TotalNS int64          `json:"total_ns,omitempty"`
+	Stages  []ExplainStage `json:"stages"`
+	Mining  ExplainMining  `json:"mining"`
+	// Shards is the per-shard load split of the mining run; ShardSkew is
+	// max/mean of the per-shard load (1 = perfectly balanced, 0 if unknown).
+	Shards    []ExplainShard  `json:"shards,omitempty"`
+	ShardSkew float64         `json:"shard_skew,omitempty"`
+	Workers   []ExplainWorker `json:"workers,omitempty"`
+	Cache     *ExplainCache   `json:"cache,omitempty"`
+	Budget    []ExplainBudget `json:"budget,omitempty"`
+}
+
+// ExplainStage is one span of the trace in tree (pre-order) position:
+// cumulative time/allocations over the whole subtree plus the self
+// portion not covered by child spans.
+type ExplainStage struct {
+	Name  string `json:"name"`
+	Depth int    `json:"depth"`
+	// TotalNS is the span's inclusive wall time; SelfNS excludes child
+	// spans. SelfFrac is SelfNS over the profile's TotalNS.
+	TotalNS  int64   `json:"total_ns"`
+	SelfNS   int64   `json:"self_ns"`
+	SelfFrac float64 `json:"self_frac"`
+	// Bytes/Allocs are the span's inclusive heap-allocation deltas;
+	// SelfBytes/SelfAllocs exclude child spans. Process-global samples, so
+	// approximate under concurrency (and floored at zero for self values).
+	Bytes      int64 `json:"bytes"`
+	Allocs     int64 `json:"allocs"`
+	SelfBytes  int64 `json:"self_bytes"`
+	SelfAllocs int64 `json:"self_allocs"`
+	Unfinished bool  `json:"unfinished,omitempty"`
+}
+
+// ExplainMining aggregates the miner's candidate-flow counters.
+type ExplainMining struct {
+	Candidates     int64 `json:"candidates"`
+	PrunedSupport  int64 `json:"pruned_support"`
+	PrunedPolarity int64 `json:"pruned_polarity"`
+	Itemsets       int64 `json:"itemsets_emitted"`
+}
+
+// ExplainShard is one engine shard's deterministic load contribution:
+// Rows is the transactions inserted during FP-tree construction
+// (FP-Growth), Support the candidate-support increments counted in the
+// shard (Apriori). Either may be zero when the other miner ran.
+type ExplainShard struct {
+	Index   int   `json:"index"`
+	Rows    int64 `json:"rows,omitempty"`
+	Support int64 `json:"support,omitempty"`
+}
+
+// ExplainWorker is one ParallelFor worker's share of the run: tasks
+// completed plus the allocation delta sampled over the worker's
+// lifetime. Both are nondeterministic (scheduling-dependent).
+type ExplainWorker struct {
+	Index      int   `json:"index"`
+	Tasks      int64 `json:"tasks"`
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
+	Allocs     int64 `json:"allocs,omitempty"`
+}
+
+// ExplainCache reports the universe-cache outcome of a server-side
+// exploration; nil for CLI runs (no cache in front of the pipeline).
+type ExplainCache struct {
+	Hit bool `json:"hit"`
+}
+
+// ExplainBudget is one resource dimension's consumption against its
+// configured limit. Frac is Used/Limit clamped to [0, 1].
+type ExplainBudget struct {
+	Dimension string  `json:"dimension"`
+	Used      int64   `json:"used"`
+	Limit     int64   `json:"limit"`
+	Frac      float64 `json:"frac"`
+	Exhausted bool    `json:"exhausted,omitempty"`
+}
+
+// NewExplain reduces a trace snapshot to an Explain profile. Pure
+// function of the trace; returns nil on a nil trace.
+func NewExplain(tr *Trace) *Explain {
+	if tr == nil {
+		return nil
+	}
+	e := &Explain{RequestID: tr.ID}
+
+	// Stage tree: pre-order walk; self = inclusive − Σ(children), so the
+	// SelfNS column sums exactly to TotalNS across the whole profile.
+	children := map[int][]int{}
+	for i := range tr.Spans {
+		children[tr.Spans[i].Parent] = append(children[tr.Spans[i].Parent], i)
+	}
+	var walk func(id, depth int)
+	walk = func(id, depth int) {
+		s := &tr.Spans[id]
+		st := ExplainStage{
+			Name: s.Name, Depth: depth,
+			TotalNS: s.DurNS, SelfNS: s.DurNS,
+			Bytes: s.Bytes, Allocs: s.Allocs,
+			SelfBytes: s.Bytes, SelfAllocs: s.Allocs,
+			Unfinished: s.Unfinished,
+		}
+		for _, c := range children[id] {
+			st.SelfNS -= tr.Spans[c].DurNS
+			st.SelfBytes -= tr.Spans[c].Bytes
+			st.SelfAllocs -= tr.Spans[c].Allocs
+		}
+		// Concurrent children can over-subtract (their process-global
+		// deltas overlap); floor rather than report negative self costs.
+		if st.SelfNS < 0 {
+			st.SelfNS = 0
+		}
+		if st.SelfBytes < 0 {
+			st.SelfBytes = 0
+		}
+		if st.SelfAllocs < 0 {
+			st.SelfAllocs = 0
+		}
+		e.Stages = append(e.Stages, st)
+		for _, c := range children[id] {
+			walk(c, depth+1)
+		}
+	}
+	for _, id := range children[-1] {
+		e.TotalNS += tr.Spans[id].DurNS
+		walk(id, 0)
+	}
+	if e.TotalNS > 0 {
+		for i := range e.Stages {
+			e.Stages[i].SelfFrac = float64(e.Stages[i].SelfNS) / float64(e.TotalNS)
+		}
+	}
+
+	e.Mining = ExplainMining{
+		Candidates:     tr.Counter(CtrCandidates),
+		PrunedSupport:  tr.Counter(CtrPrunedSupport),
+		PrunedPolarity: tr.Counter(CtrPrunedPolarity),
+		Itemsets:       tr.Counter(CtrItemsetsEmitted),
+	}
+
+	// Per-shard load: merge the deterministic shard counters by index.
+	shards := map[int]*ExplainShard{}
+	shard := func(i int) *ExplainShard {
+		s, ok := shards[i]
+		if !ok {
+			s = &ExplainShard{Index: i}
+			shards[i] = s
+		}
+		return s
+	}
+	workers := map[int]*ExplainWorker{}
+	worker := func(i int) *ExplainWorker {
+		w, ok := workers[i]
+		if !ok {
+			w = &ExplainWorker{Index: i}
+			workers[i] = w
+		}
+		return w
+	}
+	for name, v := range tr.Counters {
+		if i, ok := indexSuffix(name, CtrShardRowsPrefix); ok {
+			shard(i).Rows = v
+		} else if i, ok := indexSuffix(name, CtrShardSupportPrefix); ok {
+			shard(i).Support = v
+		} else if i, ok := indexSuffix(name, CtrWorkerTaskPrefix); ok {
+			worker(i).Tasks = v
+		} else if i, ok := indexSuffix(name, CtrWorkerAllocBytesPrefix); ok {
+			worker(i).AllocBytes = v
+		} else if i, ok := indexSuffix(name, CtrWorkerAllocObjsPrefix); ok {
+			worker(i).Allocs = v
+		}
+	}
+	for _, s := range shards {
+		e.Shards = append(e.Shards, *s)
+	}
+	sort.Slice(e.Shards, func(i, j int) bool { return e.Shards[i].Index < e.Shards[j].Index })
+	for _, w := range workers {
+		e.Workers = append(e.Workers, *w)
+	}
+	sort.Slice(e.Workers, func(i, j int) bool { return e.Workers[i].Index < e.Workers[j].Index })
+
+	// Skew over the dominant per-shard load signal: candidate-support
+	// counts when the run produced them (Apriori), else rows (FP-Growth).
+	var loads []int64
+	for _, s := range e.Shards {
+		if s.Support > 0 {
+			loads = append(loads, s.Support)
+		}
+	}
+	if len(loads) == 0 {
+		for _, s := range e.Shards {
+			if s.Rows > 0 {
+				loads = append(loads, s.Rows)
+			}
+		}
+	}
+	if n := len(loads); n > 0 {
+		var sum, max int64
+		for _, v := range loads {
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		if sum > 0 {
+			e.ShardSkew = float64(max) * float64(n) / float64(sum)
+		}
+	}
+
+	if v, ok := tr.Gauges[GaugeCacheHit]; ok {
+		e.Cache = &ExplainCache{Hit: v != 0}
+	}
+
+	// Budget consumption: one row per dimension with a configured limit.
+	// "candidates" and "itemsets" are deterministic; "deadline" and "heap"
+	// are measured and excluded from Deterministic().
+	addBudget := func(dim string, used, limit int64) {
+		if limit <= 0 {
+			return
+		}
+		frac := float64(used) / float64(limit)
+		if frac > 1 {
+			frac = 1
+		}
+		if frac < 0 {
+			frac = 0
+		}
+		e.Budget = append(e.Budget, ExplainBudget{
+			Dimension: dim, Used: used, Limit: limit, Frac: frac,
+			Exhausted: tr.Counter(CtrBudgetExhaustedPrefix+dim) > 0,
+		})
+	}
+	addBudget("candidates", e.Mining.Candidates, int64(tr.Gauges[GaugeBudgetMaxCandidates]))
+	addBudget("itemsets", e.Mining.Itemsets, int64(tr.Gauges[GaugeBudgetMaxItemsets]))
+	if mine := tr.Span(SpanMine); mine != nil {
+		addBudget("deadline", mine.DurNS, int64(tr.Gauges[GaugeBudgetSoftDeadlineNS]))
+	}
+	addBudget("heap", int64(tr.Gauges[GaugeBudgetHeapBytes]), int64(tr.Gauges[GaugeBudgetMaxHeapBytes]))
+	return e
+}
+
+// indexSuffix parses the integer suffix of name after prefix, reporting
+// whether name matched the prefix with a valid non-negative index.
+func indexSuffix(name, prefix string) (int, bool) {
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	i, err := strconv.Atoi(name[len(prefix):])
+	if err != nil || i < 0 {
+		return 0, false
+	}
+	return i, true
+}
+
+// Deterministic returns a copy of the profile with every measured
+// (timing, allocation, scheduling) field stripped: stage durations and
+// byte/alloc deltas, the worker split, and the deadline/heap budget
+// rows. What remains — stage names and tree shape, mining counters,
+// per-shard loads and skew, cache outcome, candidate/itemset budget
+// consumption — is byte-identical across worker counts for a fixed
+// dataset, statistic and shard count.
+func (e *Explain) Deterministic() *Explain {
+	if e == nil {
+		return nil
+	}
+	d := &Explain{
+		RequestID: e.RequestID,
+		Mining:    e.Mining,
+		Shards:    append([]ExplainShard(nil), e.Shards...),
+		ShardSkew: e.ShardSkew,
+	}
+	if e.Cache != nil {
+		c := *e.Cache
+		d.Cache = &c
+	}
+	for _, st := range e.Stages {
+		d.Stages = append(d.Stages, ExplainStage{Name: st.Name, Depth: st.Depth})
+	}
+	for _, b := range e.Budget {
+		if b.Dimension == "deadline" || b.Dimension == "heap" {
+			continue
+		}
+		d.Budget = append(d.Budget, b)
+	}
+	return d
+}
+
+// WriteJSON writes the profile as indented JSON followed by a newline.
+func (e *Explain) WriteJSON(w io.Writer) error {
+	raw, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(raw, '\n'))
+	return err
+}
+
+// Text renders the profile as the human-readable -explain report: a
+// stage table (total, self, self-% of wall time, bytes, allocs), the
+// mining counters, the shard split with skew, worker utilization, cache
+// outcome and budget consumption.
+func (e *Explain) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "explain")
+	if e.RequestID != "" {
+		fmt.Fprintf(&b, " %s", e.RequestID)
+	}
+	fmt.Fprintf(&b, ": total %s\n", fmtDuration(time.Duration(e.TotalNS)))
+	fmt.Fprintf(&b, "%-44s %10s %10s %6s %10s %10s\n",
+		"stage", "total", "self", "self%", "self-bytes", "self-allocs")
+	for _, st := range e.Stages {
+		mark := ""
+		if st.Unfinished {
+			mark = " (unfinished)"
+		}
+		fmt.Fprintf(&b, "%-44s %10s %10s %5.1f%% %10s %10d%s\n",
+			strings.Repeat("  ", st.Depth)+st.Name,
+			fmtDuration(time.Duration(st.TotalNS)),
+			fmtDuration(time.Duration(st.SelfNS)),
+			st.SelfFrac*100, fmtBytes(st.SelfBytes), st.SelfAllocs, mark)
+	}
+	fmt.Fprintf(&b, "mining: candidates=%d pruned_support=%d pruned_polarity=%d itemsets=%d\n",
+		e.Mining.Candidates, e.Mining.PrunedSupport, e.Mining.PrunedPolarity, e.Mining.Itemsets)
+	if len(e.Shards) > 0 {
+		fmt.Fprintf(&b, "shards: n=%d skew=%.2f\n", len(e.Shards), e.ShardSkew)
+		for _, s := range e.Shards {
+			fmt.Fprintf(&b, "  s%-3d rows=%-9d support=%d\n", s.Index, s.Rows, s.Support)
+		}
+	}
+	if len(e.Workers) > 0 {
+		b.WriteString("workers:\n")
+		for _, w := range e.Workers {
+			fmt.Fprintf(&b, "  w%-3d tasks=%-9d alloc=%s (%d objects)\n",
+				w.Index, w.Tasks, fmtBytes(w.AllocBytes), w.Allocs)
+		}
+	}
+	if e.Cache != nil {
+		if e.Cache.Hit {
+			b.WriteString("cache: hit\n")
+		} else {
+			b.WriteString("cache: miss\n")
+		}
+	}
+	for _, bu := range e.Budget {
+		mark := ""
+		if bu.Exhausted {
+			mark = " EXHAUSTED"
+		}
+		fmt.Fprintf(&b, "budget: %-10s %d/%d (%.1f%%)%s\n",
+			bu.Dimension, bu.Used, bu.Limit, bu.Frac*100, mark)
+	}
+	return b.String()
+}

@@ -19,10 +19,11 @@ import (
 // observation count and a value sum, rendered by Trace.WritePrometheus as
 // the `_bucket`/`_sum`/`_count` series.
 type Histogram struct {
-	bounds []float64      // sorted upper bounds (inclusive), excluding +Inf
-	bins   []atomic.Int64 // len(bounds)+1; the last bin is the +Inf overflow
-	count  atomic.Int64
-	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	bounds    []float64      // sorted upper bounds (inclusive), excluding +Inf
+	bins      []atomic.Int64 // len(bounds)+1; the last bin is the +Inf overflow
+	count     atomic.Int64
+	sum       atomic.Uint64              // float64 bits, CAS-accumulated
+	exemplars []atomic.Pointer[Exemplar] // per-bin latest exemplar, aligned with bins
 }
 
 // newHistogram builds a histogram over the given bucket upper bounds.
@@ -41,7 +42,21 @@ func newHistogram(bounds []float64) *Histogram {
 		}
 		uniq = append(uniq, b)
 	}
-	return &Histogram{bounds: uniq, bins: make([]atomic.Int64, len(uniq)+1)}
+	return &Histogram{
+		bounds:    uniq,
+		bins:      make([]atomic.Int64, len(uniq)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(uniq)+1),
+	}
+}
+
+// Exemplar ties one histogram observation back to the request that
+// produced it, in the OpenMetrics sense: a label value (the request ID),
+// the observed value and the observation time. Each bucket retains its
+// most recent exemplar.
+type Exemplar struct {
+	Label    string  `json:"request_id"`
+	Value    float64 `json:"value"`
+	UnixNano int64   `json:"unix_nano"`
 }
 
 // Observe records one value. Values above the largest bound land in the
@@ -54,6 +69,30 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.bins[i].Add(1)
 	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveExemplar records one value like Observe and additionally tags
+// the bucket it lands in with an exemplar carrying the given label
+// (typically a request ID). The bucket keeps only its latest exemplar;
+// WriteOpenMetrics renders them on the `_bucket` lines. No-op on nil, on
+// NaN, and (exemplar-wise) on an empty label.
+func (h *Histogram) ObserveExemplar(v float64, label string, now int64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.bins[i].Add(1)
+	h.count.Add(1)
+	if label != "" && i < len(h.exemplars) {
+		h.exemplars[i].Store(&Exemplar{Label: label, Value: v, UnixNano: now})
+	}
 	for {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -98,6 +137,14 @@ func (h *Histogram) snapshot() HistogramRecord {
 	if rec.Count < total {
 		rec.Count = total
 	}
+	for i := range h.exemplars {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			if rec.Exemplars == nil {
+				rec.Exemplars = make([]*Exemplar, len(h.bins))
+			}
+			rec.Exemplars[i] = ex
+		}
+	}
 	return rec
 }
 
@@ -107,6 +154,11 @@ func (h *Histogram) add(rec HistogramRecord) {
 	for i := range rec.Counts {
 		if i < len(h.bins) {
 			h.bins[i].Add(rec.Counts[i])
+		}
+	}
+	for i, ex := range rec.Exemplars {
+		if ex != nil && i < len(h.exemplars) {
+			h.exemplars[i].Store(ex)
 		}
 	}
 	h.count.Add(rec.Count)
@@ -129,6 +181,9 @@ type HistogramRecord struct {
 	Counts []int64   `json:"counts"`
 	Sum    float64   `json:"sum"`
 	Count  int64     `json:"count"`
+	// Exemplars, when present, is aligned with Counts: the latest exemplar
+	// observed in each bucket, nil for buckets without one.
+	Exemplars []*Exemplar `json:"exemplars,omitempty"`
 }
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucketed

@@ -70,6 +70,20 @@ const (
 	// deterministic per shard for a given plan.
 	CtrShardRowsPrefix = "engine.shard_rows.s"
 
+	// CtrShardSupportPrefix + shard index counts the candidate-support
+	// increments Apriori's sharded counting phase attributed to each
+	// engine shard; deterministic per shard for a given plan, and the
+	// load signal behind the explain profile's shard-skew ratio.
+	CtrShardSupportPrefix = "engine.shard_support.s"
+
+	// CtrWorkerAllocBytesPrefix / CtrWorkerAllocObjsPrefix + worker index
+	// record the heap-allocation delta (bytes, objects) sampled over each
+	// ParallelFor worker goroutine's lifetime. Process-global samples, so
+	// approximate when workers overlap; nondeterministic like the task
+	// split.
+	CtrWorkerAllocBytesPrefix = "engine.worker_alloc_bytes.w"
+	CtrWorkerAllocObjsPrefix  = "engine.worker_allocs.w"
+
 	// CtrPanicsRecovered counts panics recovered into errors by the
 	// failure-containment layer: engine.ParallelFor worker recoveries and
 	// the miners' serial-section recoveries. Zero in a healthy process.
@@ -125,6 +139,21 @@ const (
 	// GaugeMaxDepth is the FP-Growth conditional-recursion high-water mark
 	// (equals the longest frequent itemset mined).
 	GaugeMaxDepth = "fpm.max_depth"
+
+	// Budget gauges mirror the mining run's configured Budget limits (set
+	// only for dimensions with a limit) plus the heap high-water mark the
+	// budget tracker observed; the explain profile derives consumption
+	// fractions from them.
+	GaugeBudgetMaxCandidates  = "fpm.budget.max_candidates"
+	GaugeBudgetMaxItemsets    = "fpm.budget.max_itemsets"
+	GaugeBudgetSoftDeadlineNS = "fpm.budget.soft_deadline_ns"
+	GaugeBudgetMaxHeapBytes   = "fpm.budget.max_heap_bytes"
+	GaugeBudgetHeapBytes      = "fpm.budget.heap_bytes"
+
+	// GaugeCacheHit is set on a per-request tracer by the server: 1 when
+	// the universe cache satisfied the exploration, 0 on a miss. Absent on
+	// CLI runs.
+	GaugeCacheHit = "server.cache_hit"
 
 	// GaugeServerInFlight is the number of explorations currently running;
 	// GaugeServerInFlightMax its high-water mark; GaugeServerDatasets the
@@ -190,4 +219,9 @@ var MetricHelp = map[string]string{
 	"fpm_pruned_support":              "Candidates discarded as infrequent.",
 	"fpm_pruned_polarity":             "Combinations skipped by polarity pruning.",
 	"fpm_itemsets_emitted":            "Frequent itemsets returned by the miner.",
+	"fpm_budget_max_candidates":       "Configured candidate budget of the last mining run (0 = unlimited).",
+	"fpm_budget_max_itemsets":         "Configured itemset budget of the last mining run (0 = unlimited).",
+	"fpm_budget_soft_deadline_ns":     "Configured soft mining deadline in nanoseconds (0 = none).",
+	"fpm_budget_max_heap_bytes":       "Configured heap budget of the last mining run (0 = unlimited).",
+	"fpm_budget_heap_bytes":           "Heap high-water mark observed by the mining budget tracker.",
 }

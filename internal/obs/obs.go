@@ -1,6 +1,6 @@
 // Package obs is the pipeline-wide observability layer: a Tracer of
-// hierarchical spans (wall time plus allocation deltas from
-// runtime.MemStats) and a registry of named counters and gauges. Every
+// hierarchical spans (wall time plus allocation deltas sampled from
+// runtime/metrics) and a registry of named counters and gauges. Every
 // stage of the H-DivExplorer pipeline — CSV parsing, tree discretization,
 // universe construction, mining, ranking — reports into an optional
 // *Tracer, so regressions can be attributed per stage and the paper's
@@ -21,7 +21,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -122,10 +121,10 @@ func (t *Tracer) Absorb(tr *Trace) {
 
 // Span is one timed region of the pipeline. Spans form a tree: children
 // are started from their parent with Span.Start. A span is finished with
-// End, which records the wall time and the runtime.MemStats allocation
-// deltas since the span started. Deltas are process-global, so spans
-// running concurrently attribute each other's allocations; treat Bytes
-// and Allocs as exact only for serial regions.
+// End, which records the wall time and the heap-allocation deltas
+// (AllocSample) since the span started. Deltas are process-global, so
+// spans running concurrently attribute each other's allocations; treat
+// Bytes and Allocs as exact only for serial regions.
 type Span struct {
 	t      *Tracer
 	id     int
@@ -146,15 +145,14 @@ type Span struct {
 // newSpan registers a span under the given parent id. Caller holds no
 // locks.
 func (t *Tracer) newSpan(parent int, name string) *Span {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
+	bytes, objects := AllocSample()
 	s := &Span{
 		t:            t,
 		parent:       parent,
 		name:         name,
 		start:        time.Now(),
-		startBytes:   ms.TotalAlloc,
-		startMallocs: ms.Mallocs,
+		startBytes:   bytes,
+		startMallocs: objects,
 	}
 	t.mu.Lock()
 	s.id = len(t.spans)
@@ -186,8 +184,7 @@ func (s *Span) End() {
 	if s == nil {
 		return
 	}
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
+	bytes, objects := AllocSample()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.ended {
@@ -195,8 +192,8 @@ func (s *Span) End() {
 	}
 	s.ended = true
 	s.dur = time.Since(s.start)
-	s.bytes = int64(ms.TotalAlloc - s.startBytes)
-	s.mallocs = int64(ms.Mallocs - s.startMallocs)
+	s.bytes = int64(bytes - s.startBytes)
+	s.mallocs = int64(objects - s.startMallocs)
 }
 
 // Tracer returns the tracer that owns the span (nil for a nil span).
@@ -283,8 +280,9 @@ type SpanRecord struct {
 	// wall-clock duration. Both in nanoseconds.
 	StartNS int64 `json:"start_ns"`
 	DurNS   int64 `json:"dur_ns"`
-	// Bytes and Allocs are process-global runtime.MemStats deltas
-	// (TotalAlloc, Mallocs) over the span; approximate under concurrency.
+	// Bytes and Allocs are process-global heap-allocation deltas
+	// (cumulative bytes, object count) over the span; approximate under
+	// concurrency.
 	Bytes  int64 `json:"bytes"`
 	Allocs int64 `json:"allocs"`
 	// Unfinished marks spans still open when the snapshot was taken;
@@ -465,6 +463,19 @@ func (tr *Trace) Tree() string {
 // cumulative `_bucket{le="..."}` series plus `_sum` and `_count`. Spans
 // are not exported — they describe one run, not a monotonic series.
 func (tr *Trace) WritePrometheus(w io.Writer) error {
+	return tr.writeExposition(w, false)
+}
+
+// WriteOpenMetrics renders the same registries in the OpenMetrics text
+// format: counter samples carry the `_total` suffix, and histogram
+// buckets with a recorded exemplar append the `# {request_id="..."} v ts`
+// exemplar clause. The caller owns the trailing `# EOF` line (the server
+// appends runtime-metrics families first).
+func (tr *Trace) WriteOpenMetrics(w io.Writer) error {
+	return tr.writeExposition(w, true)
+}
+
+func (tr *Trace) writeExposition(w io.Writer, openMetrics bool) error {
 	emitted := map[string]bool{}
 	header := func(name, typ string) error {
 		if help, ok := MetricHelp[name]; ok {
@@ -486,7 +497,11 @@ func (tr *Trace) WritePrometheus(w io.Writer) error {
 		if err := header(name, "counter"); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s %d\n", name, merged[name]); err != nil {
+		sample := name
+		if openMetrics {
+			sample += "_total"
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", sample, merged[name]); err != nil {
 			return err
 		}
 		emitted[name] = true
@@ -516,10 +531,19 @@ func (tr *Trace) WritePrometheus(w io.Writer) error {
 			return err
 		}
 		rec := tr.Histograms[k]
+		exemplar := func(i int) string {
+			if !openMetrics || i < 0 || i >= len(rec.Exemplars) || rec.Exemplars[i] == nil {
+				return ""
+			}
+			ex := rec.Exemplars[i]
+			return fmt.Sprintf(" # {request_id=%q} %s %s",
+				promEscapeHelp(ex.Label), promFloat(ex.Value),
+				promFloat(float64(ex.UnixNano)/1e9))
+		}
 		var cum int64
 		for i, b := range rec.Bounds {
 			cum += rec.Counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(b), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d%s\n", name, promFloat(b), cum, exemplar(i)); err != nil {
 				return err
 			}
 		}
@@ -529,7 +553,7 @@ func (tr *Trace) WritePrometheus(w io.Writer) error {
 		// The +Inf cumulative bucket and _count must agree exactly, so both
 		// come from the same bin total (rec.Count may lag under concurrent
 		// Observe between the snapshot's bin and counter reads).
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n", name, cum, exemplar(len(rec.Counts)-1)); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(rec.Sum), name, cum); err != nil {

@@ -303,15 +303,31 @@ func (l lockedWriter) Write(p []byte) (int, error) {
 // TestRecentRingBounded checks completed requests are retained for
 // trace export but the retention is bounded.
 func TestRecentRingBounded(t *testing.T) {
-	g := newRequestRegistry()
-	for i := 0; i < recentCap+20; i++ {
+	g := newRequestRegistry(0) // 0 takes the default capacity
+	for i := 0; i < DefaultTraceRing+20; i++ {
 		st := g.start(obs.NewRequestID(), "d", obs.NewProgress())
 		g.finish(st, &obs.Trace{}, "done")
 	}
 	g.mu.Lock()
 	n, active := len(g.recent), len(g.active)
 	g.mu.Unlock()
-	if n != recentCap || active != 0 {
-		t.Errorf("registry holds %d recent / %d active, want %d / 0", n, active, recentCap)
+	if n != DefaultTraceRing || active != 0 {
+		t.Errorf("registry holds %d recent / %d active, want %d / 0", n, active, DefaultTraceRing)
+	}
+
+	// An explicit capacity is honoured and clamped at the ceiling.
+	small := newRequestRegistry(3)
+	for i := 0; i < 10; i++ {
+		st := small.start(obs.NewRequestID(), "d", obs.NewProgress())
+		small.finish(st, &obs.Trace{}, "done")
+	}
+	small.mu.Lock()
+	n = len(small.recent)
+	small.mu.Unlock()
+	if n != 3 {
+		t.Errorf("registry with cap 3 holds %d recent", n)
+	}
+	if huge := newRequestRegistry(1 << 20); huge.cap != maxTraceRing {
+		t.Errorf("oversized ring not clamped: %d", huge.cap)
 	}
 }

@@ -10,11 +10,17 @@ import (
 	"repro/internal/obs"
 )
 
-// recentCap bounds the completed-request ring: only the most recent
-// explorations keep their progress and trace snapshot queryable, so the
-// registry's memory is bounded no matter how many requests the daemon
-// serves over its lifetime.
-const recentCap = 64
+// DefaultTraceRing is the default capacity of the completed-request
+// ring: only the most recent explorations keep their progress and trace
+// snapshot queryable, so the registry's memory is bounded no matter how
+// many requests the daemon serves over its lifetime. Configurable via
+// Config.TraceRing (the daemon's -trace-ring flag).
+const DefaultTraceRing = 64
+
+// maxTraceRing bounds configurable ring sizes: each retained entry holds
+// a full trace snapshot, so an unbounded ring would reintroduce the
+// unbounded memory growth the ring exists to avoid.
+const maxTraceRing = 4096
 
 // requestState tracks one exploration request for the progress and trace
 // endpoints. Progress is written lock-free by the miner; the remaining
@@ -37,12 +43,19 @@ type requestState struct {
 // by correlation ID.
 type requestRegistry struct {
 	mu     sync.Mutex
+	cap    int
 	active map[string]*requestState
-	recent []*requestState // newest last, at most recentCap entries
+	recent []*requestState // newest last, at most cap entries
 }
 
-func newRequestRegistry() *requestRegistry {
-	return &requestRegistry{active: map[string]*requestState{}}
+func newRequestRegistry(cap int) *requestRegistry {
+	if cap <= 0 {
+		cap = DefaultTraceRing
+	}
+	if cap > maxTraceRing {
+		cap = maxTraceRing
+	}
+	return &requestRegistry{cap: cap, active: map[string]*requestState{}}
 }
 
 // start registers a running request. A client-supplied ID colliding with
@@ -81,8 +94,8 @@ func (g *requestRegistry) finish(st *requestState, trace *obs.Trace, status stri
 		}
 	}
 	g.recent = append(g.recent, st)
-	if len(g.recent) > recentCap {
-		g.recent = g.recent[len(g.recent)-recentCap:]
+	if len(g.recent) > g.cap {
+		g.recent = g.recent[len(g.recent)-g.cap:]
 	}
 }
 
@@ -199,10 +212,13 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	st, status, trace := s.requests.get(id)
 	if st == nil {
-		s.httpError(w, http.StatusNotFound, "unknown request %q", id)
-		return
-	}
-	if trace == nil {
+		// Slow requests keep their trace in the flight recorder even after
+		// rotating out of the recent-request ring.
+		if trace = s.flight.slowTrace(id); trace == nil {
+			s.httpError(w, http.StatusNotFound, "unknown request %q", id)
+			return
+		}
+	} else if trace == nil {
 		s.httpError(w, http.StatusConflict, "request %q is %s; its trace is available on completion", id, status)
 		return
 	}
@@ -218,5 +234,34 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write([]byte(trace.Tree()))
 	default:
 		s.httpError(w, http.StatusBadRequest, "unknown trace format %q", r.URL.Query().Get("format"))
+	}
+}
+
+// handleExplain exports a completed request's cost-attribution profile,
+// computed on demand from the same trace snapshot /v1/trace/{id} serves.
+// The default rendering is the JSON profile; ?format=text the aligned
+// table the CLI's -explain flag prints.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.tracer.Counter(obs.CtrServerRequestPrefix + "explain").Add(1)
+	id := r.PathValue("id")
+	st, status, trace := s.requests.get(id)
+	if st == nil {
+		if trace = s.flight.slowTrace(id); trace == nil {
+			s.httpError(w, http.StatusNotFound, "unknown request %q", id)
+			return
+		}
+	} else if trace == nil {
+		s.httpError(w, http.StatusConflict, "request %q is %s; its explain profile is available on completion", id, status)
+		return
+	}
+	ex := obs.NewExplain(trace)
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		writeJSON(w, http.StatusOK, ex)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(ex.Text()))
+	default:
+		s.httpError(w, http.StatusBadRequest, "unknown explain format %q", r.URL.Query().Get("format"))
 	}
 }

@@ -57,6 +57,19 @@ type Config struct {
 	// Requests may tighten individual dimensions via the body's budget
 	// object but never loosen them. The zero value is unlimited.
 	Budget fpm.Budget
+	// TraceRing bounds how many completed requests keep their progress,
+	// trace snapshot and flight record queryable (GET /v1/trace/{id},
+	// /v1/explain/{id}, /v1/debug/requests). 0 defaults to
+	// DefaultTraceRing; values above 4096 are clamped.
+	TraceRing int
+	// SlowThreshold is the flight recorder's slow-request latency bar:
+	// requests at least this slow keep their full trace and explain
+	// profile even after rotating out of the trace ring. 0 defaults to
+	// 1s; negative disables slow capture.
+	SlowThreshold time.Duration
+	// SlowRequests caps how many slow requests are retained (competing by
+	// latency). 0 defaults to 8.
+	SlowRequests int
 	// Tracer accumulates the server.* lifetime counters, gauges and
 	// histograms rendered by GET /metrics. Each exploration runs on its
 	// own per-request tracer whose counters are folded in here on
@@ -76,6 +89,7 @@ type Server struct {
 	tracer   *obs.Tracer
 	logger   *slog.Logger
 	requests *requestRegistry
+	flight   *flightRecorder
 	hLatency *obs.Histogram
 	tables   map[string]*dataset.Table
 	order    []string // dataset names in registration order
@@ -103,6 +117,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheMax == 0 {
 		cfg.CacheMax = 32
 	}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = DefaultTraceRing
+	}
+	if cfg.TraceRing > maxTraceRing {
+		cfg.TraceRing = maxTraceRing
+	}
+	switch {
+	case cfg.SlowThreshold == 0:
+		cfg.SlowThreshold = time.Second
+	case cfg.SlowThreshold < 0:
+		cfg.SlowThreshold = 0 // disables slow capture
+	}
+	if cfg.SlowRequests <= 0 {
+		cfg.SlowRequests = 8
+	}
 	if cfg.Tracer == nil {
 		cfg.Tracer = obs.New()
 	}
@@ -116,7 +145,8 @@ func New(cfg Config) (*Server, error) {
 		mux:      http.NewServeMux(),
 		tracer:   cfg.Tracer,
 		logger:   cfg.Logger,
-		requests: newRequestRegistry(),
+		requests: newRequestRegistry(cfg.TraceRing),
+		flight:   newFlightRecorder(cfg.TraceRing, cfg.SlowRequests, cfg.SlowThreshold),
 		hLatency: cfg.Tracer.Histogram(obs.HistRequestSeconds, obs.LatencyBuckets),
 		tables:   map[string]*dataset.Table{},
 		cache:    newUniverseCache(cfg.CacheMax, cfg.Tracer.Counter(obs.CtrServerCacheEvictions)),
@@ -152,6 +182,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/progress", s.handleProgressList)
 	s.mux.HandleFunc("GET /v1/progress/{id}", s.handleProgress)
 	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/explain/{id}", s.handleExplain)
+	s.mux.HandleFunc("GET /v1/debug/requests", s.handleDebugRequests)
 	return s, nil
 }
 
@@ -224,13 +256,31 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ready")
 }
 
+// handleMetrics renders the lifetime tracer plus the curated
+// runtime/metrics families. The default is the classic Prometheus text
+// format; clients whose Accept header names application/openmetrics-text
+// get OpenMetrics 1.0 instead, whose bucket lines carry request-ID
+// exemplars (classic format has no exemplar syntax).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.tracer.Counter(obs.CtrServerRequestPrefix + "metrics").Add(1)
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.tracer.Snapshot().WritePrometheus(w); err != nil {
-		// Headers are gone; nothing to do but drop the connection.
+	openMetrics := strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+	snap := s.tracer.Snapshot()
+	if openMetrics {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		if err := snap.WriteOpenMetrics(w); err != nil {
+			return // headers are gone; nothing to do but drop the connection
+		}
+		if err := obs.WriteRuntimeMetrics(w, true); err != nil {
+			return
+		}
+		fmt.Fprint(w, "# EOF\n")
 		return
 	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := snap.WritePrometheus(w); err != nil {
+		return
+	}
+	_ = obs.WriteRuntimeMetrics(w, false)
 }
 
 // datasetInfo is one entry of the GET /v1/datasets reply.
@@ -306,6 +356,11 @@ type ExploreRequest struct {
 	Format string `json:"format,omitempty"`
 	// Trace includes the observability snapshot in a JSON reply.
 	Trace bool `json:"trace,omitempty"`
+	// Explain includes a cost-attribution profile (per-stage wall time and
+	// allocations, mining counters, shard balance, budget consumption) in
+	// a JSON reply's "explain" field. Cheaper than Trace: the profile is
+	// an aggregated summary, not the span-by-span snapshot.
+	Explain bool `json:"explain,omitempty"`
 	// TimeoutMS shortens the server's per-request timeout (it can never
 	// extend it).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
@@ -508,10 +563,22 @@ func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool
 	}
 	s.tracer.Counter(obs.CtrServerRequestPrefix + endpoint).Add(1)
 	start := time.Now()
-	defer func() { s.hLatency.Observe(time.Since(start).Seconds()) }()
 	id := requestID(r)
 	w.Header().Set("X-Request-ID", id)
 	logger := obs.RequestLogger(s.logger, id)
+
+	// The flight record accumulates through the handler and lands in the
+	// always-on ring from this outermost defer — after the exploration
+	// defer below has settled the status fields — together with the
+	// latency observation, which carries the request ID as its exemplar.
+	frec := FlightRecord{ID: id, Endpoint: endpoint, Status: "rejected"}
+	defer func() {
+		now := time.Now()
+		frec.LatencyNS = now.Sub(start).Nanoseconds()
+		frec.UnixNano = now.UnixNano()
+		s.hLatency.ObserveExemplar(now.Sub(start).Seconds(), id, now.UnixNano())
+		s.flight.record(frec)
+	}()
 
 	var req ExploreRequest
 	var stats []string
@@ -548,6 +615,7 @@ func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool
 	if !batch {
 		stats = []string{strings.ToLower(p.req.Stat)}
 	}
+	frec.Dataset, frec.Stat = p.req.Dataset, strings.ToLower(p.req.Stat)
 
 	// Admission control: reject rather than queue when saturated, so
 	// callers see back-pressure instead of unbounded latency.
@@ -586,6 +654,22 @@ func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool
 		trace := reqTracer.Snapshot()
 		s.tracer.Absorb(trace)
 		s.requests.finish(reqState, trace, status)
+		frec.Status = status
+		frec.CacheHit = hit
+		frec.Subgroups = subgroups
+		lat := time.Since(start)
+		frec.LatencyNS = lat.Nanoseconds()
+		frec.UnixNano = time.Now().UnixNano()
+		s.flight.noteSlow(frec, trace)
+		if s.flight != nil && s.flight.threshold > 0 && lat >= s.flight.threshold {
+			logger.Warn("slow request",
+				slog.String("dataset", p.req.Dataset),
+				slog.String("stat", p.req.Stat),
+				slog.String("status", status),
+				slog.Int64("elapsed_ms", lat.Milliseconds()),
+				slog.Int64("threshold_ms", s.flight.threshold.Milliseconds()),
+			)
+		}
 		logger.Info("explore",
 			slog.String("dataset", p.req.Dataset),
 			slog.String("stat", p.req.Stat),
@@ -593,7 +677,7 @@ func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool
 			slog.String("status", status),
 			slog.Bool("cache_hit", hit),
 			slog.Int("subgroups", subgroups),
-			slog.Int64("elapsed_ms", time.Since(start).Milliseconds()),
+			slog.Int64("elapsed_ms", lat.Milliseconds()),
 		)
 	}()
 
@@ -602,9 +686,11 @@ func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool
 	})
 	if hit {
 		s.tracer.Counter(obs.CtrServerCacheHits).Add(1)
+		reqTracer.SetGauge(obs.GaugeCacheHit, 1)
 	} else {
 		s.tracer.Counter(obs.CtrServerCacheMisses).Add(1)
 		s.tracer.SetGauge(obs.GaugeServerCachedUniverses, float64(s.cache.len()))
+		reqTracer.SetGauge(obs.GaugeCacheHit, 0)
 	}
 	if err != nil {
 		if ctx.Err() != nil {
@@ -657,6 +743,7 @@ func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool
 		Workers:       p.req.Workers,
 		Shards:        p.req.Shards,
 		Budget:        p.budget,
+		Explain:       p.req.Explain,
 		Tracer:        reqTracer,
 		Progress:      prog,
 	}, bundle)
@@ -677,6 +764,9 @@ func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool
 		s.tracer.Counter(obs.CtrServerTruncated).Add(1)
 	}
 	subgroups = len(reps[0].Subgroups)
+	frec.Truncated = reps[0].Truncated
+	frec.Candidates = int64(reps[0].Mining.Candidates)
+	frec.Itemsets = int64(reps[0].Mining.Frequent)
 
 	for _, rep := range reps {
 		if p.req.MinT > 0 {

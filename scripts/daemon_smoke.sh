@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Daemon smoke test: start hdivexplorerd with a generated dataset, run one
 # exploration under a known correlation ID, then verify the observability
-# surface end to end — /metrics histograms, /v1/progress/{id}, the
-# Chrome-trace export (structurally validated by checktrace -chrome), the
-# debug listener (pprof + expvar) and the structured request log. Any
-# non-200 response or empty body fails the script.
+# surface end to end — /metrics histograms (classic and OpenMetrics with
+# the runtime families), /v1/progress/{id}, the Chrome-trace export
+# (structurally validated by checktrace -chrome), the explain profile at
+# /v1/explain/{id}, the flight recorder at /v1/debug/requests, the debug
+# listener (pprof + expvar) and the structured request log. Any non-200
+# response or empty body fails the script.
 #
 # Usage: scripts/daemon_smoke.sh [workdir]    (default .smoke-daemon)
 # The workdir is left in place so CI can upload the trace as an artifact.
@@ -65,6 +67,17 @@ fetch "http://localhost:$PORT/metrics" "$DIR/metrics.txt"
 grep -q 'server_request_seconds_bucket{le="+Inf"}' "$DIR/metrics.txt"
 grep -q 'fpm_candidate_batch_count' "$DIR/metrics.txt"
 grep -q 'fpm_itemset_support_sum' "$DIR/metrics.txt"
+# The curated runtime/metrics families ride along on every scrape.
+grep -q '# TYPE go_mem_heap_objects_bytes gauge' "$DIR/metrics.txt"
+grep -q '# TYPE go_gc_pauses_seconds histogram' "$DIR/metrics.txt"
+
+# The OpenMetrics negotiation adds _total counter suffixes, request-ID
+# exemplars on the latency buckets, and the # EOF terminator.
+curl -fsS -H 'Accept: application/openmetrics-text; version=1.0.0' \
+    "http://localhost:$PORT/metrics" -o "$DIR/metrics_om.txt"
+grep -q '# EOF' "$DIR/metrics_om.txt"
+grep -q 'fpm_candidates_total ' "$DIR/metrics_om.txt"
+grep -q 'request_id="' "$DIR/metrics_om.txt"
 
 fetch "http://localhost:$PORT/v1/progress/$ID" "$DIR/progress.json"
 grep -q '"done": true' "$DIR/progress.json"
@@ -73,6 +86,22 @@ fetch "http://localhost:$PORT/v1/progress" "$DIR/progress_list.json"
 fetch "http://localhost:$PORT/v1/trace/$ID" "$DIR/chrome_trace.json"
 "$DIR/checktrace" -chrome "$DIR/chrome_trace.json"
 fetch "http://localhost:$PORT/v1/trace/$ID?format=tree" "$DIR/trace_tree.txt"
+
+# The explain profile: per-stage cost attribution computed from the same
+# trace, as JSON (the CI artifact) and as the aligned text table.
+fetch "http://localhost:$PORT/v1/explain/$ID" "$DIR/explain_profile.json"
+grep -q '"stages"' "$DIR/explain_profile.json"
+grep -q '"mining"' "$DIR/explain_profile.json"
+grep -q "\"$ID\"" "$DIR/explain_profile.json"
+fetch "http://localhost:$PORT/v1/explain/$ID?format=text" "$DIR/explain_profile.txt"
+grep -q 'mining: candidates=' "$DIR/explain_profile.txt"
+
+# The always-on flight recorder has seen every request, including both
+# explorations above.
+fetch "http://localhost:$PORT/v1/debug/requests" "$DIR/debug_requests.json"
+grep -q '"recent"' "$DIR/debug_requests.json"
+grep -q '"ring_size"' "$DIR/debug_requests.json"
+grep -q "\"$ID\"" "$DIR/debug_requests.json"
 
 fetch "http://localhost:$DEBUG_PORT/debug/vars" "$DIR/vars.json"
 fetch "http://localhost:$DEBUG_PORT/debug/pprof/cmdline" "$DIR/cmdline.bin"
