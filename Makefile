@@ -15,10 +15,10 @@ GO ?= go
 # passes 1x for a fast structural run. BENCHOUT is the JSON artifact;
 # BENCHBASE is the committed baseline benchdiff compares it against.
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_PR6.json
+BENCHOUT ?= BENCH_PR7.json
 BENCHBASE ?= BENCH_PR5.json
 
-.PHONY: check vet build test race bench benchdiff smoke smoke-daemon test-faults fmt
+.PHONY: check vet build test race bench benchdiff benchgate smoke smoke-daemon test-faults fmt
 
 check: vet build race test-faults smoke smoke-daemon
 
@@ -56,6 +56,13 @@ bench:
 # benchmarks. See scripts/benchdiff for the CI wrapper.
 benchdiff:
 	./scripts/benchdiff $(BENCHBASE) $(BENCHOUT)
+
+# benchgate is the enforcing variant CI runs after the advisory diff:
+# a watched benchmark whose B/op or allocs/op grows more than 25% (or
+# whose ns/op doubles) fails the build. README.md §Memory tuning
+# explains how to read the output.
+benchgate:
+	./scripts/benchdiff $(BENCHBASE) $(BENCHOUT) -strict -alloc-threshold 1.25
 
 # smoke runs the pipeline benchmarks once each (reporting the mining
 # counters) and exercises the CLI trace path end to end: mkdata generates

@@ -8,12 +8,15 @@
 // defaulting to the paper's tracked runtime artifacts BenchmarkTable3
 // and BenchmarkFigure2) whose ns/op ratio exceeds -threshold (default
 // 2.0), or whose B/op or allocs/op ratio exceeds -alloc-threshold
-// (default 2.0), emit a GitHub Actions `::warning::` annotation. The
-// comparison is advisory: the exit status is 0 whether or not
-// regressions are found, so CI surfaces the warning without failing the
-// build. Only unreadable or unparseable inputs exit nonzero; a missing
-// -old baseline is reported and skipped (exit 0) so fresh branches
-// without an inherited artifact still pass.
+// (default 2.0), emit a GitHub Actions `::warning::` annotation. By
+// default the comparison is advisory: the exit status is 0 whether or
+// not regressions are found, so CI surfaces the warning without failing
+// the build. With -strict, watched regressions exit nonzero and fail
+// the build — CI runs the allocation gate this way so B/op regressions
+// on the tracked artifacts cannot land silently. Unreadable or
+// unparseable inputs always exit nonzero; a missing -old baseline is
+// reported and skipped (exit 0) so fresh branches without an inherited
+// artifact still pass.
 package main
 
 import (
@@ -47,13 +50,18 @@ func main() {
 	watch := flag.String("watch", "BenchmarkTable3,BenchmarkFigure2", "comma-separated benchmark name substrings that warn on regression")
 	threshold := flag.Float64("threshold", 2.0, "ns/op ratio (new/old) above which a watched benchmark warns")
 	allocThreshold := flag.Float64("alloc-threshold", 2.0, "B/op and allocs/op ratio (new/old) above which a watched benchmark warns")
+	strict := flag.Bool("strict", false, "exit nonzero when a watched benchmark regresses beyond its threshold")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *oldPath, *newPath, strings.Split(*watch, ","), *threshold, *allocThreshold); err != nil {
+	regressions, err := run(os.Stdout, *oldPath, *newPath, strings.Split(*watch, ","), *threshold, *allocThreshold)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if *strict && regressions > 0 {
 		os.Exit(1)
 	}
 }
@@ -86,19 +94,21 @@ func load(path string) (map[string]map[string]float64, error) {
 	return m, nil
 }
 
-func run(w io.Writer, oldPath, newPath string, watch []string, threshold, allocThreshold float64) error {
+// run prints the comparison and returns the number of watched metrics
+// that regressed beyond their threshold.
+func run(w io.Writer, oldPath, newPath string, watch []string, threshold, allocThreshold float64) (int, error) {
 	oldM, err := load(oldPath)
 	if os.IsNotExist(err) {
 		// No inherited baseline (fresh branch): nothing to compare against.
 		fmt.Fprintf(w, "benchdiff: baseline %s not found, skipping comparison\n", oldPath)
-		return nil
+		return 0, nil
 	}
 	if err != nil {
-		return err
+		return 0, err
 	}
 	newM, err := load(newPath)
 	if err != nil {
-		return err
+		return 0, err
 	}
 
 	watched := func(name string) bool {
@@ -119,7 +129,7 @@ func run(w io.Writer, oldPath, newPath string, watch []string, threshold, allocT
 	sort.Strings(names)
 	if len(names) == 0 {
 		fmt.Fprintln(w, "benchdiff: no common benchmarks between the two files")
-		return nil
+		return 0, nil
 	}
 
 	regressions := 0
@@ -150,9 +160,9 @@ func run(w io.Writer, oldPath, newPath string, watch []string, threshold, allocT
 		}
 	}
 	if regressions > 0 {
-		fmt.Fprintf(w, "benchdiff: %d watched metric(s) regressed beyond their threshold (advisory only)\n", regressions)
+		fmt.Fprintf(w, "benchdiff: %d watched metric(s) regressed beyond their threshold\n", regressions)
 	} else {
 		fmt.Fprintf(w, "benchdiff: no watched regressions beyond %.1fx ns/op, %.1fx B/op and allocs/op\n", threshold, allocThreshold)
 	}
-	return nil
+	return regressions, nil
 }

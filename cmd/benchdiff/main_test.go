@@ -46,8 +46,12 @@ func TestRunAllocRegression(t *testing.T) {
 		"BenchmarkUnrelated": {"ns/op": 1000, "B/op": 500},
 	})
 	var out bytes.Buffer
-	if err := run(&out, oldPath, newPath, []string{"BenchmarkTable3"}, 2.0, 2.0); err != nil {
+	regs, err := run(&out, oldPath, newPath, []string{"BenchmarkTable3"}, 2.0, 2.0)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if regs != 1 {
+		t.Errorf("run returned %d regressions, want 1 (the -strict exit signal)", regs)
 	}
 	s := out.String()
 	if !strings.Contains(s, "::warning title=benchmark regression::repro/BenchmarkTable3 B/op grew 2.50x") {
@@ -83,8 +87,12 @@ func TestRunNsOpRegressionThreshold(t *testing.T) {
 		"BenchmarkFigure2": {"ns/op": 350, "B/op": 120},
 	})
 	var out bytes.Buffer
-	if err := run(&out, oldPath, newPath, []string{"BenchmarkFigure2"}, 3.0, 1.1); err != nil {
+	regs, err := run(&out, oldPath, newPath, []string{"BenchmarkFigure2"}, 3.0, 1.1)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if regs != 2 {
+		t.Errorf("run returned %d regressions, want 2", regs)
 	}
 	s := out.String()
 	if !strings.Contains(s, "BenchmarkFigure2 ns/op grew 3.50x") {
@@ -105,8 +113,12 @@ func TestRunNoAllocMetrics(t *testing.T) {
 		"BenchmarkTable3": {"ns/op": 110},
 	})
 	var out bytes.Buffer
-	if err := run(&out, oldPath, newPath, []string{"BenchmarkTable3"}, 2.0, 2.0); err != nil {
+	regs, err := run(&out, oldPath, newPath, []string{"BenchmarkTable3"}, 2.0, 2.0)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if regs != 0 {
+		t.Errorf("run returned %d regressions, want 0", regs)
 	}
 	s := out.String()
 	if strings.Contains(s, "BenchmarkTable3 B/op") || strings.Contains(s, "BenchmarkTable3 allocs/op") {
@@ -124,8 +136,12 @@ func TestRunMissingBaseline(t *testing.T) {
 		"BenchmarkTable3": {"ns/op": 100},
 	})
 	var out bytes.Buffer
-	if err := run(&out, filepath.Join(t.TempDir(), "absent.json"), newPath, nil, 2.0, 2.0); err != nil {
+	regs, err := run(&out, filepath.Join(t.TempDir(), "absent.json"), newPath, nil, 2.0, 2.0)
+	if err != nil {
 		t.Fatalf("missing baseline must not fail: %v", err)
+	}
+	if regs != 0 {
+		t.Errorf("run returned %d regressions on a skipped comparison, want 0", regs)
 	}
 	if !strings.Contains(out.String(), "skipping comparison") {
 		t.Errorf("skip not reported: %s", out.String())

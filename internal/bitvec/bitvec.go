@@ -1,8 +1,18 @@
-// Package bitvec provides dense, fixed-length bit vectors used as row-set
-// representations throughout the mining code. Every item is associated with
-// the set of dataset rows it covers; itemset supports and divergence
-// accumulators are then computed by word-wise AND and popcount, which is the
-// performance backbone of both the Apriori and FP-Growth implementations.
+// Package bitvec provides the row-set representations used throughout the
+// mining code: dense fixed-length bit vectors (Vector) and roaring-style
+// compressed bitmaps (Compressed), unified behind the Set interface. Every
+// item is associated with the set of dataset rows it covers; itemset
+// supports and divergence accumulators are then computed by word-wise AND
+// and popcount, which is the performance backbone of both the Apriori and
+// FP-Growth implementations.
+//
+// The Set contract (see the interface doc in compressed.go) is the
+// determinism seam: every *Range primitive visits set bits in ascending
+// index order over word-aligned [loWord, hiWord) windows, so float
+// accumulation order — and hence the ranked output — is identical whichever
+// representation holds an item. Pack selects the representation per item by
+// density at universe build time; DESIGN.md §11 documents the container
+// formats and the selection rule.
 package bitvec
 
 import (

@@ -368,6 +368,18 @@ func exploreUniverse(ctx context.Context, u *fpm.Universe, cfg Config) (*Report,
 // statistic's |divergence|.
 func exploreUniverseMulti(ctx context.Context, u *fpm.Universe, cfg Config, b *outcome.Bundle) ([]*Report, error) {
 	defer cfg.Progress.Finish()
+	if tr := cfg.Tracer; tr != nil {
+		// Universe representation gauges feed the explain memory section;
+		// deterministic for a fixed dataset and item set.
+		mem := u.Memory()
+		tr.SetGauge(obs.GaugeItemsDense, float64(mem.ItemsDense))
+		tr.SetGauge(obs.GaugeItemsCompressed, float64(mem.ItemsCompressed))
+		tr.SetGauge(obs.GaugeContainersArray, float64(mem.ContainersArray))
+		tr.SetGauge(obs.GaugeContainersBitmap, float64(mem.ContainersBitmap))
+		tr.SetGauge(obs.GaugeContainersRun, float64(mem.ContainersRun))
+		tr.SetGauge(obs.GaugeUniverseBytes, float64(mem.Bytes))
+		tr.SetGauge(obs.GaugeUniverseDenseBytes, float64(mem.DenseBytes))
+	}
 	start := time.Now()
 	res, err := fpm.MineMulti(u, b, fpm.Options{
 		Ctx:           ctx,

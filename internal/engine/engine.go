@@ -7,14 +7,21 @@
 // — distributed shards, incremental append, alternate backends — plugs
 // into.
 //
-// Determinism: shard merges happen in ascending shard order, and every
-// built-in rate statistic has values in {0, 1}, whose partial sums are
-// exact integers in float64 — so merged moments are bit-identical to a
-// single-pass scan regardless of the shard count. Numeric outcomes with
-// non-integral values may differ from the unsharded scan in the last ulp
-// once NumShards > 1; the default plan keeps datasets of up to
-// DefaultShardRows rows in a single shard, where the scan order is
-// identical to the unsharded code path.
+// Determinism and merge ordering: shard merges happen in ascending shard
+// order, and every built-in rate statistic has values in {0, 1}, whose
+// partial sums are exact integers in float64 — so merged moments are
+// bit-identical to a single-pass scan regardless of the shard count.
+// Numeric outcomes with non-integral values may differ from the unsharded
+// scan in the last ulp once NumShards > 1; the default plan keeps datasets
+// of up to DefaultShardRows rows in a single shard, where the scan order
+// is identical to the unsharded code path. Accumulation consumes row sets
+// through the bitvec.Set interface (its *Range primitives visit bits in
+// ascending order over word-aligned shard ranges), so dense and compressed
+// item representations produce identical accumulators.
+//
+// Pool recycles the data plane's per-run buffers (materialized row
+// vectors, partial-count matrices) with explicit ownership rules; see its
+// type comment and DESIGN.md §11.
 package engine
 
 import (
@@ -144,8 +151,9 @@ func (a Acc) Moments() stats.Moments {
 // described by (valid, vals, boolean): valid masks rows with a defined
 // outcome, vals holds the values, boolean marks outcomes whose defined
 // values are all 0 or 1 (making Pos/Neg meaningful and the float sums
-// exact).
-func Accumulate(p Plan, s int, rows, valid *bitvec.Vector, vals []float64, boolean bool) Acc {
+// exact). rows may be dense or compressed; the Set contract guarantees an
+// identical accumulation order either way.
+func Accumulate(p Plan, s int, rows bitvec.Set, valid *bitvec.Vector, vals []float64, boolean bool) Acc {
 	lo, hi := p.WordRange(s)
 	n, sum, sumSq := rows.AndMomentsRange(valid, vals, lo, hi)
 	a := Acc{Rows: rows.CountRange(lo, hi), Sum: sum, SumSq: sumSq}
@@ -159,7 +167,7 @@ func Accumulate(p Plan, s int, rows, valid *bitvec.Vector, vals []float64, boole
 
 // AccumulateAll merges the per-shard accumulators of every shard of the
 // plan in ascending shard order.
-func AccumulateAll(p Plan, rows, valid *bitvec.Vector, vals []float64, boolean bool) Acc {
+func AccumulateAll(p Plan, rows bitvec.Set, valid *bitvec.Vector, vals []float64, boolean bool) Acc {
 	var a Acc
 	for s := 0; s < p.NumShards(); s++ {
 		a.Merge(Accumulate(p, s, rows, valid, vals, boolean))

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitvec"
+)
+
+// Pool recycles the flat buffers the mining hot path burns through —
+// materialized row bitvectors and partial-count matrices — across Apriori
+// levels and FP-Growth branches of one mining run. It is keyed by the run's
+// Plan so every pooled vector has the same geometry and a Get can skip all
+// shape checks.
+//
+// Ownership rules (see DESIGN.md §11 for the full lifecycle):
+//
+//   - A vector obtained from GetVector has unspecified contents; the caller
+//     must fully overwrite it (e.g. via Set.AndInto, which writes every
+//     word) before reading.
+//   - Universe-owned vectors (Universe.Rows) must never be passed to
+//     PutVector; only buffers obtained from the pool (or allocated with the
+//     run's geometry and owned by the caller) may be returned.
+//   - A buffer must not be used after PutVector. Returning is optional:
+//     dropping a pooled buffer on an error or truncation path is safe, the
+//     GC reclaims it.
+//
+// Hits and misses are counted so obs.Explain can report the reuse rate;
+// NoteHit/NoteMiss let satellite caches (e.g. the FP-Growth scratch pool)
+// fold their reuse into the same counters. Because sync.Pool is emptied
+// under GC pressure, the hit counts are measured — not deterministic — and
+// are stripped by Explain.Deterministic.
+//
+// Pool is safe for concurrent use.
+type Pool struct {
+	rows         int
+	vecs         sync.Pool
+	ints         sync.Pool
+	hits, misses atomic.Int64
+}
+
+// NewPool returns a pool dispensing vectors of the plan's row count.
+func NewPool(p Plan) *Pool {
+	return &Pool{rows: p.NumRows()}
+}
+
+// GetVector returns a vector of the plan's row count with unspecified
+// contents. The caller must fully overwrite it before reading.
+func (pl *Pool) GetVector() *bitvec.Vector {
+	if v, ok := pl.vecs.Get().(*bitvec.Vector); ok {
+		pl.hits.Add(1)
+		return v
+	}
+	pl.misses.Add(1)
+	return bitvec.New(pl.rows)
+}
+
+// PutVector returns a vector to the pool. Vectors of the wrong geometry
+// are dropped, so a caller holding mixed-origin buffers can return them
+// indiscriminately.
+func (pl *Pool) PutVector(v *bitvec.Vector) {
+	if v == nil || v.Len() != pl.rows {
+		return
+	}
+	pl.vecs.Put(v)
+}
+
+// GetInts returns a zeroed []int of length n, reusing pooled capacity
+// when possible.
+func (pl *Pool) GetInts(n int) []int {
+	if s, ok := pl.ints.Get().(*[]int); ok && cap(*s) >= n {
+		pl.hits.Add(1)
+		out := (*s)[:n]
+		for i := range out {
+			out[i] = 0
+		}
+		return out
+	}
+	pl.misses.Add(1)
+	return make([]int, n)
+}
+
+// PutInts returns an int slice's capacity to the pool.
+func (pl *Pool) PutInts(s []int) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	pl.ints.Put(&s)
+}
+
+// NoteHit and NoteMiss fold an external cache's reuse outcome into the
+// pool's counters, so per-run scratch pools layered on top of Pool report
+// through the same engine.pool_* metrics.
+func (pl *Pool) NoteHit()  { pl.hits.Add(1) }
+func (pl *Pool) NoteMiss() { pl.misses.Add(1) }
+
+// Hits returns the number of Get calls (and noted external lookups)
+// satisfied from the pool.
+func (pl *Pool) Hits() int64 { return pl.hits.Load() }
+
+// Misses returns the number of Get calls (and noted external lookups)
+// that had to allocate.
+func (pl *Pool) Misses() int64 { return pl.misses.Load() }

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bitvec"
+)
+
+// Concurrent Get/Put traffic from many goroutines must be race-free (the
+// whole point of building on sync.Pool) and every dispensed buffer must
+// have the right geometry and, for GetInts, arrive zeroed even when it was
+// returned dirty. Run with -race for the real assertion.
+func TestPoolConcurrentReuse(t *testing.T) {
+	const rows = 1000
+	pl := NewPool(NewPlan(rows, 4))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := pl.GetVector()
+				if v.Len() != rows {
+					t.Errorf("GetVector length %d, want %d", v.Len(), rows)
+					return
+				}
+				v.Set(i % rows) // dirty it; the next user must overwrite anyway
+				pl.PutVector(v)
+
+				n := 10 + (g+i)%50
+				s := pl.GetInts(n)
+				if len(s) != n {
+					t.Errorf("GetInts length %d, want %d", len(s), n)
+					return
+				}
+				for j, x := range s {
+					if x != 0 {
+						t.Errorf("GetInts[%d] = %d, want zeroed", j, x)
+						return
+					}
+					s[j] = j + 1 // dirty it for the next round
+				}
+				pl.PutInts(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := pl.Hits() + pl.Misses(); got != 8*200*2 {
+		t.Fatalf("hits+misses = %d, want %d", got, 8*200*2)
+	}
+}
+
+// Wrong-geometry vectors must be dropped, not recycled: a later Get must
+// never dispense a vector of another run's length.
+func TestPoolDropsWrongGeometry(t *testing.T) {
+	pl := NewPool(NewPlan(128, 1))
+	pl.PutVector(bitvec.New(64))
+	pl.PutVector(nil)
+	for i := 0; i < 10; i++ {
+		if v := pl.GetVector(); v.Len() != 128 {
+			t.Fatalf("dispensed vector of length %d, want 128", v.Len())
+		}
+	}
+}
+
+// NoteHit/NoteMiss must fold into the same counters the Gets use.
+func TestPoolNoteCounters(t *testing.T) {
+	pl := NewPool(NewPlan(10, 1))
+	pl.NoteHit()
+	pl.NoteHit()
+	pl.NoteMiss()
+	if pl.Hits() != 2 || pl.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", pl.Hits(), pl.Misses())
+	}
+}

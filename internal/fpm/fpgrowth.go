@@ -3,6 +3,7 @@ package fpm
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/engine"
 	"repro/internal/faultinject"
@@ -11,85 +12,122 @@ import (
 	"repro/internal/stats"
 )
 
-// fpNode is one node of an FP-tree. Beyond the usual support count, each
+// fpNode is one node of an arena-backed FP-tree. Nodes live in the tree's
+// flat slab and link by index (firstChild/nextSib replace the historical
+// per-node child map; next chains nodes of the same item for the header
+// table), so a whole tree is a handful of slice allocations instead of one
+// map-bearing heap object per node. Beyond the usual support count, each
 // node carries the outcome moments of the transactions (rows) flowing
 // through it, which is what lets divergence fall out of the mining
-// recursion with no extra dataset pass. Under a multi-outcome bundle, m
-// holds the primary outcome's moments and mx (one entry per extra
-// outcome) the rest; mx stays nil on single-outcome runs so the common
-// path allocates nothing extra.
+// recursion with no extra dataset pass. Under a multi-outcome bundle the
+// node's extra moments live in the tree's parallel mx slab.
 type fpNode struct {
-	item     int
-	count    int
-	m        stats.Moments
-	mx       []stats.Moments
-	parent   *fpNode
-	children map[int]*fpNode
-	next     *fpNode // header-list chain of nodes with the same item
+	item       int32 // universe item id; -1 for the root
+	parent     int32
+	firstChild int32
+	nextSib    int32
+	next       int32 // header chain of nodes with the same item
+	count      int
+	m          stats.Moments
 }
 
-// fpTree is an FP-tree plus its header table.
+// fpTree is an arena FP-tree plus its header table. headers/tails are
+// indexed by position in order; pos maps a universe item id to its order
+// position + 1 (0 = absent), giving O(1) item→header lookup without a map.
+// mx is the flat extra-moments slab, mxStride entries per node (empty on
+// single-outcome runs). Conditional trees are recycled through growScratch,
+// which resets pos via the order list — O(|order|), not O(universe).
 type fpTree struct {
-	root    *fpNode
-	headers map[int]*fpNode
-	tails   map[int]*fpNode
-	// order lists the tree's items from most to least frequent; transactions
-	// are inserted in this order.
-	order []int
-	rank  map[int]int
+	nodes    []fpNode
+	mx       []stats.Moments
+	mxStride int
+	order    []int // the tree's items, most to least frequent
+	headers  []int32
+	tails    []int32
+	pos      []int32
 }
 
-func newFPTree(order []int) *fpTree {
-	rank := make(map[int]int, len(order))
-	for r, it := range order {
-		rank[it] = r
-	}
-	return &fpTree{
-		root:    &fpNode{item: -1, children: map[int]*fpNode{}},
-		headers: map[int]*fpNode{},
-		tails:   map[int]*fpNode{},
-		order:   order,
-		rank:    rank,
-	}
+// rootFPNode is the arena's node 0.
+func rootFPNode() fpNode {
+	return fpNode{item: -1, parent: -1, firstChild: -1, nextSib: -1, next: -1}
 }
 
-// child returns node's child for item it, creating it (and linking it onto
-// the header chain) if absent.
-func (t *fpTree) child(node *fpNode, it int) *fpNode {
-	c, ok := node.children[it]
-	if !ok {
-		c = &fpNode{item: it, parent: node, children: map[int]*fpNode{}}
-		node.children[it] = c
-		if t.headers[it] == nil {
-			t.headers[it] = c
-		} else {
-			t.tails[it].next = c
+// newFPTree builds a fresh tree (used for the per-shard root trees, which
+// live for the whole run and are not pooled).
+func newFPTree(order []int, numItems, mxStride int) *fpTree {
+	t := &fpTree{
+		mxStride: mxStride,
+		order:    order,
+		pos:      make([]int32, numItems),
+	}
+	t.nodes = append(t.nodes, rootFPNode())
+	if mxStride > 0 {
+		t.mx = make([]stats.Moments, mxStride, mxStride*64)
+	}
+	t.headers = make([]int32, len(order))
+	t.tails = make([]int32, len(order))
+	for p := range order {
+		t.headers[p], t.tails[p] = -1, -1
+		t.pos[order[p]] = int32(p) + 1
+	}
+	return t
+}
+
+// child returns node parent's child for item it, creating it (and linking
+// it onto the header chain in creation order, which absorb and the growth
+// recursion rely on for determinism) if absent.
+func (t *fpTree) child(parent, it int32) int32 {
+	for c := t.nodes[parent].firstChild; c >= 0; c = t.nodes[c].nextSib {
+		if t.nodes[c].item == it {
+			return c
 		}
-		t.tails[it] = c
 	}
+	c := int32(len(t.nodes))
+	t.nodes = append(t.nodes, fpNode{
+		item: it, parent: parent,
+		firstChild: -1, nextSib: t.nodes[parent].firstChild, next: -1,
+	})
+	t.nodes[parent].firstChild = c
+	for k := 0; k < t.mxStride; k++ {
+		t.mx = append(t.mx, stats.Moments{})
+	}
+	p := t.pos[it] - 1
+	if t.headers[p] < 0 {
+		t.headers[p] = c
+	} else {
+		t.nodes[t.tails[p]].next = c
+	}
+	t.tails[p] = c
 	return c
 }
 
-// insert adds a transaction (items already filtered to the tree's
-// universe and sorted by rank) with the given weight and moments. mx, when
-// non-nil, carries the moments of the bundle's extra outcomes and is
-// copied into the nodes (the caller may reuse the slice).
-func (t *fpTree) insert(items []int, count int, m stats.Moments, mx []stats.Moments) {
-	node := t.root
+// insert adds a transaction (items already filtered to the tree's universe
+// and sorted by rank) with the given weight and moments. mx, when
+// non-empty, carries the moments of the bundle's extra outcomes; its values
+// are added into the node slab (the caller may reuse the slice).
+func (t *fpTree) insert(items []int32, count int, m stats.Moments, mx []stats.Moments) {
+	cur := int32(0)
 	for _, it := range items {
-		child := t.child(node, it)
-		child.count += count
-		child.m.AddN(m)
-		if mx != nil {
-			if child.mx == nil {
-				child.mx = make([]stats.Moments, len(mx))
-			}
+		c := t.child(cur, it)
+		nd := &t.nodes[c]
+		nd.count += count
+		nd.m.AddN(m)
+		if t.mxStride > 0 {
+			base := int(c) * t.mxStride
 			for k := range mx {
-				child.mx[k].AddN(mx[k])
+				t.mx[base+k].AddN(mx[k])
 			}
 		}
-		node = child
+		cur = c
 	}
+}
+
+// nodeMx returns node n's extra-moments view (nil stride-0).
+func (t *fpTree) nodeMx(n int32) []stats.Moments {
+	if t.mxStride == 0 {
+		return nil
+	}
+	return t.mx[int(n)*t.mxStride : (int(n)+1)*t.mxStride]
 }
 
 // absorb merges src (a shard tree built over the same item order) into t.
@@ -98,58 +136,79 @@ func (t *fpTree) insert(items []int, count int, m stats.Moments, mx []stats.Mome
 // deterministic regardless of how rows were split into shards. Counts and
 // integer-valued moment sums merge exactly; see the engine package note on
 // float exactness.
-func (t *fpTree) absorb(src *fpTree) {
-	var walk func(dst, s *fpNode)
-	walk = func(dst, s *fpNode) {
-		keys := make([]int, 0, len(s.children))
-		for it := range s.children {
-			keys = append(keys, it)
+func (t *fpTree) absorb(src *fpTree, rank []int32) {
+	var walk func(dst, s int32)
+	walk = func(dst, s int32) {
+		var keys []int32
+		for c := src.nodes[s].firstChild; c >= 0; c = src.nodes[c].nextSib {
+			keys = append(keys, c)
 		}
-		sort.Slice(keys, func(a, b int) bool { return t.rank[keys[a]] < t.rank[keys[b]] })
-		for _, it := range keys {
-			sc := s.children[it]
-			child := t.child(dst, it)
-			child.count += sc.count
-			child.m.AddN(sc.m)
-			if sc.mx != nil {
-				if child.mx == nil {
-					child.mx = make([]stats.Moments, len(sc.mx))
-				}
-				for k := range sc.mx {
-					child.mx[k].AddN(sc.mx[k])
+		sort.Slice(keys, func(a, b int) bool {
+			return rank[src.nodes[keys[a]].item] < rank[src.nodes[keys[b]].item]
+		})
+		for _, sc := range keys {
+			sn := &src.nodes[sc]
+			c := t.child(dst, sn.item)
+			nd := &t.nodes[c]
+			nd.count += sn.count
+			nd.m.AddN(sn.m)
+			if t.mxStride > 0 {
+				base := int(c) * t.mxStride
+				for k, v := range src.nodeMx(sc) {
+					t.mx[base+k].AddN(v)
 				}
 			}
-			walk(child, sc)
+			walk(c, sc)
 		}
 	}
-	walk(t.root, src.root)
+	walk(0, 0)
 }
 
-// buildShardTree builds the FP-tree of one row shard: per-row transactions
-// are assembled by iterating items over the shard's word range (cache-
-// friendly, no copying) and inserted in row order with the bundle's
-// per-row moments. The returned rows count is the number of non-empty
-// transactions inserted.
-func buildShardTree(u *Universe, bun *outcome.Bundle, order []int, plan engine.Plan, s int, cancel *canceller) (t *fpTree, rows int) {
-	t = newFPTree(order)
+// buildShardTree builds the FP-tree of one row shard. Per-row transactions
+// are assembled in CSR form — one counting pass per item over the shard's
+// word range, a prefix sum, one fill pass — so the whole shard costs three
+// flat slices instead of a slice header (and its growth reallocations) per
+// row. Items land in each row's segment in rank order because the fill
+// iterates items in order. The returned rows count is the number of
+// non-empty transactions inserted.
+func buildShardTree(u *Universe, bun *outcome.Bundle, order []int, numItems int, plan engine.Plan, s int, cancel *canceller) (t *fpTree, rows int) {
+	nOut := bun.Len()
+	t = newFPTree(order, numItems, nOut-1)
 	rowLo, rowHi := plan.RowRange(s)
 	wordLo, wordHi := plan.WordRange(s)
-	perRow := make([][]int, rowHi-rowLo)
+	nRows := rowHi - rowLo
+	off := make([]int32, nRows+1)
 	for _, it := range order {
 		if cancel.cancelled() {
-			return t, rows
+			return t, 0
 		}
 		u.Rows[it].ForEachRange(wordLo, wordHi, func(r int) {
-			perRow[r-rowLo] = append(perRow[r-rowLo], it)
+			off[r-rowLo+1]++
 		})
 	}
-	nOut := bun.Len()
+	for i := 1; i <= nRows; i++ {
+		off[i] += off[i-1]
+	}
+	flat := make([]int32, off[nRows])
+	cur := make([]int32, nRows)
+	copy(cur, off[:nRows])
+	for _, it := range order {
+		if cancel.cancelled() {
+			return t, 0
+		}
+		it32 := int32(it)
+		u.Rows[it].ForEachRange(wordLo, wordHi, func(r int) {
+			flat[cur[r-rowLo]] = it32
+			cur[r-rowLo]++
+		})
+	}
 	var mx []stats.Moments
 	if nOut > 1 {
-		mx = make([]stats.Moments, nOut-1) // reused per row; insert copies
+		mx = make([]stats.Moments, nOut-1) // reused per row; insert adds values
 	}
 	prim := bun.Primary()
-	for i, items := range perRow {
+	for i := 0; i < nRows; i++ {
+		items := flat[off[i]:off[i+1]]
 		if len(items) == 0 {
 			continue
 		}
@@ -170,13 +229,71 @@ func buildShardTree(u *Universe, bun *outcome.Bundle, order []int, plan engine.P
 	return t, rows
 }
 
-// weightedPath is one conditional-pattern-base entry: the ancestor items of
-// an occurrence, with the occurrence's count and moments.
-type weightedPath struct {
-	items []int
-	count int
-	m     stats.Moments
-	mx    []stats.Moments
+// growScratch is the per-goroutine reusable state of the growth phase:
+// the conditional support counters (item-indexed, reset via the parent
+// tree's order after each use), the suffix stack, per-occurrence path and
+// conditional-order buffers, and a free list of released conditional
+// trees. One scratch serves one branch recursion at a time; the sync.Pool
+// in mineFPGrowth hands them to workers and its reuse is counted through
+// the run's engine.Pool.
+type growScratch struct {
+	cnt     []int   // per universe item: conditional support count
+	suffix  []int   // current itemset suffix (append/truncate stack)
+	path    []int32 // one occurrence's filtered, rank-sorted ancestors
+	condBuf []int   // conditional item order under construction
+	trees   []*fpTree
+}
+
+// resetCnt zeroes the counters touched by a pass over tree order (a
+// superset of the items actually incremented).
+func (sc *growScratch) resetCnt(order []int) {
+	for _, it := range order {
+		sc.cnt[it] = 0
+	}
+}
+
+// getTree returns a conditional tree over the given order, recycling a
+// released tree's arenas when possible. The order slice is copied into
+// tree-owned storage (the caller's buffer is reused by deeper recursion).
+func (sc *growScratch) getTree(order []int, numItems, mxStride int, pool *engine.Pool) *fpTree {
+	var t *fpTree
+	if n := len(sc.trees); n > 0 {
+		t = sc.trees[n-1]
+		sc.trees = sc.trees[:n-1]
+		pool.NoteHit()
+		t.nodes = t.nodes[:1]
+		t.nodes[0] = rootFPNode()
+		t.mx = t.mx[:0]
+	} else {
+		pool.NoteMiss()
+		t = &fpTree{pos: make([]int32, numItems)}
+		t.nodes = append(t.nodes, rootFPNode())
+	}
+	t.mxStride = mxStride
+	for k := 0; k < mxStride; k++ {
+		t.mx = append(t.mx, stats.Moments{})
+	}
+	t.order = append(t.order[:0], order...)
+	if cap(t.headers) < len(order) {
+		t.headers = make([]int32, len(order))
+		t.tails = make([]int32, len(order))
+	}
+	t.headers = t.headers[:len(order)]
+	t.tails = t.tails[:len(order)]
+	for p, it := range order {
+		t.headers[p], t.tails[p] = -1, -1
+		t.pos[it] = int32(p) + 1
+	}
+	return t
+}
+
+// putTree releases a conditional tree back to the free list, clearing its
+// pos registrations (O(|order|)) so the arena can serve any item order.
+func (sc *growScratch) putTree(t *fpTree) {
+	for _, it := range t.order {
+		t.pos[it] = 0
+	}
+	sc.trees = append(sc.trees, t)
 }
 
 // mineFPGrowth mines all frequent generalized itemsets via recursive
@@ -198,10 +315,17 @@ type weightedPath struct {
 // byte-identical across Workers and Shards. A capped run is bounded by
 // construction, so the lost parallelism is bounded too. The soft
 // dimensions (deadline, heap) stay parallel and stop cooperatively.
-func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, plan engine.Plan, span *obs.Span, cancel *canceller, budget *budgetTracker, hBatch *obs.Histogram) (*Result, error) {
+//
+// Memory: trees are index-linked arenas, conditional trees and all
+// per-branch working arrays are recycled through growScratch (reuse
+// surfaces in the run pool's hit counters), the conditional pattern base
+// is consumed in two header-chain passes with no materialized path list,
+// and emitted Items slices are carved from per-branch chunk slabs.
+func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, plan engine.Plan, pool *engine.Pool, span *obs.Span, cancel *canceller, budget *budgetTracker, hBatch *obs.Histogram) (*Result, error) {
 	res := &Result{}
 	prog := opt.Progress
 	nOut := bun.Len()
+	numItems := len(u.Items)
 	stopped := func() bool { return cancel.cancelled() || budget.softExhausted() != "" }
 
 	// Global frequent items, ranked by support descending (ties by index).
@@ -232,8 +356,13 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 		return fr[a].item < fr[b].item
 	})
 	order := make([]int, len(fr))
+	// rank maps a universe item to its root-order position. Conditional
+	// orders are subsequences of the root order, so sorting by this global
+	// rank is equivalent to sorting by any conditional tree's local rank.
+	rank := make([]int32, numItems)
 	for i, f := range fr {
 		order[i] = f.item
+		rank[f.item] = int32(i)
 	}
 	scan.End()
 
@@ -244,10 +373,10 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 	trees := make([]*fpTree, nShards)
 	if err := engine.ParallelFor(nShards, opt.Workers, opt.Tracer, func(s int) {
 		if cancel.cancelled() {
-			trees[s] = newFPTree(order)
+			trees[s] = newFPTree(order, numItems, nOut-1)
 			return
 		}
-		t, rows := buildShardTree(u, bun, order, plan, s, cancel)
+		t, rows := buildShardTree(u, bun, order, numItems, plan, s, cancel)
 		trees[s] = t
 		if tr := opt.Tracer; tr != nil {
 			tr.Counter(fmt.Sprintf("%s%d", obs.CtrShardRowsPrefix, s)).Add(int64(rows))
@@ -268,7 +397,7 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 				build.End()
 				return nil, err
 			}
-			tree.absorb(trees[s])
+			tree.absorb(trees[s], rank)
 		}
 		merge.End()
 	}
@@ -280,9 +409,9 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 	// branch mines the suffix {item}+suffix rooted at one header item of
 	// tree t, appending to the local accumulator. Branches of distinct
 	// top-level items are independent, which is what the parallel path
-	// exploits.
-	var local func(acc *fpLocal, t *fpTree, idx int, suffix []int)
-	local = func(acc *fpLocal, t *fpTree, idx int, suffix []int) {
+	// exploits. All transient state lives in the worker's scratch.
+	var local func(acc *fpLocal, sc *growScratch, t *fpTree, idx int)
+	local = func(acc *fpLocal, sc *growScratch, t *fpTree, idx int) {
 		// Each (conditional tree, header item) pair is one candidate; bail
 		// out here and the whole recursion unwinds promptly on cancel,
 		// soft-budget exhaustion or an injected branch failure.
@@ -290,8 +419,8 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 			return
 		}
 		it := t.order[idx]
-		head := t.headers[it]
-		if head == nil {
+		head := t.headers[idx]
+		if head < 0 {
 			return
 		}
 		total := 0
@@ -300,11 +429,15 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 		if nOut > 1 {
 			mx = make([]stats.Moments, nOut-1)
 		}
-		for n := head; n != nil; n = n.next {
-			total += n.count
-			m.AddN(n.m)
-			for k := range mx {
-				mx[k].AddN(n.mx[k])
+		for n := head; n >= 0; n = t.nodes[n].next {
+			nd := &t.nodes[n]
+			total += nd.count
+			m.AddN(nd.m)
+			if mx != nil {
+				base := int(n) * t.mxStride
+				for k := range mx {
+					mx[k].AddN(t.mx[base+k])
+				}
 			}
 		}
 		if total < minCount {
@@ -316,102 +449,147 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 		if budget.allowItemsets(1) < 1 {
 			return
 		}
-		itemset := append([]int{it}, suffix...)
-		sorted := append([]int(nil), itemset...)
+		depth := len(sc.suffix) + 1
+		sorted := acc.allocItems(depth)
+		copy(sorted, sc.suffix)
+		sorted[depth-1] = it
 		sort.Ints(sorted)
-		acc.itemsets = append(acc.itemsets, MinedItemset{Items: sorted, Count: total, M: m, Multi: mx})
+		acc.emit(MinedItemset{Items: sorted, Count: total, M: m, Multi: mx})
 		prog.AddFrequent(1)
 		// FP-Growth has no global level sweep, so the live "level" is the
 		// deepest itemset emitted so far across all branches.
-		prog.RaiseLevel(len(itemset))
-		if len(itemset) > acc.maxDepth {
-			acc.maxDepth = len(itemset)
+		prog.RaiseLevel(depth)
+		if depth > acc.maxDepth {
+			acc.maxDepth = depth
 		}
 
-		if opt.MaxLen > 0 && len(itemset) >= opt.MaxLen {
+		if opt.MaxLen > 0 && depth >= opt.MaxLen {
 			return
 		}
 
-		// Conditional pattern base: ancestors of each occurrence,
-		// excluding items of it's attribute (generalized-itemset rule)
-		// and, under polarity pruning, items of opposite polarity.
-		var base []weightedPath
-		condCount := map[int]int{}
-		for n := head; n != nil; n = n.next {
-			var path []int
-			for p := n.parent; p.item >= 0; p = p.parent {
-				if u.AttrID[p.item] == u.AttrID[it] {
+		// Conditional pattern base, pass 1: walk each occurrence's
+		// ancestors — excluding items of it's attribute (generalized-
+		// itemset rule) and, under polarity pruning, items of opposite
+		// polarity — accumulating conditional supports in the scratch
+		// counters. No path is materialized.
+		attr, pol := u.AttrID[it], u.Polarity[it]
+		pathsFound := 0
+		for n := head; n >= 0; n = t.nodes[n].next {
+			w := t.nodes[n].count
+			pathLen := 0
+			for p := t.nodes[n].parent; t.nodes[p].item >= 0; p = t.nodes[p].parent {
+				pi := int(t.nodes[p].item)
+				if u.AttrID[pi] == attr {
 					continue
 				}
-				if opt.PolarityPrune && u.Polarity[p.item] != u.Polarity[it] {
+				if opt.PolarityPrune && u.Polarity[pi] != pol {
 					acc.prunedPolarity++
 					prog.AddPruned(1)
 					continue
 				}
-				path = append(path, p.item)
+				sc.cnt[pi] += w
+				pathLen++
 			}
-			if len(path) == 0 {
-				continue
-			}
-			base = append(base, weightedPath{items: path, count: n.count, m: n.m, mx: n.mx})
-			for _, pi := range path {
-				condCount[pi] += n.count
+			if pathLen > 0 {
+				pathsFound++
 			}
 		}
-		if len(base) == 0 {
+		if pathsFound == 0 {
+			sc.resetCnt(t.order)
 			return
 		}
 		// Conditional universe: items frequent within the base, keeping
 		// the parent tree's rank order. The whole batch must fit the
 		// remaining candidate budget; otherwise this expansion stops here.
 		if budget.allowCandidates(len(t.order)) < len(t.order) {
+			sc.resetCnt(t.order)
 			return
 		}
-		var condOrder []int
+		condOrder := sc.condBuf[:0]
 		for _, oi := range t.order {
 			acc.candidates++
 			prog.AddCandidates(1)
-			if condCount[oi] >= minCount {
+			if sc.cnt[oi] >= minCount {
 				condOrder = append(condOrder, oi)
 			} else {
 				acc.prunedSupport++
 				prog.AddPruned(1)
 			}
 		}
+		sc.condBuf = condOrder
 		if len(condOrder) == 0 {
+			sc.resetCnt(t.order)
 			return
 		}
 		hBatch.Observe(float64(len(condOrder)))
 		if err := faultinject.Hit(faultinject.SiteCandidateBatch); err != nil {
 			acc.err = err
+			sc.resetCnt(t.order)
 			return
 		}
-		cond := newFPTree(condOrder)
-		for _, wp := range base {
-			kept := wp.items[:0]
-			for _, pi := range wp.items {
-				if condCount[pi] >= minCount {
-					kept = append(kept, pi)
+		// Pass 2: re-walk the header chain, now inserting each occurrence's
+		// filtered path (same exclusions, plus the conditional support
+		// floor) into the conditional tree in chain order — exactly the
+		// order the historical pattern-base list was consumed in.
+		cond := sc.getTree(condOrder, numItems, t.mxStride, pool)
+		for n := head; n >= 0; n = t.nodes[n].next {
+			path := sc.path[:0]
+			for p := t.nodes[n].parent; t.nodes[p].item >= 0; p = t.nodes[p].parent {
+				pi := int(t.nodes[p].item)
+				if u.AttrID[pi] == attr {
+					continue
+				}
+				if opt.PolarityPrune && u.Polarity[pi] != pol {
+					continue
+				}
+				if sc.cnt[pi] >= minCount {
+					path = append(path, int32(pi))
 				}
 			}
-			if len(kept) == 0 {
+			sc.path = path
+			if len(path) == 0 {
 				continue
 			}
-			sort.Slice(kept, func(a, b int) bool { return cond.rank[kept[a]] < cond.rank[kept[b]] })
-			cond.insert(kept, wp.count, wp.m, wp.mx)
+			// Insertion sort ascending by global rank (paths are short and
+			// near-sorted: ancestors arrive in descending rank order).
+			for i := 1; i < len(path); i++ {
+				x := path[i]
+				rx := rank[x]
+				j := i - 1
+				for j >= 0 && rank[path[j]] > rx {
+					path[j+1] = path[j]
+					j--
+				}
+				path[j+1] = x
+			}
+			cond.insert(path, t.nodes[n].count, t.nodes[n].m, t.nodeMx(n))
 		}
+		sc.resetCnt(t.order)
+		sc.suffix = append(sc.suffix, it)
 		for i := len(cond.order) - 1; i >= 0; i-- {
-			local(acc, cond, i, itemset)
+			local(acc, sc, cond, i)
 		}
+		sc.suffix = sc.suffix[:len(sc.suffix)-1]
+		sc.putTree(cond)
 	}
 
 	// Top-level branches, least-frequent first, optionally in parallel.
 	// Each branch accumulates locally; concatenating in branch order makes
-	// the output identical to the serial traversal.
+	// the output identical to the serial traversal. Scratches are pooled
+	// per worker; their reuse counts into the run pool's hit rate.
 	grow := span.Start(obs.SpanMineGrow)
 	defer grow.End()
 	nBranch := len(tree.order)
 	locals := make([]fpLocal, nBranch)
+	var scratchPool sync.Pool
+	getScratch := func() *growScratch {
+		if v := scratchPool.Get(); v != nil {
+			pool.NoteHit()
+			return v.(*growScratch)
+		}
+		pool.NoteMiss()
+		return &growScratch{cnt: make([]int, numItems)}
+	}
 	growWorkers := opt.Workers
 	if opt.Budget.deterministic() {
 		// Serialize so budget consumption follows the fixed branch order;
@@ -420,16 +598,23 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 	}
 	if err := engine.ParallelFor(nBranch, growWorkers, opt.Tracer, func(j int) {
 		idx := nBranch - 1 - j
-		local(&locals[j], tree, idx, nil)
+		sc := getScratch()
+		local(&locals[j], sc, tree, idx)
+		// On a panic the scratch is simply dropped (its counters may be
+		// dirty); ParallelFor recovers and the run fails.
+		scratchPool.Put(sc)
 	}); err != nil {
 		return nil, err
 	}
 	maxDepth := 0
+	total := len(res.Itemsets)
 	for j := range locals {
 		if locals[j].err != nil {
 			return nil, locals[j].err
 		}
-		res.Itemsets = append(res.Itemsets, locals[j].itemsets...)
+		for _, ch := range locals[j].sets {
+			total += len(ch)
+		}
 		res.Stats.Candidates += locals[j].candidates
 		res.Stats.PrunedSupport += locals[j].prunedSupport
 		res.Stats.PrunedPolarity += locals[j].prunedPolarity
@@ -437,16 +622,64 @@ func mineFPGrowth(u *Universe, bun *outcome.Bundle, opt Options, minCount int, p
 			maxDepth = locals[j].maxDepth
 		}
 	}
+	// One exact-size allocation for the concatenated result: branch slabs
+	// are copied in branch order, reproducing the serial traversal order.
+	all := make([]MinedItemset, len(res.Itemsets), total)
+	copy(all, res.Itemsets)
+	for j := range locals {
+		for _, ch := range locals[j].sets {
+			all = append(all, ch...)
+		}
+	}
+	res.Itemsets = all
 	opt.Tracer.MaxGauge(obs.GaugeMaxDepth, float64(maxDepth))
 	return res, nil
 }
 
-// fpLocal accumulates one FP-Growth branch's results.
+// fpLocal accumulates one FP-Growth branch's results. Both the itemsets
+// and their Items storage are carved out of chunk slabs — closed chunks
+// are never reallocated, so a branch's emissions cost no append-growth
+// churn; the run's result is assembled by one exact-size concatenation.
+// Items sub-slices are handed out at full capacity, so an append by a
+// consumer cannot clobber a neighbour.
 type fpLocal struct {
-	itemsets       []MinedItemset
+	sets           [][]MinedItemset // chunked emissions, in order; last is open
+	chunk          []int            // current Items slab
 	candidates     int
 	prunedSupport  int
 	prunedPolarity int
 	maxDepth       int
 	err            error // injected failure surfaced from this branch
+}
+
+// fpChunkSize is the slab granularity for emitted Items storage;
+// fpSetChunk the itemsets per emission chunk.
+const (
+	fpChunkSize = 4096
+	fpSetChunk  = 1024
+)
+
+// emit appends one mined itemset to the branch's chunked emission list.
+func (acc *fpLocal) emit(m MinedItemset) {
+	n := len(acc.sets)
+	if n == 0 || len(acc.sets[n-1]) == fpSetChunk {
+		acc.sets = append(acc.sets, make([]MinedItemset, 0, fpSetChunk))
+		n++
+	}
+	acc.sets[n-1] = append(acc.sets[n-1], m)
+}
+
+// allocItems returns a fresh n-int slice backed by the branch's current
+// chunk slab.
+func (acc *fpLocal) allocItems(n int) []int {
+	if len(acc.chunk)+n > cap(acc.chunk) {
+		size := fpChunkSize
+		if n > size {
+			size = n
+		}
+		acc.chunk = make([]int, 0, size)
+	}
+	off := len(acc.chunk)
+	acc.chunk = acc.chunk[:off+n]
+	return acc.chunk[off : off+n : off+n]
 }

@@ -96,9 +96,9 @@ func mineBrute(u *Universe, o *outcome.Outcome, opt Options, minCount int) []Min
 			}
 			var newRows *bitvec.Vector
 			if rows == nil {
-				newRows = u.Rows[i].Clone()
+				newRows = u.Rows[i].Dense().Clone()
 			} else {
-				newRows = rows.Clone().And(u.Rows[i])
+				newRows = u.Rows[i].AndInto(rows, bitvec.New(u.NumRows))
 			}
 			count := newRows.Count()
 			if count < minCount {
@@ -438,9 +438,9 @@ func TestMinedMomentsMatchDirect(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, m := range res.Itemsets {
-		rows := u.Rows[m.Items[0]].Clone()
+		rows := u.Rows[m.Items[0]].Dense().Clone()
 		for _, it := range m.Items[1:] {
-			rows.And(u.Rows[it])
+			rows = u.Rows[it].AndInto(rows, bitvec.New(u.NumRows))
 		}
 		if rows.Count() != m.Count {
 			t.Fatalf("count mismatch for %v: %d vs %d", u.Itemset(m.Items), rows.Count(), m.Count)

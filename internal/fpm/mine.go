@@ -185,6 +185,10 @@ func MineMulti(u *Universe, b *outcome.Bundle, opt Options) (*Result, error) {
 	// recovered into a *engine.PanicError just like ParallelFor recovers
 	// its workers' panics, so a poisoned request fails instead of killing
 	// the process.
+	// One buffer pool per run, keyed by the plan: both miners draw their
+	// scratch (row vectors, count matrices, conditional-tree arenas) from
+	// it, and its hit/miss counters feed the explain memory section.
+	pool := engine.NewPool(plan)
 	mineRun := func() (r *Result, err error) {
 		defer func() {
 			if pe := engine.RecoverError(recover()); pe != nil {
@@ -194,9 +198,9 @@ func MineMulti(u *Universe, b *outcome.Bundle, opt Options) (*Result, error) {
 		}()
 		switch opt.Algorithm {
 		case Apriori:
-			return mineApriori(u, b, opt, minCount, plan, span, cancel, budget, hBatch)
+			return mineApriori(u, b, opt, minCount, plan, pool, span, cancel, budget, hBatch)
 		case FPGrowth:
-			return mineFPGrowth(u, b, opt, minCount, plan, span, cancel, budget, hBatch)
+			return mineFPGrowth(u, b, opt, minCount, plan, pool, span, cancel, budget, hBatch)
 		default:
 			return nil, fmt.Errorf("fpm: unknown algorithm %v", opt.Algorithm)
 		}
@@ -219,6 +223,8 @@ func MineMulti(u *Universe, b *outcome.Bundle, opt Options) (*Result, error) {
 	}
 	span.End()
 	if tr := opt.Tracer; tr != nil {
+		tr.Counter(obs.CtrPoolHits).Add(pool.Hits())
+		tr.Counter(obs.CtrPoolMisses).Add(pool.Misses())
 		tr.Counter(obs.CtrCandidates).Add(int64(res.Stats.Candidates))
 		tr.Counter(obs.CtrPrunedSupport).Add(int64(res.Stats.PrunedSupport))
 		tr.Counter(obs.CtrPrunedPolarity).Add(int64(res.Stats.PrunedPolarity))
@@ -295,7 +301,7 @@ func (c *canceller) release() {
 // shard order (the engine data-plane contract). The primary outcome's
 // moments return in m; the remaining outcomes' in extra (nil for a
 // single-outcome bundle, keeping that path allocation-free).
-func momentsMulti(p engine.Plan, b *outcome.Bundle, rows *bitvec.Vector) (m stats.Moments, extra []stats.Moments) {
+func momentsMulti(p engine.Plan, b *outcome.Bundle, rows bitvec.Set) (m stats.Moments, extra []stats.Moments) {
 	m = b.Primary().AccOf(p, rows).Moments()
 	if b.Len() == 1 {
 		return m, nil
@@ -325,7 +331,13 @@ func momentsMulti(p engine.Plan, b *outcome.Bundle, rows *bitvec.Vector) (m stat
 // caller-goroutine merge loops — so a truncated ranked output is
 // byte-identical across Workers and Shards. The soft dimensions
 // (deadline, heap) stop the run cooperatively like cancellation.
-func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, plan engine.Plan, span *obs.Span, cancel *canceller, budget *budgetTracker, hBatch *obs.Histogram) (*Result, error) {
+//
+// Buffer reuse: survivor row vectors and the partial-count matrix come
+// from the run's pool. Level-1 entries reference universe-owned row sets
+// (never returned to the pool); level-k≥2 entries own pooled vectors that
+// are recycled once the next level is built. Pooled vectors are fully
+// overwritten by AndInto before any read, so reuse cannot leak state.
+func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, plan engine.Plan, pool *engine.Pool, span *obs.Span, cancel *canceller, budget *budgetTracker, hBatch *obs.Histogram) (*Result, error) {
 	res := &Result{}
 	prog := opt.Progress
 	nShards := plan.NumShards()
@@ -334,6 +346,9 @@ func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, pl
 	type entry struct {
 		items []int
 		rows  *bitvec.Vector
+		// pooled marks rows as pool-owned (recyclable when the level dies);
+		// false for level-1 dense views, which the universe owns.
+		pooled bool
 	}
 
 	// Level 1.
@@ -357,7 +372,10 @@ func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, pl
 		if budget.allowItemsets(1) < 1 {
 			break
 		}
-		level = append(level, entry{items: []int{i}, rows: u.Rows[i]})
+		// Frequent items are almost always dense (minCount exceeds the
+		// compression cutoff for typical supports); a compressed frequent
+		// item materializes a dense working copy once here.
+		level = append(level, entry{items: []int{i}, rows: u.Rows[i].Dense()})
 		prog.AddFrequent(1)
 		m, extra := momentsMulti(plan, bun, u.Rows[i])
 		res.Itemsets = append(res.Itemsets, MinedItemset{
@@ -435,8 +453,9 @@ func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, pl
 		// is one task computing a fused AND+popcount over the shard's word
 		// range into a fixed slot of the partial-count matrix, so wide
 		// datasets expose shard-level parallelism and the totals are
-		// independent of the task interleaving.
-		partial := make([]int, len(cands)*nShards)
+		// independent of the task interleaving. The matrix comes zeroed
+		// from the pool and its capacity is recycled across levels.
+		partial := pool.GetInts(len(cands) * nShards)
 		if err := engine.ParallelFor(len(cands)*nShards, opt.Workers, opt.Tracer, func(t int) {
 			if stopped() {
 				return
@@ -448,7 +467,7 @@ func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, pl
 				prog.AddCandidates(1)
 			}
 			lo, hi := plan.WordRange(s)
-			partial[t] = level[cands[c].base].rows.AndCountRange(u.Rows[cands[c].extra], lo, hi)
+			partial[t] = u.Rows[cands[c].extra].AndCountRange(level[cands[c].base].rows, lo, hi)
 		}); err != nil {
 			return nil, err
 		}
@@ -483,9 +502,12 @@ func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, pl
 				opt.Tracer.Counter(fmt.Sprintf("%s%d", obs.CtrShardSupportPrefix, s)).Add(col)
 			}
 		}
+		pool.PutInts(partial)
 
 		// Phase 2b: survivors (the minority) materialize their row bitset
-		// and accumulate outcome moments per shard, merged in shard order.
+		// into a pooled vector (fully overwritten by AndInto, so a recycled
+		// buffer's stale contents are unobservable) and accumulate outcome
+		// moments per shard, merged in shard order.
 		evaluated := make([]*entry, len(cands))
 		moments := make([]stats.Moments, len(cands))
 		multi := make([][]stats.Moments, len(cands))
@@ -494,8 +516,8 @@ func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, pl
 				return
 			}
 			c := cands[survivors[i]]
-			rows := level[c.base].rows.Clone().And(u.Rows[c.extra])
-			evaluated[survivors[i]] = &entry{items: c.items, rows: rows}
+			rows := u.Rows[c.extra].AndInto(level[c.base].rows, pool.GetVector())
+			evaluated[survivors[i]] = &entry{items: c.items, rows: rows, pooled: true}
 			moments[survivors[i]], multi[survivors[i]] = momentsMulti(plan, bun, rows)
 		}); err != nil {
 			return nil, err
@@ -524,6 +546,15 @@ func mineApriori(u *Universe, bun *outcome.Bundle, opt Options, minCount int, pl
 				M:     moments[i],
 				Multi: multi[i],
 			})
+		}
+		// The finished level's pooled row vectors are dead (the next level
+		// materialized its own); recycle them. Level-1 dense views are
+		// universe-owned and skipped. Early returns above simply drop their
+		// buffers — the pool is per-run, so the GC reclaims them.
+		for _, e := range level {
+			if e.pooled {
+				pool.PutVector(e.rows)
+			}
 		}
 		if len(next) == 0 {
 			break
@@ -587,24 +618,35 @@ func key(items []int) string {
 // SortByDivergence orders mined itemsets for reporting: by |divergence|
 // descending by default. Ties break toward smaller length, then higher
 // support, then lexicographic items for determinism.
+//
+// The sort is an index sort: divergence keys are computed once per itemset
+// up front (the comparator would otherwise recompute them — and allocate an
+// encoded tie-break key — on every comparison, which dominated ranking
+// cost), a permutation of indices is stably sorted against the key array,
+// and the permutation is applied in place by cycle-walking — so the scratch
+// is 12 bytes per itemset instead of a decorated copy of the slice. The
+// final tie-break compares item slices in the byte order of their varint
+// encoding (keyLess), reproducing the exact order of the historical
+// string-key comparison without building strings.
 func SortByDivergence(items []MinedItemset, o *outcome.Outcome, signed bool, positive bool) {
-	div := func(m *MinedItemset) float64 {
-		d := o.DivergenceFromMoments(m.M)
+	keys := make([]float64, len(items))
+	perm := make([]int32, len(items))
+	for i := range items {
+		d := o.DivergenceFromMoments(items[i].M)
 		if math.IsNaN(d) {
-			return math.Inf(-1)
+			d = math.Inf(-1)
+		} else if !signed {
+			d = math.Abs(d)
+		} else if !positive {
+			d = -d
 		}
-		if !signed {
-			return math.Abs(d)
-		}
-		if positive {
-			return d
-		}
-		return -d
+		keys[i] = d
+		perm[i] = int32(i)
 	}
-	sort.SliceStable(items, func(a, b int) bool {
-		da, db := div(&items[a]), div(&items[b])
-		if da != db {
-			return da > db
+	sort.SliceStable(perm, func(x, y int) bool {
+		a, b := perm[x], perm[y]
+		if keys[a] != keys[b] {
+			return keys[a] > keys[b]
 		}
 		if len(items[a].Items) != len(items[b].Items) {
 			return len(items[a].Items) < len(items[b].Items)
@@ -612,6 +654,66 @@ func SortByDivergence(items []MinedItemset, o *outcome.Outcome, signed bool, pos
 		if items[a].Count != items[b].Count {
 			return items[a].Count > items[b].Count
 		}
-		return key(items[a].Items) < key(items[b].Items)
+		return keyLess(items[a].Items, items[b].Items)
 	})
+	// Apply the permutation (sorted[i] = items[perm[i]]) in place: each
+	// cycle shifts its members one step, with visited slots marked by -1.
+	for i := range perm {
+		j := int(perm[i])
+		if j < 0 || j == i {
+			perm[i] = -1
+			continue
+		}
+		tmp := items[i]
+		dst := i
+		for j != i {
+			items[dst] = items[j]
+			perm[dst] = -1
+			dst = j
+			j = int(perm[dst])
+		}
+		items[dst] = tmp
+		perm[dst] = -1
+	}
+}
+
+// keyLess reports whether key(a) < key(b) without materializing either
+// string. Single-value varint encodings are self-delimiting (every byte
+// but the last has the high bit set), so two distinct values' encodings
+// always differ within their common prefix — concatenated-stream byte
+// order therefore reduces to comparing the first differing item's
+// encoding, with the shorter slice winning a pure-prefix tie.
+func keyLess(a, b []int) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return varintLess(a[i], b[i])
+		}
+	}
+	return len(a) < len(b)
+}
+
+// varintLess compares two values by the byte order of their key encoding
+// (low 7 bits first, high bit marking continuation).
+func varintLess(x, y int) bool {
+	for {
+		bx, by := x&0x7f, y&0x7f
+		x >>= 7
+		y >>= 7
+		if x > 0 {
+			bx |= 0x80
+		}
+		if y > 0 {
+			by |= 0x80
+		}
+		if bx != by {
+			return bx < by
+		}
+		if x == 0 && y == 0 {
+			return false
+		}
+	}
 }

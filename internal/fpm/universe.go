@@ -12,6 +12,16 @@
 //   - Polarity pruning: optionally, only items whose individual divergence
 //     has the same sign are combined (the paper's §V-C heuristic), pruning
 //     the search space roughly by 2^(n−1) for n continuous attributes.
+//
+// Memory model: both miners consume item row sets through the bitvec.Set
+// interface (dense vectors or compressed bitmaps, selected per item by
+// density at universe build time) and recycle their hot-path buffers —
+// Apriori's materialized row vectors and partial-count matrices, FP-
+// Growth's conditional trees and scratch arrays — through a per-run
+// engine.Pool. Accumulator merges follow the engine contract (ascending
+// shard order; bitvec.Set primitives visit bits in ascending index order),
+// so representation choice and buffer reuse cannot perturb the ranked
+// output. DESIGN.md §11 documents the ownership rules.
 package fpm
 
 import (
@@ -25,30 +35,52 @@ import (
 )
 
 // Universe is the prepared item universe over which mining runs: per item,
-// its covered row bitset, attribute group, and divergence polarity.
+// its covered row set, attribute group, and divergence polarity. Row sets
+// are representation-selected at build time: dense items stay bitvec
+// vectors, sparse ones (deep hierarchy nodes covering few rows) become
+// compressed bitmaps — invisible to the miners, which consume Rows through
+// the bitvec.Set contract.
 type Universe struct {
 	Items    []*hierarchy.Item
-	Rows     []*bitvec.Vector // Rows[i] = rows satisfying Items[i]
-	AttrID   []int            // attribute group of each item
-	Polarity []int8           // sign of the item's individual divergence (+1 / -1)
+	Rows     []bitvec.Set // Rows[i] = rows satisfying Items[i]
+	AttrID   []int        // attribute group of each item
+	Polarity []int8       // sign of the item's individual divergence (+1 / -1)
 	NumRows  int
 	attrs    []string
+	mem      MemStats
 }
 
-// NewUniverse precomputes row bitsets, attribute groups and polarities for
+// MemStats summarizes the universe's row-set representations: how many
+// items stayed dense vs compressed, the compressed container mix, and the
+// byte footprint against the all-dense equivalent. Deterministic for a
+// given dataset and item set.
+type MemStats struct {
+	ItemsDense       int
+	ItemsCompressed  int
+	ContainersArray  int
+	ContainersBitmap int
+	ContainersRun    int
+	// Bytes is the row-set payload actually held; DenseBytes what an
+	// all-dense universe would hold.
+	Bytes, DenseBytes int64
+}
+
+// NewUniverse precomputes row sets, attribute groups and polarities for
 // the given items. The outcome determines polarity: items whose individual
-// divergence is ≥ 0 get polarity +1, otherwise -1.
+// divergence is ≥ 0 get polarity +1, otherwise -1. Polarity is computed on
+// the dense vector before representation selection, so packing cannot
+// perturb it.
 func NewUniverse(t *dataset.Table, items []*hierarchy.Item, o *outcome.Outcome) *Universe {
 	u := &Universe{
 		Items:    items,
-		Rows:     make([]*bitvec.Vector, len(items)),
+		Rows:     make([]bitvec.Set, len(items)),
 		AttrID:   make([]int, len(items)),
 		Polarity: make([]int8, len(items)),
 		NumRows:  t.NumRows(),
 	}
 	attrIndex := map[string]int{}
 	for i, it := range items {
-		u.Rows[i] = it.Rows(t)
+		rows := it.Rows(t)
 		id, ok := attrIndex[it.Attr]
 		if !ok {
 			id = len(u.attrs)
@@ -56,14 +88,31 @@ func NewUniverse(t *dataset.Table, items []*hierarchy.Item, o *outcome.Outcome) 
 			u.attrs = append(u.attrs, it.Attr)
 		}
 		u.AttrID[i] = id
-		if d := o.DivergenceOf(u.Rows[i]); d < 0 {
+		if d := o.DivergenceOf(rows); d < 0 {
 			u.Polarity[i] = -1
 		} else {
 			u.Polarity[i] = 1
 		}
+		u.Rows[i] = bitvec.Pack(rows)
+		denseBytes := int64(rows.NumWords()) * 8
+		u.mem.DenseBytes += denseBytes
+		if c, isCompressed := u.Rows[i].(*bitvec.Compressed); isCompressed {
+			st := c.Stats()
+			u.mem.ItemsCompressed++
+			u.mem.ContainersArray += st.Array
+			u.mem.ContainersBitmap += st.Bitmap
+			u.mem.ContainersRun += st.Run
+			u.mem.Bytes += st.Bytes
+		} else {
+			u.mem.ItemsDense++
+			u.mem.Bytes += denseBytes
+		}
 	}
 	return u
 }
+
+// Memory returns the universe's representation statistics.
+func (u *Universe) Memory() MemStats { return u.mem }
 
 // NumAttrs returns the number of distinct attributes among the items.
 func (u *Universe) NumAttrs() int { return len(u.attrs) }

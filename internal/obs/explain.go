@@ -37,6 +37,10 @@ type Explain struct {
 	Workers   []ExplainWorker `json:"workers,omitempty"`
 	Cache     *ExplainCache   `json:"cache,omitempty"`
 	Budget    []ExplainBudget `json:"budget,omitempty"`
+	// Memory reports the run's buffer-pool effectiveness and the
+	// universe's row-set representation mix; nil when the trace carries
+	// neither signal (e.g. a trace from before mining ran).
+	Memory *ExplainMemory `json:"memory,omitempty"`
 }
 
 // ExplainStage is one span of the trace in tree (pre-order) position:
@@ -92,6 +96,26 @@ type ExplainWorker struct {
 // exploration; nil for CLI runs (no cache in front of the pipeline).
 type ExplainCache struct {
 	Hit bool `json:"hit"`
+}
+
+// ExplainMemory reports the memory behaviour of a mining run: the run
+// pool's hit/miss split (measured — GC and scheduling dependent) and the
+// universe's row-set representation statistics (deterministic for a fixed
+// dataset and item set: how many items stayed dense vectors vs compressed
+// bitmaps, the compressed container mix, and the byte footprint against
+// the all-dense equivalent). See DESIGN.md §11.
+type ExplainMemory struct {
+	PoolHits    int64   `json:"pool_hits"`
+	PoolMisses  int64   `json:"pool_misses"`
+	PoolHitRate float64 `json:"pool_hit_rate"`
+
+	ItemsDense         int64 `json:"items_dense"`
+	ItemsCompressed    int64 `json:"items_compressed"`
+	ContainersArray    int64 `json:"containers_array,omitempty"`
+	ContainersBitmap   int64 `json:"containers_bitmap,omitempty"`
+	ContainersRun      int64 `json:"containers_run,omitempty"`
+	UniverseBytes      int64 `json:"universe_bytes"`
+	UniverseDenseBytes int64 `json:"universe_dense_bytes"`
 }
 
 // ExplainBudget is one resource dimension's consumption against its
@@ -264,6 +288,28 @@ func NewExplain(tr *Trace) *Explain {
 		addBudget("deadline", mine.DurNS, int64(tr.Gauges[GaugeBudgetSoftDeadlineNS]))
 	}
 	addBudget("heap", int64(tr.Gauges[GaugeBudgetHeapBytes]), int64(tr.Gauges[GaugeBudgetMaxHeapBytes]))
+
+	// Memory section: present whenever the trace saw the pool counters or
+	// the universe representation gauges.
+	hits, misses := tr.Counter(CtrPoolHits), tr.Counter(CtrPoolMisses)
+	_, sawItems := tr.Gauges[GaugeItemsDense]
+	if hits > 0 || misses > 0 || sawItems {
+		m := &ExplainMemory{
+			PoolHits:           hits,
+			PoolMisses:         misses,
+			ItemsDense:         int64(tr.Gauges[GaugeItemsDense]),
+			ItemsCompressed:    int64(tr.Gauges[GaugeItemsCompressed]),
+			ContainersArray:    int64(tr.Gauges[GaugeContainersArray]),
+			ContainersBitmap:   int64(tr.Gauges[GaugeContainersBitmap]),
+			ContainersRun:      int64(tr.Gauges[GaugeContainersRun]),
+			UniverseBytes:      int64(tr.Gauges[GaugeUniverseBytes]),
+			UniverseDenseBytes: int64(tr.Gauges[GaugeUniverseDenseBytes]),
+		}
+		if total := hits + misses; total > 0 {
+			m.PoolHitRate = float64(hits) / float64(total)
+		}
+		e.Memory = m
+	}
 	return e
 }
 
@@ -309,6 +355,14 @@ func (e *Explain) Deterministic() *Explain {
 			continue
 		}
 		d.Budget = append(d.Budget, b)
+	}
+	// Representation statistics are a pure function of the input; the pool
+	// split depends on GC timing and worker interleaving, so it is
+	// stripped like the other measured fields.
+	if e.Memory != nil {
+		m := *e.Memory
+		m.PoolHits, m.PoolMisses, m.PoolHitRate = 0, 0, 0
+		d.Memory = &m
 	}
 	return d
 }
@@ -376,6 +430,18 @@ func (e *Explain) Text() string {
 		}
 		fmt.Fprintf(&b, "budget: %-10s %d/%d (%.1f%%)%s\n",
 			bu.Dimension, bu.Used, bu.Limit, bu.Frac*100, mark)
+	}
+	if m := e.Memory; m != nil {
+		fmt.Fprintf(&b, "memory: pool hits=%d misses=%d (%.1f%% reuse)\n",
+			m.PoolHits, m.PoolMisses, m.PoolHitRate*100)
+		fmt.Fprintf(&b, "  items: dense=%d compressed=%d", m.ItemsDense, m.ItemsCompressed)
+		if m.ItemsCompressed > 0 {
+			fmt.Fprintf(&b, " (containers: array=%d bitmap=%d run=%d)",
+				m.ContainersArray, m.ContainersBitmap, m.ContainersRun)
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "  universe: %s held vs %s all-dense\n",
+			fmtBytes(m.UniverseBytes), fmtBytes(m.UniverseDenseBytes))
 	}
 	return b.String()
 }

@@ -84,6 +84,14 @@ const (
 	CtrWorkerAllocBytesPrefix = "engine.worker_alloc_bytes.w"
 	CtrWorkerAllocObjsPrefix  = "engine.worker_allocs.w"
 
+	// CtrPoolHits / CtrPoolMisses count buffer acquisitions served by the
+	// run's engine.Pool from recycled storage vs freshly allocated — row
+	// vectors, partial-count matrices, FP-Growth conditional trees and
+	// scratches alike. The split depends on GC timing and worker
+	// interleaving, so it is measured (nondeterministic) telemetry.
+	CtrPoolHits   = "engine.pool_hits"
+	CtrPoolMisses = "engine.pool_misses"
+
 	// CtrPanicsRecovered counts panics recovered into errors by the
 	// failure-containment layer: engine.ParallelFor worker recoveries and
 	// the miners' serial-section recoveries. Zero in a healthy process.
@@ -149,6 +157,19 @@ const (
 	GaugeBudgetSoftDeadlineNS = "fpm.budget.soft_deadline_ns"
 	GaugeBudgetMaxHeapBytes   = "fpm.budget.max_heap_bytes"
 	GaugeBudgetHeapBytes      = "fpm.budget.heap_bytes"
+
+	// Universe memory gauges, set by core from fpm.Universe.Memory():
+	// per-item row-set representation counts (dense vectors vs compressed
+	// bitmaps), the compressed container mix, and the byte footprint
+	// against the all-dense equivalent. Deterministic for a given dataset
+	// and item set.
+	GaugeItemsDense         = "bitvec.items_dense"
+	GaugeItemsCompressed    = "bitvec.items_compressed"
+	GaugeContainersArray    = "bitvec.containers_array"
+	GaugeContainersBitmap   = "bitvec.containers_bitmap"
+	GaugeContainersRun      = "bitvec.containers_run"
+	GaugeUniverseBytes      = "bitvec.universe_bytes"
+	GaugeUniverseDenseBytes = "bitvec.universe_dense_bytes"
 
 	// GaugeCacheHit is set on a per-request tracer by the server: 1 when
 	// the universe cache satisfied the exploration, 0 on a miss. Absent on
@@ -224,4 +245,13 @@ var MetricHelp = map[string]string{
 	"fpm_budget_soft_deadline_ns":     "Configured soft mining deadline in nanoseconds (0 = none).",
 	"fpm_budget_max_heap_bytes":       "Configured heap budget of the last mining run (0 = unlimited).",
 	"fpm_budget_heap_bytes":           "Heap high-water mark observed by the mining budget tracker.",
+	"engine_pool_hits":                "Buffer acquisitions served from the run pool's recycled storage.",
+	"engine_pool_misses":              "Buffer acquisitions that allocated fresh storage.",
+	"bitvec_items_dense":              "Universe items kept as dense bit vectors.",
+	"bitvec_items_compressed":         "Universe items stored as compressed bitmaps.",
+	"bitvec_containers_array":         "Array containers across the universe's compressed bitmaps.",
+	"bitvec_containers_bitmap":        "Bitmap containers across the universe's compressed bitmaps.",
+	"bitvec_containers_run":           "Run containers across the universe's compressed bitmaps.",
+	"bitvec_universe_bytes":           "Row-set payload bytes actually held by the universe.",
+	"bitvec_universe_dense_bytes":     "Row-set payload bytes an all-dense universe would hold.",
 }

@@ -104,7 +104,9 @@ func Search(u *fpm.Universe, o *outcome.Outcome, opt Options) []Slice {
 	var found []Slice
 	level := make([]state, 0, len(u.Items))
 	for i := range u.Items {
-		level = append(level, state{items: []int{i}, rows: u.Rows[i]})
+		// Level 1 works on dense views: compressed universe items
+		// materialize a dense copy once, so refinement stays a plain AND.
+		level = append(level, state{items: []int{i}, rows: u.Rows[i].Dense()})
 	}
 	for len(level) > 0 {
 		var expandable []state
@@ -131,7 +133,7 @@ func Search(u *fpm.Universe, o *outcome.Outcome, opt Options) []Slice {
 				if sameAttr(u, st.items, j) {
 					continue
 				}
-				rows := st.rows.Clone().And(u.Rows[j])
+				rows := u.Rows[j].AndInto(st.rows, bitvec.New(u.NumRows))
 				if rows.Count() < opt.MinSize {
 					continue
 				}

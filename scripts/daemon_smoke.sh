@@ -93,8 +93,13 @@ fetch "http://localhost:$PORT/v1/explain/$ID" "$DIR/explain_profile.json"
 grep -q '"stages"' "$DIR/explain_profile.json"
 grep -q '"mining"' "$DIR/explain_profile.json"
 grep -q "\"$ID\"" "$DIR/explain_profile.json"
+grep -q '"memory"' "$DIR/explain_profile.json"
+grep -q '"pool_hits"' "$DIR/explain_profile.json"
+grep -q '"items_dense"' "$DIR/explain_profile.json"
+grep -q '"universe_bytes"' "$DIR/explain_profile.json"
 fetch "http://localhost:$PORT/v1/explain/$ID?format=text" "$DIR/explain_profile.txt"
 grep -q 'mining: candidates=' "$DIR/explain_profile.txt"
+grep -q 'memory: pool hits=' "$DIR/explain_profile.txt"
 
 # The always-on flight recorder has seen every request, including both
 # explorations above.
