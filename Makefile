@@ -7,6 +7,9 @@
 #   make smoke        1-iteration pipeline benches + CLI trace-JSON round trip
 #   make smoke-daemon live hdivexplorerd round trip: explore, /metrics,
 #                     /v1/progress, Chrome-trace export, debug listener
+#   make loadtest     sustained-load smoke: hdivloadgen drives a live
+#                     daemon with declared SLOs, writes BENCH_PR8_SLO.json
+#                     and diffs its p99 against the committed baseline
 #   make test-faults  fault-injection + budget + panic-containment suite
 #                     under the race detector
 
@@ -18,7 +21,7 @@ BENCHTIME ?= 1s
 BENCHOUT ?= BENCH_PR7.json
 BENCHBASE ?= BENCH_PR5.json
 
-.PHONY: check vet build test race bench benchdiff benchgate smoke smoke-daemon test-faults fmt
+.PHONY: check vet build test race bench benchdiff benchgate smoke smoke-daemon loadtest test-faults fmt
 
 check: vet build race test-faults smoke smoke-daemon
 
@@ -88,6 +91,16 @@ smoke:
 # CI upload.
 smoke-daemon:
 	./scripts/daemon_smoke.sh .smoke-daemon
+
+# loadtest runs the ~15s sustained-load smoke: a live daemon with
+# -slo p99=500ms,availability=99.0 takes seeded open-loop traffic from
+# cmd/hdivloadgen, the run's per-class latency quantiles land in
+# .loadtest/BENCH_PR8_SLO.json (uploaded by CI), the /v1/slo and
+# windowed-metrics surfaces are asserted live, and benchdiff warns
+# (never fails) when a class's p99 more than doubles against the
+# committed BENCH_PR8_SLO.json baseline.
+loadtest:
+	./scripts/loadtest.sh .loadtest
 
 fmt:
 	gofmt -l -w .

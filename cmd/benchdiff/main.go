@@ -1,54 +1,54 @@
-// Command benchdiff compares two benchjson artifacts and flags ns/op,
-// B/op and allocs/op regressions on the watched benchmarks:
+// Command benchdiff compares two benchfmt artifacts and flags metric
+// regressions on the watched benchmarks:
 //
 //	benchdiff -old BENCH_PR2.json -new BENCH_PR4.json
+//	benchdiff -old BENCH_PR8_SLO.json -new fresh.json \
+//	    -watch BenchmarkLoadGen -metrics p99-ns,err-rate
 //
 // For every benchmark present in both files it prints the new/old ratio
-// of each tracked metric. Watched benchmarks (-watch, a substring list
-// defaulting to the paper's tracked runtime artifacts BenchmarkTable3
-// and BenchmarkFigure2) whose ns/op ratio exceeds -threshold (default
-// 2.0), or whose B/op or allocs/op ratio exceeds -alloc-threshold
-// (default 2.0), emit a GitHub Actions `::warning::` annotation. By
-// default the comparison is advisory: the exit status is 0 whether or
-// not regressions are found, so CI surfaces the warning without failing
-// the build. With -strict, watched regressions exit nonzero and fail
-// the build — CI runs the allocation gate this way so B/op regressions
-// on the tracked artifacts cannot land silently. Unreadable or
-// unparseable inputs always exit nonzero; a missing -old baseline is
-// reported and skipped (exit 0) so fresh branches without an inherited
-// artifact still pass.
+// of each tracked metric (-metrics, defaulting to ns/op, B/op and
+// allocs/op; latency quantiles such as p99-ns from cmd/hdivloadgen
+// artifacts diff the same way). Watched benchmarks (-watch, a substring
+// list defaulting to the paper's tracked runtime artifacts
+// BenchmarkTable3 and BenchmarkFigure2) whose B/op or allocs/op ratio
+// exceeds -alloc-threshold (default 2.0), or whose ratio on any other
+// tracked metric exceeds -threshold (default 2.0), emit a GitHub Actions
+// `::warning::` annotation. By default the comparison is advisory: the
+// exit status is 0 whether or not regressions are found, so CI surfaces
+// the warning without failing the build. With -strict, watched
+// regressions exit nonzero and fail the build — CI runs the allocation
+// gate this way so B/op regressions on the tracked artifacts cannot land
+// silently. An artifact marked aborted (a load-generator run that was
+// interrupted) is compared but called out, since its numbers cover less
+// traffic than configured. Unreadable or unparseable inputs always exit
+// nonzero; a missing -old baseline is reported and skipped (exit 0) so
+// fresh branches without an inherited artifact still pass.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
+
+	"repro/internal/benchfmt"
 )
 
-// benchFile mirrors the cmd/benchjson output layout.
-type benchFile struct {
-	Benchmarks []struct {
-		Package string             `json:"package"`
-		Name    string             `json:"name"`
-		Metrics map[string]float64 `json:"metrics"`
-	} `json:"benchmarks"`
-}
+// defaultMetrics are the metrics compared when -metrics is not given.
+const defaultMetrics = "ns/op,B/op,allocs/op"
 
-// trackedMetrics are the metrics compared, in display order. ns/op is
-// the primary (a benchmark without it is skipped); the allocation
-// metrics are compared when both files carry them (benchmarks run with
-// -benchmem).
-var trackedMetrics = []string{"ns/op", "B/op", "allocs/op"}
+// allocMetric reports whether a metric is gated by -alloc-threshold
+// rather than -threshold.
+func allocMetric(m string) bool { return m == "B/op" || m == "allocs/op" }
 
 func main() {
 	oldPath := flag.String("old", "", "baseline benchjson file (required)")
 	newPath := flag.String("new", "", "candidate benchjson file (required)")
 	watch := flag.String("watch", "BenchmarkTable3,BenchmarkFigure2", "comma-separated benchmark name substrings that warn on regression")
-	threshold := flag.Float64("threshold", 2.0, "ns/op ratio (new/old) above which a watched benchmark warns")
+	metrics := flag.String("metrics", defaultMetrics, "comma-separated metrics to compare, in display order")
+	threshold := flag.Float64("threshold", 2.0, "ratio (new/old) above which a watched non-allocation metric warns")
 	allocThreshold := flag.Float64("alloc-threshold", 2.0, "B/op and allocs/op ratio (new/old) above which a watched benchmark warns")
 	strict := flag.Bool("strict", false, "exit nonzero when a watched benchmark regresses beyond its threshold")
 	flag.Parse()
@@ -56,7 +56,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
 		os.Exit(2)
 	}
-	regressions, err := run(os.Stdout, *oldPath, *newPath, strings.Split(*watch, ","), *threshold, *allocThreshold)
+	regressions, err := run(os.Stdout, *oldPath, *newPath,
+		splitList(*watch), splitList(*metrics), *threshold, *allocThreshold)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
@@ -66,38 +67,45 @@ func main() {
 	}
 }
 
-// load parses one benchjson artifact into a (package/name → metrics)
-// map, keeping only the tracked metrics. Sub-benchmarks keep their full
-// slash-separated names.
-func load(path string) (map[string]map[string]float64, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
 	}
-	var f benchFile
-	if err := json.Unmarshal(raw, &f); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+	return out
+}
+
+// load parses one benchfmt artifact into a (package/name → metrics) map,
+// keeping only the tracked metrics and skipping benchmarks that carry
+// none of them. Sub-benchmarks keep their full slash-separated names.
+// The second return is the artifact's aborted marker.
+func load(path string, metrics []string) (map[string]map[string]float64, bool, error) {
+	f, err := benchfmt.ReadFile(path)
+	if err != nil {
+		return nil, false, err
 	}
 	m := map[string]map[string]float64{}
 	for _, b := range f.Benchmarks {
-		if _, ok := b.Metrics["ns/op"]; !ok {
-			continue
-		}
 		kept := map[string]float64{}
-		for _, metric := range trackedMetrics {
+		for _, metric := range metrics {
 			if v, ok := b.Metrics[metric]; ok {
 				kept[metric] = v
 			}
 		}
-		m[b.Package+"/"+b.Name] = kept
+		if len(kept) > 0 {
+			m[b.Package+"/"+b.Name] = kept
+		}
 	}
-	return m, nil
+	return m, f.Aborted, nil
 }
 
 // run prints the comparison and returns the number of watched metrics
 // that regressed beyond their threshold.
-func run(w io.Writer, oldPath, newPath string, watch []string, threshold, allocThreshold float64) (int, error) {
-	oldM, err := load(oldPath)
+func run(w io.Writer, oldPath, newPath string, watch, metrics []string, threshold, allocThreshold float64) (int, error) {
+	oldM, oldAborted, err := load(oldPath, metrics)
 	if os.IsNotExist(err) {
 		// No inherited baseline (fresh branch): nothing to compare against.
 		fmt.Fprintf(w, "benchdiff: baseline %s not found, skipping comparison\n", oldPath)
@@ -106,14 +114,20 @@ func run(w io.Writer, oldPath, newPath string, watch []string, threshold, allocT
 	if err != nil {
 		return 0, err
 	}
-	newM, err := load(newPath)
+	newM, newAborted, err := load(newPath, metrics)
 	if err != nil {
 		return 0, err
+	}
+	if oldAborted {
+		fmt.Fprintf(w, "benchdiff: baseline %s is marked aborted (partial run); ratios are advisory\n", oldPath)
+	}
+	if newAborted {
+		fmt.Fprintf(w, "benchdiff: candidate %s is marked aborted (partial run); ratios are advisory\n", newPath)
 	}
 
 	watched := func(name string) bool {
 		for _, sub := range watch {
-			if sub = strings.TrimSpace(sub); sub != "" && strings.Contains(name, sub) {
+			if strings.Contains(name, sub) {
 				return true
 			}
 		}
@@ -135,7 +149,7 @@ func run(w io.Writer, oldPath, newPath string, watch []string, threshold, allocT
 	regressions := 0
 	fmt.Fprintf(w, "%-72s %14s %14s %8s\n", "benchmark", "old", "new", "ratio")
 	for _, name := range names {
-		for _, metric := range trackedMetrics {
+		for _, metric := range metrics {
 			o, okOld := oldM[name][metric]
 			n, okNew := newM[name][metric]
 			if !okOld || !okNew {
@@ -143,7 +157,7 @@ func run(w io.Writer, oldPath, newPath string, watch []string, threshold, allocT
 			}
 			ratio := n / o
 			bar := threshold
-			if metric != "ns/op" {
+			if allocMetric(metric) {
 				bar = allocThreshold
 			}
 			mark := ""
@@ -162,7 +176,7 @@ func run(w io.Writer, oldPath, newPath string, watch []string, threshold, allocT
 	if regressions > 0 {
 		fmt.Fprintf(w, "benchdiff: %d watched metric(s) regressed beyond their threshold\n", regressions)
 	} else {
-		fmt.Fprintf(w, "benchdiff: no watched regressions beyond %.1fx ns/op, %.1fx B/op and allocs/op\n", threshold, allocThreshold)
+		fmt.Fprintf(w, "benchdiff: no watched regressions beyond %.1fx (%.1fx for B/op and allocs/op)\n", threshold, allocThreshold)
 	}
 	return regressions, nil
 }

@@ -2,31 +2,34 @@ package main
 
 import (
 	"bytes"
-	"encoding/json"
-	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/benchfmt"
 )
 
-// writeBench writes a benchjson artifact with the given per-benchmark
+// defaults mirrors the -metrics default for tests exercising the classic
+// microbenchmark comparison.
+var defaults = splitList(defaultMetrics)
+
+// writeBench writes a benchfmt artifact with the given per-benchmark
 // metrics and returns its path.
 func writeBench(t *testing.T, name string, benches map[string]map[string]float64) string {
 	t.Helper()
-	var f benchFile
+	return writeBenchAborted(t, name, benches, false)
+}
+
+func writeBenchAborted(t *testing.T, name string, benches map[string]map[string]float64, aborted bool) string {
+	t.Helper()
+	f := benchfmt.Output{Aborted: aborted}
 	for bname, metrics := range benches {
-		f.Benchmarks = append(f.Benchmarks, struct {
-			Package string             `json:"package"`
-			Name    string             `json:"name"`
-			Metrics map[string]float64 `json:"metrics"`
-		}{Package: "repro", Name: bname, Metrics: metrics})
-	}
-	raw, err := json.Marshal(f)
-	if err != nil {
-		t.Fatal(err)
+		f.Benchmarks = append(f.Benchmarks, benchfmt.Benchmark{
+			Package: "repro", Name: bname, Metrics: metrics,
+		})
 	}
 	path := filepath.Join(t.TempDir(), name)
-	if err := os.WriteFile(path, raw, 0o644); err != nil {
+	if err := benchfmt.WriteFile(path, f); err != nil {
 		t.Fatal(err)
 	}
 	return path
@@ -46,7 +49,7 @@ func TestRunAllocRegression(t *testing.T) {
 		"BenchmarkUnrelated": {"ns/op": 1000, "B/op": 500},
 	})
 	var out bytes.Buffer
-	regs, err := run(&out, oldPath, newPath, []string{"BenchmarkTable3"}, 2.0, 2.0)
+	regs, err := run(&out, oldPath, newPath, []string{"BenchmarkTable3"}, defaults, 2.0, 2.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +90,7 @@ func TestRunNsOpRegressionThreshold(t *testing.T) {
 		"BenchmarkFigure2": {"ns/op": 350, "B/op": 120},
 	})
 	var out bytes.Buffer
-	regs, err := run(&out, oldPath, newPath, []string{"BenchmarkFigure2"}, 3.0, 1.1)
+	regs, err := run(&out, oldPath, newPath, []string{"BenchmarkFigure2"}, defaults, 3.0, 1.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +116,7 @@ func TestRunNoAllocMetrics(t *testing.T) {
 		"BenchmarkTable3": {"ns/op": 110},
 	})
 	var out bytes.Buffer
-	regs, err := run(&out, oldPath, newPath, []string{"BenchmarkTable3"}, 2.0, 2.0)
+	regs, err := run(&out, oldPath, newPath, []string{"BenchmarkTable3"}, defaults, 2.0, 2.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +139,7 @@ func TestRunMissingBaseline(t *testing.T) {
 		"BenchmarkTable3": {"ns/op": 100},
 	})
 	var out bytes.Buffer
-	regs, err := run(&out, filepath.Join(t.TempDir(), "absent.json"), newPath, nil, 2.0, 2.0)
+	regs, err := run(&out, filepath.Join(t.TempDir(), "absent.json"), newPath, nil, defaults, 2.0, 2.0)
 	if err != nil {
 		t.Fatalf("missing baseline must not fail: %v", err)
 	}
@@ -145,5 +148,39 @@ func TestRunMissingBaseline(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "skipping comparison") {
 		t.Errorf("skip not reported: %s", out.String())
+	}
+}
+
+// TestRunCustomMetrics pins the load-generator comparison path: latency
+// quantiles tracked via -metrics diff like any other metric (gated by
+// -threshold, not -alloc-threshold), benchmarks without any tracked
+// metric are skipped, and an aborted candidate artifact is called out.
+func TestRunCustomMetrics(t *testing.T) {
+	oldPath := writeBench(t, "old.json", map[string]map[string]float64{
+		"BenchmarkLoadGen/explore": {"p99-ns": 1e6, "err-rate": 0.01, "ns/op": 5e5},
+		"BenchmarkTable3":          {"ns/op": 100}, // no p99-ns: skipped
+	})
+	newPath := writeBenchAborted(t, "new.json", map[string]map[string]float64{
+		"BenchmarkLoadGen/explore": {"p99-ns": 2.5e6, "err-rate": 0.01, "ns/op": 5e5},
+		"BenchmarkTable3":          {"ns/op": 400},
+	}, true)
+	var out bytes.Buffer
+	regs, err := run(&out, oldPath, newPath, []string{"BenchmarkLoadGen"},
+		[]string{"p99-ns", "err-rate"}, 2.0, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs != 1 {
+		t.Errorf("run returned %d regressions, want 1 (p99-ns 2.5x)", regs)
+	}
+	s := out.String()
+	if !strings.Contains(s, "BenchmarkLoadGen/explore p99-ns grew 2.50x") {
+		t.Errorf("p99 regression not flagged:\n%s", s)
+	}
+	if strings.Contains(s, "BenchmarkTable3") {
+		t.Errorf("benchmark without tracked metrics compared anyway:\n%s", s)
+	}
+	if !strings.Contains(s, "marked aborted") {
+		t.Errorf("aborted candidate not called out:\n%s", s)
 	}
 }

@@ -7,44 +7,25 @@
 // Every benchmark line becomes one record carrying the package (tracked
 // from the `pkg:` header lines), the benchmark name, the iteration count
 // and every reported metric — the standard ns/op, B/op and allocs/op as
-// well as custom b.ReportMetric units such as candidates/op. The command
-// exits nonzero when the stream contains a FAIL line or no benchmark
-// lines at all, so a failing `go test` still fails the make target even
-// through the pipe.
+// well as custom b.ReportMetric units such as candidates/op. The file
+// layout is the shared internal/benchfmt schema, the same one
+// cmd/hdivloadgen writes and cmd/benchdiff reads. The command exits
+// nonzero when the stream contains a FAIL line or no benchmark lines at
+// all, so a failing `go test` still fails the make target even through
+// the pipe.
 package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/benchfmt"
 )
-
-// Benchmark is one parsed benchmark result line.
-type Benchmark struct {
-	// Package is the import path from the preceding `pkg:` header.
-	Package string `json:"package"`
-	// Name is the benchmark name, including the -P GOMAXPROCS suffix.
-	Name string `json:"name"`
-	// Iterations is b.N for the reported run.
-	Iterations int64 `json:"iterations"`
-	// Metrics maps each reported unit (ns/op, B/op, allocs/op,
-	// custom units) to its value.
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// Output is the file layout written by -out.
-type Output struct {
-	// Goos, Goarch and Pkg context lines from the benchmark header.
-	Goos   string `json:"goos,omitempty"`
-	Goarch string `json:"goarch,omitempty"`
-	// Benchmarks lists every parsed result in input order.
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
 
 func main() {
 	out := flag.String("out", "", "JSON output file (required)")
@@ -62,7 +43,7 @@ func main() {
 // run copies benchmark output from r to echo while parsing it, then
 // writes the JSON summary to outPath.
 func run(r io.Reader, echo io.Writer, outPath string) error {
-	var res Output
+	var res benchfmt.Output
 	pkg := ""
 	failed := false
 	sc := bufio.NewScanner(r)
@@ -94,24 +75,20 @@ func run(r io.Reader, echo io.Writer, outPath string) error {
 	if len(res.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found")
 	}
-	raw, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(outPath, append(raw, '\n'), 0o644)
+	return benchfmt.WriteFile(outPath, res)
 }
 
 // parseLine parses one `BenchmarkName-P  N  v1 u1  v2 u2 ...` line.
-func parseLine(pkg, line string) (Benchmark, bool) {
+func parseLine(pkg, line string) (benchfmt.Benchmark, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || len(fields)%2 != 0 {
-		return Benchmark{}, false
+		return benchfmt.Benchmark{}, false
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return Benchmark{}, false
+		return benchfmt.Benchmark{}, false
 	}
-	b := Benchmark{
+	b := benchfmt.Benchmark{
 		Package:    pkg,
 		Name:       fields[0],
 		Iterations: iters,
@@ -120,7 +97,7 @@ func parseLine(pkg, line string) (Benchmark, bool) {
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return Benchmark{}, false
+			return benchfmt.Benchmark{}, false
 		}
 		b.Metrics[fields[i+1]] = v
 	}

@@ -1,12 +1,12 @@
 package main
 
 import (
-	"encoding/json"
 	"io"
-	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/benchfmt"
 )
 
 const sample = `goos: linux
@@ -30,12 +30,8 @@ func TestRunParsesBenchOutput(t *testing.T) {
 	if echo.String() != sample {
 		t.Error("input not echoed through verbatim")
 	}
-	raw, err := os.ReadFile(out)
+	got, err := benchfmt.ReadFile(out)
 	if err != nil {
-		t.Fatal(err)
-	}
-	var got Output
-	if err := json.Unmarshal(raw, &got); err != nil {
 		t.Fatal(err)
 	}
 	if got.Goos != "linux" || got.Goarch != "amd64" {

@@ -27,6 +27,14 @@
 // explain) for post-hoc debugging, -slow-requests how many such
 // captures are kept.
 //
+// -slo declares service-level objectives (e.g.
+// -slo p99=250ms,availability=99.9): GET /v1/slo then reports each
+// endpoint class's error-budget burn rate over sliding short/long
+// windows, and /metrics grows windowed server_window_* and server_slo_*
+// gauge families. With -slow-threshold left at its automatic default the
+// flight recorder's slow bar follows the tightest -slo latency target,
+// so every objective-violating request keeps its full trace.
+//
 // The listener comes up immediately; GET /readyz answers 503 while the
 // datasets load, 200 once the daemon can take traffic, and 503 again
 // while a SIGINT/SIGTERM-triggered graceful shutdown drains in-flight
@@ -107,6 +115,7 @@ type daemonConfig struct {
 	traceRing     int
 	slowThreshold time.Duration
 	slowRequests  int
+	slo           server.SLOConfig
 
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
@@ -130,8 +139,9 @@ func main() {
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 
 		traceRing     = flag.Int("trace-ring", server.DefaultTraceRing, "completed requests whose trace/explain/flight record stay queryable (clamped to 4096)")
-		slowThreshold = flag.Duration("slow-threshold", time.Second, "latency over which a request's full trace and explain profile are retained (negative = off)")
+		slowThreshold = flag.Duration("slow-threshold", 0, "latency over which a request's full trace and explain profile are retained (0 = auto: the tightest -slo latency target, else 1s; negative = off)")
 		slowRequests  = flag.Int("slow-requests", 8, "how many slow requests to retain, competing by latency")
+		sloSpec       = flag.String("slo", "", "service-level objectives as key=value pairs, e.g. p99=250ms,availability=99.9,short=10s,long=60s; GET /v1/slo reports windowed burn rates against them")
 
 		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "http.Server.ReadHeaderTimeout: slow-header (Slowloris) guard")
 		readTimeout       = flag.Duration("read-timeout", time.Minute, "http.Server.ReadTimeout: full request read bound (0 = none)")
@@ -145,11 +155,17 @@ func main() {
 	)
 	flag.Var(&datasets, "dataset", "dataset to serve as name=path.csv (repeatable, required)")
 	flag.Parse()
+	slo, err := server.ParseSLO(*sloSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdivexplorerd:", err)
+		os.Exit(2)
+	}
 	cfg := daemonConfig{
 		datasets: datasets, addr: *addr, debugAddr: *debugAddr,
 		inflight: *inflight, cacheMax: *cacheMax,
 		timeout: *timeout, drain: *drain, logJSON: *logJSON,
 		traceRing: *traceRing, slowThreshold: *slowThreshold, slowRequests: *slowRequests,
+		slo: slo,
 		budget: fpm.Budget{
 			MaxCandidates: *budgetCandidates,
 			MaxItemsets:   *budgetItemsets,
@@ -249,6 +265,7 @@ func run(cfg daemonConfig) error {
 			TraceRing:      cfg.traceRing,
 			SlowThreshold:  cfg.slowThreshold,
 			SlowRequests:   cfg.slowRequests,
+			SLO:            cfg.slo,
 			Logger:         logger,
 		})
 		if err != nil {

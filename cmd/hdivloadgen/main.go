@@ -1,0 +1,514 @@
+// Command hdivloadgen drives a running hdivexplorerd with a sustained,
+// seeded traffic mix and writes the measured latency quantiles as a
+// benchfmt artifact, so service-level latency diffs across PRs with the
+// same tooling as a microbenchmark:
+//
+//	hdivexplorerd -addr :8080 -dataset anomaly=anomaly.csv -slo p99=250ms &
+//	hdivloadgen -addr http://localhost:8080 -dataset anomaly \
+//	    -actual y -predicted p -duration 15s -rps 50 -out BENCH_PR8_SLO.json
+//	benchdiff -old BENCH_PR8_SLO.json -new fresh.json \
+//	    -watch BenchmarkLoadGen -metrics p99-ns
+//
+// The mix (-mix explore=6,batch=1,progress=2,metrics=1) weights four
+// request classes: POST /v1/explore, POST /v1/explore/batch,
+// GET /v1/progress and GET /metrics. The class sequence is drawn from
+// seeded PRNGs (-seed), so two runs against the same server issue the
+// same requests in the same order per worker — the traffic is
+// reproducible even though the measured latencies are not.
+//
+// With -rps > 0 the generator runs open loop: arrivals are paced at the
+// target rate regardless of how fast the server answers, so queueing
+// delay shows up in the measured latencies instead of being absorbed by
+// back-pressure (coordinated omission). With -rps 0 it runs closed loop:
+// -concurrency workers each keep exactly one request in flight.
+//
+// Requests completing inside the -warmup window are counted but not
+// measured. Per class the artifact records mean latency (ns/op), the
+// p50/p95/p99/p999 latency quantiles (p50-ns..p999-ns, exact sorted-rank
+// quantiles over the captured samples, not bucket estimates), achieved
+// rps, and the err-rate / http429-rate / truncated-rate fractions, under
+// the names BenchmarkLoadGen/<class> plus a BenchmarkLoadGen aggregate.
+//
+// On SIGINT, or when the server becomes unreachable (consecutive
+// transport errors), the run aborts gracefully: the partial results are
+// flushed with the artifact's "aborted" marker set and the exit status
+// is nonzero, so CI treats the numbers as advisory rather than silently
+// comparing a short run.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+// classes is the fixed request-class order: mix parsing, reporting and
+// the aggregate all follow it.
+var classes = []string{"explore", "batch", "progress", "metrics"}
+
+// lgConfig holds one generator run's parameters.
+type lgConfig struct {
+	addr        string
+	duration    time.Duration
+	warmup      time.Duration
+	rps         float64 // 0 = closed loop
+	concurrency int
+	seed        int64
+	mix         string
+	dataset     string
+	stat        string
+	actual      string
+	predicted   string
+	top         int
+	timeout     time.Duration
+	out         string
+
+	// maxConsecutiveErrors aborts the run when this many transport errors
+	// arrive back to back (server gone, not just slow).
+	maxConsecutiveErrors int
+	// readyTimeout bounds the initial /readyz poll.
+	readyTimeout time.Duration
+}
+
+func main() {
+	cfg := lgConfig{maxConsecutiveErrors: 25}
+	flag.StringVar(&cfg.addr, "addr", "http://localhost:8080", "base URL of the hdivexplorerd instance under load")
+	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "measured load duration (after warmup)")
+	flag.DurationVar(&cfg.warmup, "warmup", 2*time.Second, "initial window whose completions are not measured")
+	flag.Float64Var(&cfg.rps, "rps", 0, "open-loop target arrival rate in requests/second (0 = closed loop)")
+	flag.IntVar(&cfg.concurrency, "concurrency", 4, "closed-loop worker count (each keeps one request in flight)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "PRNG seed for the request-class sequence")
+	flag.StringVar(&cfg.mix, "mix", "explore=6,batch=1,progress=2,metrics=1", "request-class weights as class=weight pairs")
+	flag.StringVar(&cfg.dataset, "dataset", "", "dataset name the exploration requests target (required unless the mix has no explore/batch traffic)")
+	flag.StringVar(&cfg.stat, "stat", "error", "statistic for the exploration requests")
+	flag.StringVar(&cfg.actual, "actual", "", "actual label column for classification statistics")
+	flag.StringVar(&cfg.predicted, "predicted", "", "predicted label column for classification statistics")
+	flag.IntVar(&cfg.top, "top", 5, "top-k truncation the exploration requests ask for")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request client timeout")
+	flag.DurationVar(&cfg.readyTimeout, "ready-timeout", 10*time.Second, "how long to wait for the server's /readyz before aborting")
+	flag.StringVar(&cfg.out, "out", "BENCH_PR8_SLO.json", "benchfmt artifact to write")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	out, err := run(ctx, cfg, os.Stderr)
+	if werr := benchfmt.WriteFile(cfg.out, out); werr != nil && err == nil {
+		err = werr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdivloadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// parseMix parses "explore=6,batch=1,..." into per-class weights in
+// classes order. Omitted classes weigh 0; at least one weight must be
+// positive.
+func parseMix(s string) ([]float64, error) {
+	idx := map[string]int{}
+	for i, c := range classes {
+		idx[c] = i
+	}
+	w := make([]float64, len(classes))
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix: want class=weight, got %q", part)
+		}
+		i, known := idx[strings.TrimSpace(name)]
+		if !known {
+			return nil, fmt.Errorf("mix: unknown class %q (have %s)", name, strings.Join(classes, ", "))
+		}
+		var f float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(val), "%g", &f); err != nil || f < 0 {
+			return nil, fmt.Errorf("mix: weight for %s must be >= 0, got %q", name, val)
+		}
+		w[i] = f
+	}
+	total := 0.0
+	for _, f := range w {
+		total += f
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("mix: at least one class weight must be positive")
+	}
+	return w, nil
+}
+
+// pickClass draws one class index from the weights with the given PRNG.
+func pickClass(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// sample is one completed (post-warmup) request observation.
+type sample struct {
+	class     int
+	latency   time.Duration
+	status    int  // 0 on transport error
+	truncated bool // exploration answered with a truncated report
+}
+
+// collector accumulates samples and attempt counts across workers.
+type collector struct {
+	mu       sync.Mutex
+	samples  []sample
+	attempts [4]atomicCounts // indexed by class, len(classes) entries
+}
+
+type atomicCounts struct {
+	attempts  atomic.Int64 // all issued requests, warmup included
+	completed atomic.Int64 // post-warmup, answered (any status)
+	transport atomic.Int64 // post-warmup transport errors
+	http5xx   atomic.Int64
+	http429   atomic.Int64
+	truncated atomic.Int64
+}
+
+func (c *collector) record(s sample, measured bool) {
+	a := &c.attempts[s.class]
+	a.attempts.Add(1)
+	if !measured {
+		return
+	}
+	if s.status == 0 {
+		a.transport.Add(1)
+		return
+	}
+	a.completed.Add(1)
+	switch {
+	case s.status >= 500:
+		a.http5xx.Add(1)
+	case s.status == http.StatusTooManyRequests:
+		a.http429.Add(1)
+	}
+	if s.truncated {
+		a.truncated.Add(1)
+	}
+	c.mu.Lock()
+	c.samples = append(c.samples, s)
+	c.mu.Unlock()
+}
+
+// run executes one load-generation run and returns the artifact. The
+// artifact is returned even on error (Aborted set), so main can flush
+// the partial results before exiting nonzero.
+func run(ctx context.Context, cfg lgConfig, logw io.Writer) (benchfmt.Output, error) {
+	out := benchfmt.Output{Goos: runtime.GOOS, Goarch: runtime.GOARCH}
+	weights, err := parseMix(cfg.mix)
+	if err != nil {
+		out.Aborted = true
+		return out, err
+	}
+	if (weights[0] > 0 || weights[1] > 0) && cfg.dataset == "" {
+		out.Aborted = true
+		return out, fmt.Errorf("-dataset is required when the mix issues explore or batch traffic")
+	}
+	client := &http.Client{Timeout: cfg.timeout}
+	if err := awaitReady(ctx, client, cfg.addr, cfg.readyTimeout); err != nil {
+		out.Aborted = true
+		return out, err
+	}
+
+	// Abort path: a burst of consecutive transport errors means the server
+	// is gone; cancel the run and flush what we have.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var consecutive atomic.Int64
+	noteResult := func(transportErr bool) {
+		if !transportErr {
+			consecutive.Store(0)
+			return
+		}
+		if int(consecutive.Add(1)) >= cfg.maxConsecutiveErrors {
+			cancel()
+		}
+	}
+
+	col := &collector{}
+	start := time.Now()
+	warmupEnd := start.Add(cfg.warmup)
+	deadline := warmupEnd.Add(cfg.duration)
+	runCtx, timeUp := context.WithDeadline(ctx, deadline)
+	defer timeUp()
+
+	shoot := func(class int) {
+		s := cfg.issue(runCtx, client, class)
+		if s.status == 0 && runCtx.Err() != nil {
+			// The run ended mid-request: a context-cancelled transport error
+			// is shutdown mechanics, not a server failure.
+			return
+		}
+		col.record(s, time.Now().After(warmupEnd))
+		noteResult(s.status == 0)
+	}
+
+	var wg sync.WaitGroup
+	if cfg.rps > 0 {
+		// Open loop: one pacer draws the class sequence (deterministic for a
+		// given seed) and launches each arrival on schedule, in flight or not.
+		interval := time.Duration(float64(time.Second) / cfg.rps)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed))
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-tick.C:
+					class := pickClass(rng, weights)
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						shoot(class)
+					}()
+				}
+			}
+		}()
+	} else {
+		// Closed loop: each worker keeps one request in flight, drawing its
+		// own deterministic class sequence from seed+worker.
+		for w := 0; w < cfg.concurrency; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+				for runCtx.Err() == nil {
+					shoot(pickClass(rng, weights))
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(warmupEnd)
+	if elapsed > cfg.duration {
+		elapsed = cfg.duration
+	}
+	if elapsed < 0 {
+		elapsed = 0 // aborted inside the warmup window
+	}
+
+	aborted := ctx.Err() != nil // parent cancelled: SIGINT or unreachable
+	out.Aborted = aborted
+	out.Benchmarks = summarize(col, elapsed)
+	if aborted {
+		fmt.Fprintf(logw, "hdivloadgen: run aborted after %v; flushing partial results\n", time.Since(start).Round(time.Millisecond))
+		return out, fmt.Errorf("aborted: interrupted or server unreachable (%d consecutive transport errors)", consecutive.Load())
+	}
+	return out, nil
+}
+
+// awaitReady polls GET /readyz until the server answers 200.
+func awaitReady(ctx context.Context, client *http.Client, addr string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	url := strings.TrimSuffix(addr, "/") + "/readyz"
+	for {
+		req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server at %s not ready within %v", addr, timeout)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// issue performs one request of the given class and measures it.
+func (cfg lgConfig) issue(ctx context.Context, client *http.Client, class int) sample {
+	var (
+		req *http.Request
+		err error
+	)
+	base := strings.TrimSuffix(cfg.addr, "/")
+	switch classes[class] {
+	case "explore", "batch":
+		body := map[string]any{
+			"dataset": cfg.dataset, "top": cfg.top,
+		}
+		if cfg.actual != "" {
+			body["actual"] = cfg.actual
+		}
+		if cfg.predicted != "" {
+			body["predicted"] = cfg.predicted
+		}
+		url := base + "/v1/explore"
+		if classes[class] == "batch" {
+			url += "/batch"
+			body["stats"] = []string{cfg.stat}
+		} else {
+			body["stat"] = cfg.stat
+		}
+		raw, _ := json.Marshal(body)
+		req, err = http.NewRequestWithContext(ctx, "POST", url, bytes.NewReader(raw))
+	case "progress":
+		req, err = http.NewRequestWithContext(ctx, "GET", base+"/v1/progress", nil)
+	case "metrics":
+		req, err = http.NewRequestWithContext(ctx, "GET", base+"/metrics", nil)
+	}
+	if err != nil {
+		return sample{class: class}
+	}
+	start := time.Now()
+	resp, doErr := client.Do(req)
+	if doErr != nil {
+		return sample{class: class, latency: time.Since(start)}
+	}
+	s := sample{class: class, status: resp.StatusCode}
+	// Latency covers the full body read: a reply is not served until the
+	// report has actually arrived.
+	if classes[class] == "explore" && resp.StatusCode == http.StatusOK {
+		var rep struct {
+			Truncated bool `json:"truncated"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&rep) == nil {
+			s.truncated = rep.Truncated
+		}
+	} else if classes[class] == "batch" && resp.StatusCode == http.StatusOK {
+		var reps []struct {
+			Report struct {
+				Truncated bool `json:"truncated"`
+			} `json:"report"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&reps) == nil {
+			for _, r := range reps {
+				s.truncated = s.truncated || r.Report.Truncated
+			}
+		}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	s.latency = time.Since(start)
+	return s
+}
+
+// quantile returns the exact rank-based quantile of a sorted sample set:
+// the smallest observation such that at least ceil(q*n) samples are at
+// or below it (the same rank convention as obs.HistogramRecord.Quantile,
+// without the bucket rounding).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// summarize reduces the collected samples to per-class benchmark records
+// plus the cross-class aggregate.
+func summarize(col *collector, elapsed time.Duration) []benchfmt.Benchmark {
+	perClass := make([][]time.Duration, len(classes))
+	col.mu.Lock()
+	for _, s := range col.samples {
+		perClass[s.class] = append(perClass[s.class], s.latency)
+	}
+	col.mu.Unlock()
+
+	var out []benchfmt.Benchmark
+	var agg []time.Duration
+	var aggCounts atomicCounts
+	for i, name := range classes {
+		lats := perClass[i]
+		a := &col.attempts[i]
+		if a.completed.Load()+a.transport.Load() == 0 {
+			continue // class not in the mix (or nothing measured)
+		}
+		agg = append(agg, lats...)
+		aggCounts.completed.Add(a.completed.Load())
+		aggCounts.transport.Add(a.transport.Load())
+		aggCounts.http5xx.Add(a.http5xx.Load())
+		aggCounts.http429.Add(a.http429.Load())
+		aggCounts.truncated.Add(a.truncated.Load())
+		out = append(out, classBenchmark("BenchmarkLoadGen/"+name, lats, a, elapsed))
+	}
+	out = append(out, classBenchmark("BenchmarkLoadGen", agg, &aggCounts, elapsed))
+	return out
+}
+
+func classBenchmark(name string, lats []time.Duration, a *atomicCounts, elapsed time.Duration) benchfmt.Benchmark {
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	completed := a.completed.Load()
+	measured := completed + a.transport.Load()
+	m := map[string]float64{
+		"err-rate":       0,
+		"http429-rate":   0,
+		"truncated-rate": 0,
+	}
+	if measured > 0 {
+		m["err-rate"] = float64(a.http5xx.Load()+a.transport.Load()) / float64(measured)
+		m["http429-rate"] = float64(a.http429.Load()) / float64(measured)
+	}
+	if completed > 0 {
+		m["truncated-rate"] = float64(a.truncated.Load()) / float64(completed)
+	}
+	if elapsed > 0 {
+		m["rps"] = float64(completed) / elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		var sum time.Duration
+		for _, d := range lats {
+			sum += d
+		}
+		m["ns/op"] = float64(sum.Nanoseconds()) / float64(len(lats))
+		m["p50-ns"] = float64(quantile(lats, 0.50).Nanoseconds())
+		m["p95-ns"] = float64(quantile(lats, 0.95).Nanoseconds())
+		m["p99-ns"] = float64(quantile(lats, 0.99).Nanoseconds())
+		m["p999-ns"] = float64(quantile(lats, 0.999).Nanoseconds())
+	}
+	return benchfmt.Benchmark{
+		Package:    "repro/cmd/hdivloadgen",
+		Name:       name,
+		Iterations: completed,
+		Metrics:    m,
+	}
+}

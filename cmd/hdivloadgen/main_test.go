@@ -1,0 +1,311 @@
+package main
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+func TestParseMix(t *testing.T) {
+	w, err := parseMix("explore=6,batch=1,progress=2,metrics=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 6 || w[1] != 1 || w[2] != 2 || w[3] != 1 {
+		t.Errorf("weights = %v", w)
+	}
+	w, err = parseMix("metrics=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 0 || w[3] != 1 {
+		t.Errorf("sparse mix = %v, want only metrics weighted", w)
+	}
+	for _, bad := range []string{"explore", "unknown=1", "explore=-1", "explore=0,batch=0", ""} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestPickClassDeterministic pins the seeded request sequence: the same
+// seed draws the same classes in the same order, and zero-weight classes
+// never appear.
+func TestPickClassDeterministic(t *testing.T) {
+	weights := []float64{6, 0, 2, 1}
+	draw := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]int, 200)
+		for i := range out {
+			out[i] = pickClass(rng, weights)
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequence diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] == 1 {
+			t.Fatalf("zero-weight class drawn at %d", i)
+		}
+	}
+	if c := draw(43); equalInts(a, c) {
+		t.Error("different seeds drew identical 200-class sequences")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuantile(t *testing.T) {
+	var lats []time.Duration
+	for i := 1; i <= 100; i++ {
+		lats = append(lats, time.Duration(i))
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 50}, {0.95, 95}, {0.99, 99}, {0.999, 100}, {1, 100}} {
+		if got := quantile(lats, tc.q); got != tc.want {
+			t.Errorf("quantile(%g) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile != 0")
+	}
+}
+
+// fakeDaemon serves just enough of the hdivexplorerd surface for the
+// generator: /readyz, /v1/explore (every 5th report truncated),
+// /v1/explore/batch, /v1/progress and /metrics.
+func fakeDaemon(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var explores atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("POST /v1/explore", func(w http.ResponseWriter, r *http.Request) {
+		n := explores.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		if n%5 == 0 {
+			io.WriteString(w, `{"truncated": true, "subgroups": []}`)
+			return
+		}
+		io.WriteString(w, `{"subgroups": []}`)
+	})
+	mux.HandleFunc("POST /v1/explore/batch", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `[{"stat": "error", "report": {"subgroups": []}}]`)
+	})
+	mux.HandleFunc("GET /v1/progress", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "[]\n")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "# TYPE server_explores counter\nserver_explores 1\n")
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &explores
+}
+
+func testConfig(addr string) lgConfig {
+	return lgConfig{
+		addr:                 addr,
+		duration:             300 * time.Millisecond,
+		warmup:               50 * time.Millisecond,
+		concurrency:          4,
+		seed:                 1,
+		mix:                  "explore=6,batch=1,progress=2,metrics=1",
+		dataset:              "anomaly",
+		stat:                 "error",
+		top:                  3,
+		timeout:              5 * time.Second,
+		readyTimeout:         2 * time.Second,
+		maxConsecutiveErrors: 5,
+	}
+}
+
+// TestRunClosedLoop drives the fake daemon closed loop and checks the
+// artifact: every mixed class reports, quantiles are ordered, the
+// aggregate rides along, and the truncation fraction shows up.
+func TestRunClosedLoop(t *testing.T) {
+	srv, _ := fakeDaemon(t)
+	out, err := run(context.Background(), testConfig(srv.URL), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Aborted {
+		t.Error("clean run marked aborted")
+	}
+	byName := map[string]benchfmt.Benchmark{}
+	for _, b := range out.Benchmarks {
+		byName[b.Name] = b
+	}
+	agg, ok := byName["BenchmarkLoadGen"]
+	if !ok {
+		t.Fatalf("no aggregate in %v", out.Benchmarks)
+	}
+	if agg.Iterations == 0 {
+		t.Fatal("aggregate completed no requests")
+	}
+	for _, name := range []string{"BenchmarkLoadGen/explore", "BenchmarkLoadGen/metrics"} {
+		b, ok := byName[name]
+		if !ok {
+			t.Errorf("missing %s", name)
+			continue
+		}
+		m := b.Metrics
+		if m["ns/op"] <= 0 || m["p50-ns"] <= 0 || m["rps"] <= 0 {
+			t.Errorf("%s metrics = %v", name, m)
+		}
+		if m["p50-ns"] > m["p95-ns"] || m["p95-ns"] > m["p99-ns"] || m["p99-ns"] > m["p999-ns"] {
+			t.Errorf("%s quantiles out of order: %v", name, m)
+		}
+		if m["err-rate"] != 0 || m["http429-rate"] != 0 {
+			t.Errorf("%s spurious errors: %v", name, m)
+		}
+	}
+	// Every 5th explore is truncated; with dozens of samples the rate must
+	// land near 0.2 (warmup skew allowed).
+	tr := byName["BenchmarkLoadGen/explore"].Metrics["truncated-rate"]
+	if tr <= 0.05 || tr >= 0.5 {
+		t.Errorf("truncated-rate = %g, want ~0.2", tr)
+	}
+}
+
+// TestRunOpenLoop checks paced arrivals: the completed count tracks the
+// target rate rather than the concurrency.
+func TestRunOpenLoop(t *testing.T) {
+	srv, _ := fakeDaemon(t)
+	cfg := testConfig(srv.URL)
+	cfg.rps = 100
+	cfg.warmup = 0
+	cfg.duration = 500 * time.Millisecond
+	out, err := run(context.Background(), cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var agg *benchfmt.Benchmark
+	for i := range out.Benchmarks {
+		if out.Benchmarks[i].Name == "BenchmarkLoadGen" {
+			agg = &out.Benchmarks[i]
+		}
+	}
+	if agg == nil {
+		t.Fatal("no aggregate")
+	}
+	// 100 rps over 500ms ≈ 50 arrivals; allow generous scheduling slack.
+	if agg.Iterations < 20 || agg.Iterations > 80 {
+		t.Errorf("open-loop completed %d requests, want ≈50", agg.Iterations)
+	}
+}
+
+// TestRunAbortsWhenUnreachable pins the graceful-abort contract for a
+// server that never comes up: nonzero error, artifact marked aborted.
+func TestRunAbortsWhenUnreachable(t *testing.T) {
+	cfg := testConfig("http://127.0.0.1:1")
+	cfg.readyTimeout = 300 * time.Millisecond
+	out, err := run(context.Background(), cfg, io.Discard)
+	if err == nil {
+		t.Fatal("unreachable server did not error")
+	}
+	if !out.Aborted {
+		t.Error("unreachable-server artifact not marked aborted")
+	}
+}
+
+// TestRunAbortsWhenServerVanishes kills the server mid-run and checks
+// the generator flushes partial results instead of spinning on errors
+// for the full duration.
+func TestRunAbortsWhenServerVanishes(t *testing.T) {
+	srv, _ := fakeDaemon(t)
+	cfg := testConfig(srv.URL)
+	cfg.warmup = 0
+	cfg.duration = 10 * time.Second
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		srv.CloseClientConnections()
+		srv.Close()
+	}()
+	start := time.Now()
+	out, err := run(context.Background(), cfg, io.Discard)
+	if err == nil {
+		t.Fatal("vanished server did not error")
+	}
+	if !out.Aborted {
+		t.Error("partial artifact not marked aborted")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("abort took %v, want well under the 10s duration", elapsed)
+	}
+	// The pre-crash traffic is still in the artifact.
+	var agg *benchfmt.Benchmark
+	for i := range out.Benchmarks {
+		if out.Benchmarks[i].Name == "BenchmarkLoadGen" {
+			agg = &out.Benchmarks[i]
+		}
+	}
+	if agg == nil || agg.Iterations == 0 {
+		t.Errorf("partial results lost: %+v", out.Benchmarks)
+	}
+}
+
+// TestRunAbortsOnInterrupt cancels the parent context (the SIGINT path)
+// and checks the same flush-partial contract.
+func TestRunAbortsOnInterrupt(t *testing.T) {
+	srv, _ := fakeDaemon(t)
+	cfg := testConfig(srv.URL)
+	cfg.warmup = 0
+	cfg.duration = 10 * time.Second
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	out, err := run(ctx, cfg, io.Discard)
+	if err == nil || !out.Aborted {
+		t.Fatalf("interrupt: err=%v aborted=%v", err, out.Aborted)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("interrupt abort took %v", elapsed)
+	}
+}
+
+// TestRunRequiresDataset checks the flag validation for exploration
+// traffic, and that a metrics-only mix needs none.
+func TestRunRequiresDataset(t *testing.T) {
+	srv, _ := fakeDaemon(t)
+	cfg := testConfig(srv.URL)
+	cfg.dataset = ""
+	if _, err := run(context.Background(), cfg, io.Discard); err == nil {
+		t.Error("explore mix without -dataset accepted")
+	}
+	cfg.mix = "metrics=1,progress=1"
+	cfg.duration = 100 * time.Millisecond
+	cfg.warmup = 0
+	out, err := run(context.Background(), cfg, io.Discard)
+	if err != nil {
+		t.Errorf("metrics-only mix without -dataset rejected: %v", err)
+	}
+	for _, b := range out.Benchmarks {
+		if b.Name == "BenchmarkLoadGen/explore" || b.Name == "BenchmarkLoadGen/batch" {
+			t.Errorf("unmixed class reported: %s", b.Name)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Package benchfmt is the shared schema of the repo's benchmark
+// artifacts (BENCH_*.json): cmd/benchjson writes it from `go test -bench`
+// output, cmd/hdivloadgen writes it from live load-generator runs, and
+// cmd/benchdiff reads two of them to flag regressions. Keeping the types
+// in one place means a latency quantile measured under sustained load
+// diffs across PRs with exactly the same tooling as a microbenchmark.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Benchmark is one measured result: a microbenchmark line or one
+// load-generator traffic class.
+type Benchmark struct {
+	// Package is the import path of the producer (the `pkg:` header for
+	// go-test benchmarks, the command path for generated results).
+	Package string `json:"package"`
+	// Name is the benchmark name, including any -P GOMAXPROCS suffix or
+	// /class sub-name.
+	Name string `json:"name"`
+	// Iterations is b.N for go-test results, the completed request count
+	// for load-generator classes.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps each reported unit to its value: the standard ns/op,
+	// B/op and allocs/op, custom b.ReportMetric units, and the
+	// load-generator's p50-ns/p95-ns/p99-ns/p999-ns, rps and *-rate
+	// series.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Output is the artifact file layout.
+type Output struct {
+	// Goos and Goarch are the context lines from the benchmark header.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	// Aborted marks a partial artifact: the producing run was interrupted
+	// (SIGINT, unreachable server) and flushed what it had. Numbers are
+	// real but cover less traffic than configured; regressions diffed
+	// against an aborted artifact are advisory at best.
+	Aborted bool `json:"aborted,omitempty"`
+	// Benchmarks lists every result in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// WriteFile writes the artifact as indented JSON with a trailing newline.
+func WriteFile(path string, out Output) error {
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// ReadFile parses an artifact previously written by WriteFile.
+func ReadFile(path string) (Output, error) {
+	var out Output
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return out, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}

@@ -188,10 +188,14 @@ type HistogramRecord struct {
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucketed
 // counts, attributing each bucket's mass to its upper bound — the same
-// upper-bound estimate Prometheus' histogram_quantile uses. Returns NaN
-// on an empty record.
+// upper-bound estimate Prometheus' histogram_quantile uses. A quantile
+// that lands in the +Inf overflow bucket clamps to the highest finite
+// bound (again matching histogram_quantile), so downstream SLO and
+// burn-rate arithmetic never sees an infinite latency; the clamp is an
+// underestimate, which choosing wide enough top buckets avoids. Returns
+// NaN on an empty record or on a record with no finite bounds.
 func (r HistogramRecord) Quantile(q float64) float64 {
-	if r.Count == 0 {
+	if r.Count == 0 || len(r.Bounds) == 0 {
 		return math.NaN()
 	}
 	rank := int64(math.Ceil(q * float64(r.Count)))
@@ -205,10 +209,10 @@ func (r HistogramRecord) Quantile(q float64) float64 {
 			if i < len(r.Bounds) {
 				return r.Bounds[i]
 			}
-			return math.Inf(+1)
+			break
 		}
 	}
-	return math.Inf(+1)
+	return r.Bounds[len(r.Bounds)-1]
 }
 
 // ExpBuckets returns n log-spaced bucket upper bounds starting at min and

@@ -34,8 +34,10 @@ func TestHistogramBuckets(t *testing.T) {
 	if q := rec.Quantile(0.5); q != 10 {
 		t.Errorf("p50 = %g, want 10 (upper-bound estimate)", q)
 	}
-	if q := rec.Quantile(1); !math.IsInf(q, +1) {
-		t.Errorf("p100 = %g, want +Inf", q)
+	// A quantile landing in the +Inf overflow bucket clamps to the highest
+	// finite bound so SLO math downstream stays finite.
+	if q := rec.Quantile(1); q != 100 {
+		t.Errorf("p100 = %g, want 100 (clamped to highest finite bound)", q)
 	}
 
 	var b strings.Builder
@@ -73,6 +75,20 @@ func TestHistogramNilAndEdge(t *testing.T) {
 	h2 := newHistogram([]float64{10, 1, 10, math.Inf(+1), 5})
 	if len(h2.bounds) != 3 || h2.bounds[0] != 1 || h2.bounds[1] != 5 || h2.bounds[2] != 10 {
 		t.Errorf("normalized bounds = %v", h2.bounds)
+	}
+
+	// Quantile edge cases: all mass in the overflow bucket still clamps to
+	// the highest finite bound; a record with no finite bounds at all (a
+	// count/sum-only histogram) has no meaningful quantile and answers NaN.
+	overflow := HistogramRecord{Bounds: []float64{1, 5}, Counts: []int64{0, 0, 7}, Count: 7}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := overflow.Quantile(q); got != 5 {
+			t.Errorf("overflow-only Quantile(%g) = %g, want 5", q, got)
+		}
+	}
+	unbounded := HistogramRecord{Counts: []int64{3}, Count: 3}
+	if got := unbounded.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("boundless Quantile = %g, want NaN", got)
 	}
 
 	if got := ExpBuckets(1, 2, 4); len(got) != 4 || got[3] != 8 {

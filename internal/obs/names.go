@@ -135,6 +135,15 @@ const (
 	// budget-truncated (best-effort) report.
 	CtrServerPanics    = "server.panics_recovered"
 	CtrServerTruncated = "server.explorations_truncated"
+
+	// SLO lifetime counters. CtrServerSLOBreachPrefix + endpoint class +
+	// "." + objective name (e.g. "explore.p99") counts requests that
+	// violated that latency objective over the process lifetime — the
+	// monotonic series behind the windowed burn-rate gauges.
+	// CtrServerSLOErrPrefix + endpoint class counts 5xx answers per class
+	// (the availability objective's lifetime breach count).
+	CtrServerSLOBreachPrefix = "server.slo_breaches."
+	CtrServerSLOErrPrefix    = "server.slo_errors."
 )
 
 // Canonical gauge names.
@@ -254,4 +263,14 @@ var MetricHelp = map[string]string{
 	"bitvec_containers_run":           "Run containers across the universe's compressed bitmaps.",
 	"bitvec_universe_bytes":           "Row-set payload bytes actually held by the universe.",
 	"bitvec_universe_dense_bytes":     "Row-set payload bytes an all-dense universe would hold.",
+
+	// Windowed serving-layer families, hand-rendered by the server's SLO
+	// engine on GET /metrics (labeled by endpoint class; the Trace
+	// exposition itself has no label support).
+	"server_window_latency_seconds": "Latency quantiles over the trailing long window, by endpoint class.",
+	"server_window_requests":        "Requests served over the trailing long window, by endpoint class.",
+	"server_window_errors":          "5xx answers over the trailing long window, by endpoint class.",
+	"server_window_rejected":        "429 rejections over the trailing long window, by endpoint class.",
+	"server_slo_burn_rate":          "Error-budget burn rate per objective and window (1.0 consumes the budget exactly at the allowed rate).",
+	"server_slo_budget_remaining":   "Unconsumed error-budget fraction over the long window, per objective.",
 }

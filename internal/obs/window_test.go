@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a test clock for Windowed: an atomically advanced instant.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (c *fakeClock) now() time.Time          { return time.Unix(0, c.ns.Load()) }
+func (c *fakeClock) advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+// TestWindowedBasicRotation pins the ring semantics with a fake clock:
+// observations live for exactly `epochs` epochs, the merge window slices
+// recency, and a full ring revolution forgets everything.
+func TestWindowedBasicRotation(t *testing.T) {
+	var clk fakeClock
+	w := NewWindowed([]float64{1, 10, 100}, time.Second, 4, clk.now)
+
+	w.Observe(5) // epoch 0
+	clk.advance(time.Second)
+	w.Observe(50) // epoch 1
+	w.Observe(50)
+	clk.advance(time.Second)
+	w.Observe(0.5) // epoch 2
+
+	if got := w.Merged(0).Count; got != 4 { // 0 = full ring
+		t.Errorf("full-window count = %d, want 4", got)
+	}
+	if got := w.Merged(1).Count; got != 1 {
+		t.Errorf("current-epoch count = %d, want 1", got)
+	}
+	if got := w.Merged(2).Count; got != 3 {
+		t.Errorf("2-epoch count = %d, want 3", got)
+	}
+	if got := w.CountWindow(2); got != 3 {
+		t.Errorf("CountWindow(2) = %d, want 3", got)
+	}
+	rec := w.Merged(4)
+	if q := rec.Quantile(0.5); q != 10 {
+		t.Errorf("windowed p50 = %g, want 10 (upper-bound estimate)", q)
+	}
+	if q := rec.Quantile(0.9); q != 100 {
+		t.Errorf("windowed p90 = %g, want 100", q)
+	}
+
+	// Four epochs later everything has aged out, without any Observe
+	// having to touch the stale slots.
+	clk.advance(4 * time.Second)
+	if got := w.Merged(0).Count; got != 0 {
+		t.Errorf("count after ring revolution = %d, want 0", got)
+	}
+
+	// Reuse after rotation: the slot of epoch 6 (same slot as epoch 2)
+	// resets before accumulating.
+	w.Observe(5)
+	if got, sum := w.Merged(1).Count, w.Merged(1).Sum; got != 1 || sum != 5 {
+		t.Errorf("post-rotation epoch = count %d sum %g, want 1 5", got, sum)
+	}
+}
+
+// TestWindowedNilAndCounter covers the nil contract and the bounds-less
+// windowed-counter degenerate form.
+func TestWindowedNilAndCounter(t *testing.T) {
+	var w *Windowed
+	w.Observe(1)
+	w.Add(3)
+	if w.Merged(1).Count != 0 || w.CountWindow(1) != 0 || w.Epochs() != 0 || w.EpochDuration() != 0 {
+		t.Error("nil Windowed holds data")
+	}
+
+	var clk fakeClock
+	c := NewWindowed(nil, time.Second, 8, clk.now)
+	c.Add(5)
+	c.Observe(2.5)
+	clk.advance(time.Second)
+	c.Add(2)
+	if got := c.CountWindow(2); got != 8 {
+		t.Errorf("windowed counter = %d, want 8", got)
+	}
+	if got := c.CountWindow(1); got != 2 {
+		t.Errorf("current-epoch counter = %d, want 2", got)
+	}
+	if sum := c.Merged(2).Sum; sum != 2.5 {
+		t.Errorf("counter sum = %g, want 2.5 (Add contributes no sum)", sum)
+	}
+	if !math.IsNaN(c.Merged(2).Quantile(0.5)) {
+		t.Error("bounds-less window should have NaN quantiles")
+	}
+
+	// Degenerate construction falls back to the documented defaults.
+	d := NewWindowed(nil, 0, 0, nil)
+	if d.Epochs() != 64 || d.EpochDuration() != time.Second {
+		t.Errorf("defaults = %d epochs × %v", d.Epochs(), d.EpochDuration())
+	}
+}
+
+// TestWindowedMergeMatchesReference is the property test: over randomized
+// observation streams with a randomly advancing fake clock, the merged
+// rotating-window record agrees bin-for-bin with a plain Histogram fed
+// exactly the in-window observations, and its quantiles agree with a
+// sort-based reference quantile (observations are drawn from the bucket
+// bounds so the upper-bound estimate is exact).
+func TestWindowedMergeMatchesReference(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8, 16, 32}
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var clk fakeClock
+		epochs := 2 + rng.Intn(7) // ring of 2..8 epochs
+		w := NewWindowed(bounds, time.Second, epochs, clk.now)
+
+		type obsAt struct {
+			epoch int64
+			v     float64
+		}
+		var stream []obsAt
+		for i := 0; i < 500; i++ {
+			if rng.Float64() < 0.3 {
+				clk.advance(time.Duration(rng.Int63n(int64(1500 * time.Millisecond))))
+			}
+			v := bounds[rng.Intn(len(bounds))]
+			w.Observe(v)
+			stream = append(stream, obsAt{clk.ns.Load() / int64(time.Second), v})
+		}
+
+		cur := clk.ns.Load() / int64(time.Second)
+		for window := 1; window <= epochs; window++ {
+			// Reference: a plain histogram (and a sorted slice) over exactly
+			// the observations whose epoch falls inside the window.
+			ref := newHistogram(bounds)
+			var vals []float64
+			for _, o := range stream {
+				if o.epoch > cur-int64(window) && o.epoch <= cur {
+					ref.Observe(o.v)
+					vals = append(vals, o.v)
+				}
+			}
+			want := ref.snapshot()
+			got := w.Merged(window)
+			if got.Count != want.Count || got.Sum != want.Sum {
+				t.Fatalf("trial %d window %d: count/sum = %d/%g, want %d/%g",
+					trial, window, got.Count, got.Sum, want.Count, want.Sum)
+			}
+			for i := range want.Counts {
+				if got.Counts[i] != want.Counts[i] {
+					t.Fatalf("trial %d window %d bin %d: %d, want %d (got %v want %v)",
+						trial, window, i, got.Counts[i], want.Counts[i], got.Counts, want.Counts)
+				}
+			}
+			if len(vals) == 0 {
+				continue
+			}
+			sort.Float64s(vals)
+			for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+				rank := int(math.Ceil(q * float64(len(vals))))
+				if rank < 1 {
+					rank = 1
+				}
+				if gq, wq := got.Quantile(q), vals[rank-1]; gq != wq {
+					t.Fatalf("trial %d window %d q=%g: windowed %g, sort-based %g",
+						trial, window, q, gq, wq)
+				}
+			}
+		}
+	}
+}
+
+// TestWindowedRaceStress hammers one Windowed from concurrent writers
+// while the clock advances fast enough to force slot rotation and
+// concurrent readers merge every window size; `make race` runs it under
+// the race detector. Total conservation is asserted where it is exact:
+// nothing is ever counted twice, and with the clock frozen afterwards the
+// final full-ring merge sees every observation recorded in the live ring
+// span.
+func TestWindowedRaceStress(t *testing.T) {
+	const writers, ops = 8, 5000
+	var clk fakeClock
+	w := NewWindowed([]float64{250, 500, 5000}, time.Second, 4, clk.now)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // rotator: advances the fake clock across ~3 epochs
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			clk.advance(100 * time.Millisecond)
+			time.Sleep(200 * time.Microsecond)
+		}
+		close(stop)
+	}()
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				w.Observe(float64(i % 7000))
+				if i%64 == 0 {
+					w.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() { // reader racing record and rotation
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for win := 1; win <= 4; win++ {
+				rec := w.Merged(win)
+				if rec.Count < 0 {
+					t.Error("negative merged count")
+				}
+				w.CountWindow(win)
+				rec.Quantile(0.99)
+			}
+		}
+	}()
+	wg.Wait()
+
+	// The clock advanced 3s total, so every epoch written (0..3) is still
+	// in the 4-slot ring: the full merge must conserve all observations.
+	const total = writers * (ops + (ops+63)/64)
+	if got := w.Merged(0).Count; got != total {
+		t.Errorf("final full-ring count = %d, want %d", got, total)
+	}
+}

@@ -64,9 +64,16 @@ type Config struct {
 	TraceRing int
 	// SlowThreshold is the flight recorder's slow-request latency bar:
 	// requests at least this slow keep their full trace and explain
-	// profile even after rotating out of the trace ring. 0 defaults to
-	// 1s; negative disables slow capture.
+	// profile even after rotating out of the trace ring. 0 is automatic:
+	// the tightest SLO latency target when one is declared, else 1s —
+	// so every objective-violating request is captured in full. Negative
+	// disables slow capture.
 	SlowThreshold time.Duration
+	// SLO declares the server's service-level objectives and measurement
+	// windows (see SLOConfig and ParseSLO). The windowed latency/error
+	// tracking behind GET /v1/slo and the server_window_* metric families
+	// runs whether or not objectives are declared.
+	SLO SLOConfig
 	// SlowRequests caps how many slow requests are retained (competing by
 	// latency). 0 defaults to 8.
 	SlowRequests int
@@ -90,6 +97,7 @@ type Server struct {
 	logger   *slog.Logger
 	requests *requestRegistry
 	flight   *flightRecorder
+	slo      *sloEngine
 	hLatency *obs.Histogram
 	tables   map[string]*dataset.Table
 	order    []string // dataset names in registration order
@@ -123,9 +131,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TraceRing > maxTraceRing {
 		cfg.TraceRing = maxTraceRing
 	}
+	if err := cfg.SLO.normalize(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	switch {
 	case cfg.SlowThreshold == 0:
-		cfg.SlowThreshold = time.Second
+		// Automatic: capture everything that violates the tightest latency
+		// objective; 1s when no SLO is declared.
+		if t := cfg.SLO.slowCaptureThreshold(); t > 0 {
+			cfg.SlowThreshold = t
+		} else {
+			cfg.SlowThreshold = time.Second
+		}
 	case cfg.SlowThreshold < 0:
 		cfg.SlowThreshold = 0 // disables slow capture
 	}
@@ -154,6 +171,7 @@ func New(cfg Config) (*Server, error) {
 		timeout:  cfg.RequestTimeout,
 		budget:   cfg.Budget,
 	}
+	s.slo = newSLOEngine(cfg.SLO, cfg.Tracer)
 	for _, d := range cfg.Datasets {
 		if d.Name == "" {
 			return nil, fmt.Errorf("server: dataset with empty name")
@@ -184,6 +202,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/explain/{id}", s.handleExplain)
 	s.mux.HandleFunc("GET /v1/debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	return s, nil
 }
 
@@ -196,7 +215,23 @@ func New(cfg Config) (*Server, error) {
 // handlers' own defers during unwinding, so a recovered panic leaks
 // nothing. http.ErrAbortHandler is re-raised: it is net/http's own
 // drop-the-connection idiom, not a failure.
+//
+// Every request is also attributed to its SLO endpoint class: status and
+// latency feed the engine's sliding windows behind GET /v1/slo and the
+// server_window_* metric families. The observation defer is registered
+// before the recovery defer, so (LIFO) recovery writes its 500 first and
+// the observation records the final status.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w}
+	w = rec
+	defer func() {
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing: implicit 200
+		}
+		s.slo.observe(endpointClass(r.URL.Path), status, time.Since(start))
+	}()
 	defer func() {
 		v := recover()
 		if v == nil {
@@ -273,6 +308,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if err := obs.WriteRuntimeMetrics(w, true); err != nil {
 			return
 		}
+		s.slo.writeMetrics(w)
 		fmt.Fprint(w, "# EOF\n")
 		return
 	}
@@ -281,6 +317,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	_ = obs.WriteRuntimeMetrics(w, false)
+	s.slo.writeMetrics(w)
 }
 
 // datasetInfo is one entry of the GET /v1/datasets reply.

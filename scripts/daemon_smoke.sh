@@ -23,7 +23,8 @@ go build -o "$DIR/hdivexplorerd" ./cmd/hdivexplorerd
 go build -o "$DIR/checktrace" ./cmd/checktrace
 
 "$DIR/hdivexplorerd" -addr "localhost:$PORT" -debug-addr "localhost:$DEBUG_PORT" \
-    -dataset "compas=$DIR/compas.csv" -log-json 2> "$DIR/daemon.log" &
+    -dataset "compas=$DIR/compas.csv" -slo p99=1s,availability=99.0 \
+    -log-json 2> "$DIR/daemon.log" &
 DPID=$!
 trap 'kill "$DPID" 2>/dev/null || true' EXIT
 
@@ -70,6 +71,19 @@ grep -q 'fpm_itemset_support_sum' "$DIR/metrics.txt"
 # The curated runtime/metrics families ride along on every scrape.
 grep -q '# TYPE go_mem_heap_objects_bytes gauge' "$DIR/metrics.txt"
 grep -q '# TYPE go_gc_pauses_seconds histogram' "$DIR/metrics.txt"
+# The SLO engine's windowed families carry the explorations just served.
+grep -q 'server_window_requests{endpoint="explore"}' "$DIR/metrics.txt"
+grep -q 'server_window_latency_seconds{endpoint="explore",quantile="0.99"}' "$DIR/metrics.txt"
+grep -q 'server_slo_burn_rate{endpoint="explore",objective="p99",window="long"}' "$DIR/metrics.txt"
+
+# GET /v1/slo reports windowed objective status in JSON and text.
+fetch "http://localhost:$PORT/v1/slo" "$DIR/slo.json"
+grep -q '"endpoint": "explore"' "$DIR/slo.json"
+grep -q '"name": "p99"' "$DIR/slo.json"
+grep -q '"name": "availability"' "$DIR/slo.json"
+grep -q '"burn_long"' "$DIR/slo.json"
+fetch "http://localhost:$PORT/v1/slo?format=text" "$DIR/slo.txt"
+grep -q '^slo: ' "$DIR/slo.txt"
 
 # The OpenMetrics negotiation adds _total counter suffixes, request-ID
 # exemplars on the latency buckets, and the # EOF terminator.

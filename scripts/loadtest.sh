@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Load-test smoke: start a real hdivexplorerd with declared SLOs, drive
+# it with cmd/hdivloadgen for a few seconds of seeded mixed traffic, and
+# check the whole service-level observability loop:
+#
+#   - the generator writes a benchfmt artifact (BENCH_PR8_SLO.json
+#     schema) with per-class latency quantiles, achieved rps and error
+#     rates;
+#   - GET /v1/slo reports windowed per-endpoint objective status with
+#     burn rates computed from the traffic just generated;
+#   - /metrics carries the windowed server_window_* / server_slo_*
+#     families;
+#   - benchdiff compares the fresh artifact against the committed
+#     baseline and warns (never fails) on >2x p99 regressions.
+#
+# Usage: scripts/loadtest.sh [workdir]    (default .loadtest)
+# Env: DURATION (default 8s), WARMUP (2s), RPS (40), PORT (18090).
+# The workdir is left in place so CI can upload the artifact.
+set -euo pipefail
+
+DIR=${1:-.loadtest}
+PORT=${PORT:-18090}
+DURATION=${DURATION:-8s}
+WARMUP=${WARMUP:-2s}
+RPS=${RPS:-40}
+BASELINE=${BASELINE:-BENCH_PR8_SLO.json}
+
+rm -rf "$DIR" && mkdir -p "$DIR"
+go run ./cmd/mkdata -dataset compas -n 2000 -out "$DIR"
+go build -o "$DIR/hdivexplorerd" ./cmd/hdivexplorerd
+go build -o "$DIR/hdivloadgen" ./cmd/hdivloadgen
+
+"$DIR/hdivexplorerd" -addr "localhost:$PORT" \
+    -dataset "compas=$DIR/compas.csv" \
+    -slo p99=500ms,availability=99.0,short=5s,long=30s \
+    -log-json 2> "$DIR/daemon.log" &
+DPID=$!
+trap 'kill "$DPID" 2>/dev/null || true' EXIT
+
+# The generator itself gates on /readyz, but fail fast if the daemon died.
+sleep 0.2
+if ! kill -0 "$DPID" 2>/dev/null; then
+    echo "daemon exited at startup:" >&2
+    cat "$DIR/daemon.log" >&2
+    exit 1
+fi
+
+# Seeded open-loop run: the request mix is reproducible across machines
+# even though the measured latencies are not.
+"$DIR/hdivloadgen" -addr "http://localhost:$PORT" \
+    -dataset compas -stat fpr -actual label -predicted prediction -top 3 \
+    -duration "$DURATION" -warmup "$WARMUP" -rps "$RPS" -seed 1 \
+    -mix 'explore=6,batch=1,progress=2,metrics=1' \
+    -out "$DIR/BENCH_PR8_SLO.json"
+
+# The artifact must carry the aggregate and the per-class quantiles.
+grep -q '"name": "BenchmarkLoadGen"' "$DIR/BENCH_PR8_SLO.json"
+grep -q '"name": "BenchmarkLoadGen/explore"' "$DIR/BENCH_PR8_SLO.json"
+grep -q '"p99-ns"' "$DIR/BENCH_PR8_SLO.json"
+grep -q '"rps"' "$DIR/BENCH_PR8_SLO.json"
+if grep -q '"aborted": true' "$DIR/BENCH_PR8_SLO.json"; then
+    echo "load generator aborted; see $DIR" >&2
+    exit 1
+fi
+
+# The SLO surface reports the traffic the generator just produced:
+# windowed request counts per endpoint class and per-objective burn.
+curl -fsS "http://localhost:$PORT/v1/slo" -o "$DIR/slo.json"
+grep -q '"endpoint": "explore"' "$DIR/slo.json"
+grep -q '"name": "p99"' "$DIR/slo.json"
+grep -q '"name": "availability"' "$DIR/slo.json"
+grep -q '"burn_long"' "$DIR/slo.json"
+grep -q '"budget_remaining"' "$DIR/slo.json"
+curl -fsS "http://localhost:$PORT/v1/slo?format=text" -o "$DIR/slo.txt"
+grep -q '^slo: ' "$DIR/slo.txt"
+
+# The windowed families ride on /metrics alongside the lifetime ones.
+curl -fsS "http://localhost:$PORT/metrics" -o "$DIR/metrics.txt"
+grep -q 'server_window_latency_seconds{endpoint="explore"' "$DIR/metrics.txt"
+grep -q 'server_slo_burn_rate{endpoint="explore",objective="p99"' "$DIR/metrics.txt"
+
+kill "$DPID"
+wait "$DPID" 2>/dev/null || true
+
+# Advisory latency-regression diff against the committed baseline:
+# >2x p99 growth on any load-generator class annotates the CI run.
+./scripts/benchdiff "$BASELINE" "$DIR/BENCH_PR8_SLO.json" \
+    -watch BenchmarkLoadGen -metrics p99-ns,err-rate
+
+echo "loadtest: ok"
