@@ -18,8 +18,8 @@ GO ?= go
 # passes 1x for a fast structural run. BENCHOUT is the JSON artifact;
 # BENCHBASE is the committed baseline benchdiff compares it against.
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_PR7.json
-BENCHBASE ?= BENCH_PR5.json
+BENCHOUT ?= BENCH_PR9.json
+BENCHBASE ?= BENCH_PR7.json
 
 .PHONY: check vet build test race bench benchdiff benchgate smoke smoke-daemon loadtest test-faults fmt
 

@@ -12,6 +12,15 @@
 //	    "actual": "recid", "predicted": "pred", "top": 10
 //	}'
 //
+// Datasets are live: POST /v1/datasets/{name}/rows appends a row batch,
+// atomically bumping the dataset's epoch. New explorations see the new
+// rows (the universe is grown incrementally when the appended batch's
+// quantile drift allows, re-discretized otherwise — tune with
+// -rediscretize-drift), in-flight and epoch-pinned explorations keep
+// their frozen snapshot, and a debounced background re-mine compares
+// subgroup t-values across epochs: GET /v1/drift/{name} lists subgroups
+// whose |t| crossed -drift-t since the last baseline.
+//
 // Endpoints: POST /v1/explore, POST /v1/explore/batch (several
 // statistics over one mining pass), GET /v1/datasets, GET /v1/progress,
 // GET /v1/progress/{id}, GET /v1/trace/{id}, GET /v1/explain/{id}
@@ -117,6 +126,10 @@ type daemonConfig struct {
 	slowRequests  int
 	slo           server.SLOConfig
 
+	rediscretizeDrift float64
+	driftT            float64
+	driftDebounce     time.Duration
+
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
 	writeTimeout      time.Duration
@@ -143,6 +156,10 @@ func main() {
 		slowRequests  = flag.Int("slow-requests", 8, "how many slow requests to retain, competing by latency")
 		sloSpec       = flag.String("slo", "", "service-level objectives as key=value pairs, e.g. p99=250ms,availability=99.9,short=10s,long=60s; GET /v1/slo reports windowed burn rates against them")
 
+		rediscretizeDrift = flag.Float64("rediscretize-drift", 0, "per-column Kolmogorov–Smirnov drift of an appended batch above which the universe is re-discretized instead of grown incrementally (0 = default 0.2; negative = always re-discretize)")
+		driftT            = flag.Float64("drift-t", 0, "|t| threshold for drift events after appends (0 = default 3; negative = disable the drift monitor)")
+		driftDebounce     = flag.Duration("drift-debounce", 0, "quiet period coalescing append bursts before the background drift re-mine (0 = default 2s)")
+
 		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "http.Server.ReadHeaderTimeout: slow-header (Slowloris) guard")
 		readTimeout       = flag.Duration("read-timeout", time.Minute, "http.Server.ReadTimeout: full request read bound (0 = none)")
 		writeTimeout      = flag.Duration("write-timeout", 2*time.Minute, "http.Server.WriteTimeout: response write bound; keep it above -timeout (0 = none)")
@@ -165,7 +182,10 @@ func main() {
 		inflight: *inflight, cacheMax: *cacheMax,
 		timeout: *timeout, drain: *drain, logJSON: *logJSON,
 		traceRing: *traceRing, slowThreshold: *slowThreshold, slowRequests: *slowRequests,
-		slo: slo,
+		slo:               slo,
+		rediscretizeDrift: *rediscretizeDrift,
+		driftT:            *driftT,
+		driftDebounce:     *driftDebounce,
 		budget: fpm.Budget{
 			MaxCandidates: *budgetCandidates,
 			MaxItemsets:   *budgetItemsets,
@@ -257,16 +277,19 @@ func run(cfg daemonConfig) error {
 	var explorer atomic.Pointer[server.Server]
 	go func() {
 		h, err := server.New(server.Config{
-			Datasets:       cfg.datasets,
-			MaxInFlight:    cfg.inflight,
-			RequestTimeout: cfg.timeout,
-			CacheMax:       cfg.cacheMax,
-			Budget:         cfg.budget,
-			TraceRing:      cfg.traceRing,
-			SlowThreshold:  cfg.slowThreshold,
-			SlowRequests:   cfg.slowRequests,
-			SLO:            cfg.slo,
-			Logger:         logger,
+			Datasets:          cfg.datasets,
+			MaxInFlight:       cfg.inflight,
+			RequestTimeout:    cfg.timeout,
+			CacheMax:          cfg.cacheMax,
+			Budget:            cfg.budget,
+			TraceRing:         cfg.traceRing,
+			SlowThreshold:     cfg.slowThreshold,
+			SlowRequests:      cfg.slowRequests,
+			SLO:               cfg.slo,
+			RediscretizeDrift: cfg.rediscretizeDrift,
+			DriftT:            cfg.driftT,
+			DriftDebounce:     cfg.driftDebounce,
+			Logger:            logger,
 		})
 		if err != nil {
 			loaded <- err

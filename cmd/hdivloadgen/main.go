@@ -9,12 +9,17 @@
 //	benchdiff -old BENCH_PR8_SLO.json -new fresh.json \
 //	    -watch BenchmarkLoadGen -metrics p99-ns
 //
-// The mix (-mix explore=6,batch=1,progress=2,metrics=1) weights four
-// request classes: POST /v1/explore, POST /v1/explore/batch,
-// GET /v1/progress and GET /metrics. The class sequence is drawn from
-// seeded PRNGs (-seed), so two runs against the same server issue the
-// same requests in the same order per worker — the traffic is
-// reproducible even though the measured latencies are not.
+// The mix (-mix explore=6,batch=1,progress=2,metrics=1,append=1)
+// weights five request classes: POST /v1/explore,
+// POST /v1/explore/batch, GET /v1/progress, GET /metrics and
+// POST /v1/datasets/{name}/rows (the append class, weight 0 unless
+// asked for: each request appends -append-rows synthesized rows inside
+// the dataset's observed column domains, bumping its epoch so the run
+// exercises live-dataset churn). The class sequence and every appended
+// batch are drawn from seeded PRNGs (-seed), so two runs against the
+// same server issue the same requests in the same order per worker —
+// the traffic is reproducible even though the measured latencies are
+// not.
 //
 // With -rps > 0 the generator runs open loop: arrivals are paced at the
 // target rate regardless of how fast the server answers, so queueing
@@ -61,7 +66,7 @@ import (
 
 // classes is the fixed request-class order: mix parsing, reporting and
 // the aggregate all follow it.
-var classes = []string{"explore", "batch", "progress", "metrics"}
+var classes = []string{"explore", "batch", "progress", "metrics", "append"}
 
 // lgConfig holds one generator run's parameters.
 type lgConfig struct {
@@ -77,8 +82,16 @@ type lgConfig struct {
 	actual      string
 	predicted   string
 	top         int
+	appendRows  int
 	timeout     time.Duration
 	out         string
+
+	// appendCols is the dataset's column domain, fetched from
+	// GET /v1/datasets when the mix issues append traffic; appendSeq
+	// numbers append requests so each one synthesizes a deterministic
+	// (seeded) row batch.
+	appendCols []appendCol
+	appendSeq  *atomic.Int64
 
 	// maxConsecutiveErrors aborts the run when this many transport errors
 	// arrive back to back (server gone, not just slow).
@@ -101,6 +114,7 @@ func main() {
 	flag.StringVar(&cfg.actual, "actual", "", "actual label column for classification statistics")
 	flag.StringVar(&cfg.predicted, "predicted", "", "predicted label column for classification statistics")
 	flag.IntVar(&cfg.top, "top", 5, "top-k truncation the exploration requests ask for")
+	flag.IntVar(&cfg.appendRows, "append-rows", 16, "rows per append-class request (POST /v1/datasets/{name}/rows)")
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request client timeout")
 	flag.DurationVar(&cfg.readyTimeout, "ready-timeout", 10*time.Second, "how long to wait for the server's /readyz before aborting")
 	flag.StringVar(&cfg.out, "out", "BENCH_PR8_SLO.json", "benchfmt artifact to write")
@@ -184,7 +198,7 @@ type sample struct {
 type collector struct {
 	mu       sync.Mutex
 	samples  []sample
-	attempts [4]atomicCounts // indexed by class, len(classes) entries
+	attempts [5]atomicCounts // indexed by class, len(classes) entries
 }
 
 type atomicCounts struct {
@@ -231,14 +245,24 @@ func run(ctx context.Context, cfg lgConfig, logw io.Writer) (benchfmt.Output, er
 		out.Aborted = true
 		return out, err
 	}
-	if (weights[0] > 0 || weights[1] > 0) && cfg.dataset == "" {
+	if (weights[0] > 0 || weights[1] > 0 || weights[4] > 0) && cfg.dataset == "" {
 		out.Aborted = true
-		return out, fmt.Errorf("-dataset is required when the mix issues explore or batch traffic")
+		return out, fmt.Errorf("-dataset is required when the mix issues explore, batch or append traffic")
 	}
 	client := &http.Client{Timeout: cfg.timeout}
 	if err := awaitReady(ctx, client, cfg.addr, cfg.readyTimeout); err != nil {
 		out.Aborted = true
 		return out, err
+	}
+	if weights[4] > 0 {
+		// The append class synthesizes rows inside the dataset's observed
+		// domain; fetch it once so every batch passes schema validation.
+		cfg.appendCols, err = fetchAppendCols(ctx, client, cfg.addr, cfg.dataset)
+		if err != nil {
+			out.Aborted = true
+			return out, err
+		}
+		cfg.appendSeq = &atomic.Int64{}
 	}
 
 	// Abort path: a burst of consecutive transport errors means the server
@@ -389,6 +413,9 @@ func (cfg lgConfig) issue(ctx context.Context, client *http.Client, class int) s
 		req, err = http.NewRequestWithContext(ctx, "GET", base+"/v1/progress", nil)
 	case "metrics":
 		req, err = http.NewRequestWithContext(ctx, "GET", base+"/metrics", nil)
+	case "append":
+		raw := synthesizeBatch(cfg.appendCols, cfg.appendRows, cfg.seed, cfg.appendSeq.Add(1))
+		req, err = http.NewRequestWithContext(ctx, "POST", base+"/v1/datasets/"+cfg.dataset+"/rows", bytes.NewReader(raw))
 	}
 	if err != nil {
 		return sample{class: class}
@@ -424,6 +451,95 @@ func (cfg lgConfig) issue(ctx context.Context, client *http.Client, class int) s
 	resp.Body.Close()
 	s.latency = time.Since(start)
 	return s
+}
+
+// appendCol is one column of the append class's synthesis domain.
+type appendCol struct {
+	name   string
+	levels []string // categorical: draw uniformly from these
+	lo, hi float64  // continuous: draw uniformly from [lo, hi]
+}
+
+// fetchAppendCols reads the dataset's column domains from
+// GET /v1/datasets.
+func fetchAppendCols(ctx context.Context, client *http.Client, addr, dataset string) ([]appendCol, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", strings.TrimSuffix(addr, "/")+"/v1/datasets", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fetching dataset schema: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetching dataset schema: status %d", resp.StatusCode)
+	}
+	var infos []struct {
+		Name    string `json:"name"`
+		Columns []struct {
+			Name   string   `json:"name"`
+			Kind   string   `json:"kind"`
+			Levels []string `json:"levels"`
+			Min    *float64 `json:"min"`
+			Max    *float64 `json:"max"`
+		} `json:"columns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, fmt.Errorf("decoding dataset schema: %w", err)
+	}
+	for _, info := range infos {
+		if info.Name != dataset {
+			continue
+		}
+		cols := make([]appendCol, 0, len(info.Columns))
+		for _, c := range info.Columns {
+			col := appendCol{name: c.Name, levels: c.Levels}
+			if c.Kind == "continuous" {
+				if c.Min != nil {
+					col.lo = *c.Min
+				}
+				col.hi = col.lo
+				if c.Max != nil {
+					col.hi = *c.Max
+				}
+			} else if len(c.Levels) == 0 {
+				return nil, fmt.Errorf("dataset %q: categorical column %q reports no levels", dataset, c.Name)
+			}
+			cols = append(cols, col)
+		}
+		return cols, nil
+	}
+	return nil, fmt.Errorf("dataset %q not served at %s", dataset, addr)
+}
+
+// synthesizeBatch builds the seq-th append body for the run: the batch
+// content is a pure function of (seed, seq), so two runs with the same
+// seed append the same rows in the same order — epoch churn is as
+// reproducible as the request-class sequence. Values stay inside each
+// column's observed domain, keeping the appended batch's quantile drift
+// low enough that the server usually takes the incremental
+// universe-maintenance path.
+func synthesizeBatch(cols []appendCol, rows int, seed, seq int64) []byte {
+	rng := rand.New(rand.NewSource(seed<<20 ^ seq))
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.name
+	}
+	all := make([][]any, rows)
+	for r := range all {
+		row := make([]any, len(cols))
+		for i, c := range cols {
+			if c.levels != nil {
+				row[i] = c.levels[rng.Intn(len(c.levels))]
+			} else {
+				row[i] = c.lo + rng.Float64()*(c.hi-c.lo)
+			}
+		}
+		all[r] = row
+	}
+	raw, _ := json.Marshal(map[string]any{"columns": names, "rows": all})
+	return raw
 }
 
 // quantile returns the exact rank-based quantile of a sorted sample set:

@@ -9,6 +9,11 @@
 // in different orders on purpose). The drift report shows exactly which
 // subgroups' behaviour moved and by how much.
 //
+// The daemon automates this loop for live datasets: rows appended via
+// POST /v1/datasets/{name}/rows trigger a debounced background re-mine,
+// and GET /v1/drift/{name} reports the subgroups whose significance
+// crossed the t-threshold between epochs (see README "Live datasets").
+//
 //	go run ./examples/monitoring
 package main
 

@@ -1,0 +1,201 @@
+package bitvec
+
+import "fmt"
+
+// Append primitives: grow a row set in place (dense) or copy-on-write
+// (compressed) by word-aligned tails, without repacking the frozen prefix.
+//
+// The tail convention is shared by every primitive here: a tail covers the
+// global word grid starting at word Len()/64 — the word containing the old
+// final bit. tail[0] therefore overlaps the old partial word; its bits below
+// Len()%64 must be clear (the frozen-prefix invariant: appends may only set
+// bits at indices ≥ Len()) and it is OR-merged into the existing word.
+// Subsequent tail words land verbatim. Bits at or beyond newLen are cleared.
+//
+// Determinism: encodeContainer derives a container's encoding from its bits
+// alone, so a compressed set grown by AppendWords is structurally identical
+// to Compress of the equivalent full dense vector — which is what keeps an
+// incrementally maintained universe byte-identical to a from-scratch build.
+
+// appendSpan validates a tail against the current length and returns the
+// start word of the tail and the new word count.
+func appendSpan(curLen, tailLen, newLen int) (startWord, newWords int) {
+	if newLen < curLen {
+		panic(fmt.Sprintf("bitvec: AppendWords shrinks %d -> %d", curLen, newLen))
+	}
+	startWord = curLen / wordBits
+	newWords = (newLen + wordBits - 1) / wordBits
+	if tailLen != newWords-startWord {
+		panic(fmt.Sprintf("bitvec: AppendWords tail has %d words, want %d", tailLen, newWords-startWord))
+	}
+	return startWord, newWords
+}
+
+// mustNotOverlapPrefix panics when the first tail word carries bits below
+// the frozen prefix boundary (bit offset r within the boundary word).
+func mustNotOverlapPrefix(first uint64, r int) {
+	if r != 0 && first&((uint64(1)<<uint(r))-1) != 0 {
+		panic("bitvec: AppendWords tail overlaps frozen prefix")
+	}
+}
+
+// AppendWords grows v in place to newLen bits by appending tail words
+// aligned to the global word grid starting at word Len()/64. See the file
+// comment for the tail convention. The tail slice is not retained.
+func (v *Vector) AppendWords(tail []uint64, newLen int) {
+	startWord, newWords := appendSpan(v.n, len(tail), newLen)
+	if len(tail) == 0 {
+		v.n = newLen
+		return
+	}
+	mustNotOverlapPrefix(tail[0], v.n%wordBits)
+	if v.n%wordBits != 0 {
+		v.words[startWord] |= tail[0]
+		tail = tail[1:]
+		startWord++
+	}
+	if cap(v.words) < newWords {
+		grown := make([]uint64, startWord, newWords)
+		copy(grown, v.words[:startWord])
+		v.words = grown
+	}
+	v.words = append(v.words[:startWord], tail...)
+	v.n = newLen
+	v.trim()
+}
+
+// AppendContainer grows v by exactly one container-aligned chunk: the
+// current length must sit on a container boundary and the chunk may cover at
+// most one container's words. It is AppendWords restricted to the container
+// grid, provided so dense and compressed sets expose the same two-level
+// append surface.
+func (v *Vector) AppendContainer(chunk []uint64, newLen int) {
+	if v.n%containerBits != 0 {
+		panic(fmt.Sprintf("bitvec: AppendContainer at non-aligned length %d", v.n))
+	}
+	if len(chunk) > containerWords {
+		panic(fmt.Sprintf("bitvec: AppendContainer chunk of %d words exceeds a container", len(chunk)))
+	}
+	v.AppendWords(chunk, newLen)
+}
+
+// writeWords decodes one container's bits into dst, which must hold the
+// container's words and arrive zeroed.
+func (ct *container) writeWords(dst []uint64) {
+	switch ct.kind {
+	case cBitmap:
+		copy(dst, ct.words)
+	case cArray:
+		for _, b := range ct.arr {
+			dst[int(b)/wordBits] |= 1 << uint(b%wordBits)
+		}
+	case cRun:
+		for _, r := range ct.runs {
+			rs, re := int(r.start), int(r.last)
+			w0, w1 := rs/wordBits, re/wordBits
+			for wi := w0; wi <= w1; wi++ {
+				m := ^uint64(0)
+				if wi == w0 {
+					m &= maskFrom(rs % wordBits)
+				}
+				if wi == w1 {
+					m &= maskUpTo(re % wordBits)
+				}
+				dst[wi] |= m
+			}
+		}
+	}
+}
+
+// AppendWords returns a compressed set grown to newLen bits by the tail
+// (same convention as Vector.AppendWords). The receiver is immutable and
+// unchanged: containers strictly before the boundary are shared with the
+// result, the boundary container is re-encoded from its merged bits, and
+// containers past it are encoded fresh — so the result is structurally
+// identical to Compress of the equivalent full dense vector.
+func (c *Compressed) AppendWords(tail []uint64, newLen int) *Compressed {
+	startWord, newWords := appendSpan(c.n, len(tail), newLen)
+	if len(tail) > 0 {
+		mustNotOverlapPrefix(tail[0], c.n%wordBits)
+	}
+	boundary := startWord / containerWords
+	if boundary > len(c.cs) {
+		boundary = len(c.cs)
+	}
+	out := &Compressed{n: newLen, cs: make([]container, boundary, (newWords+containerWords-1)/containerWords)}
+	copy(out.cs, c.cs[:boundary])
+	for i := range out.cs {
+		out.card += int(out.cs[i].card)
+	}
+	var chunk [containerWords]uint64
+	for ci := boundary; ci*containerWords < newWords; ci++ {
+		base := ci * containerWords
+		cw := newWords - base
+		if cw > containerWords {
+			cw = containerWords
+		}
+		buf := chunk[:cw]
+		for i := range buf {
+			buf[i] = 0
+		}
+		if ci < len(c.cs) {
+			c.cs[ci].writeWords(buf)
+		}
+		// Overlay the tail words falling in this container. Tail word j
+		// covers global word startWord+j.
+		lo := base
+		if lo < startWord {
+			lo = startWord
+		}
+		for w := lo; w < base+cw; w++ {
+			buf[w-base] |= tail[w-startWord]
+		}
+		// Clear bits at or beyond newLen in the final word.
+		if r := newLen % wordBits; r != 0 && base+cw == newWords {
+			buf[cw-1] &= (uint64(1) << uint(r)) - 1
+		}
+		ct := encodeContainer(buf)
+		out.card += int(ct.card)
+		out.cs = append(out.cs, ct)
+	}
+	return out
+}
+
+// AppendContainer returns a compressed set grown by exactly one
+// container-aligned chunk (current length on a container boundary, chunk at
+// most one container wide). The appended container is encoded from the
+// chunk's bits by the same smallest-encoding rule as Compress.
+func (c *Compressed) AppendContainer(chunk []uint64, newLen int) *Compressed {
+	if c.n%containerBits != 0 {
+		panic(fmt.Sprintf("bitvec: AppendContainer at non-aligned length %d", c.n))
+	}
+	if len(chunk) > containerWords {
+		panic(fmt.Sprintf("bitvec: AppendContainer chunk of %d words exceeds a container", len(chunk)))
+	}
+	return c.AppendWords(chunk, newLen)
+}
+
+// Grow returns a set covering newLen bits whose frozen prefix equals s and
+// whose tail bits come from tail (the AppendWords convention). s itself is
+// never mutated — dense sets are cloned, compressed ones grown copy-on-
+// write — so callers may share s with concurrent readers. The result's
+// representation is re-selected by the same density rule as Pack, making a
+// grown set indistinguishable from Pack of the equivalent dense vector.
+func Grow(s Set, tail []uint64, newLen int) Set {
+	switch v := s.(type) {
+	case *Vector:
+		g := New(newLen)
+		copy(g.words, v.words)
+		g.n = v.n
+		g.AppendWords(tail, newLen)
+		return Pack(g)
+	case *Compressed:
+		g := v.AppendWords(tail, newLen)
+		if float64(g.card) > DenseCutoff*float64(g.n) {
+			return g.Dense()
+		}
+		return g
+	default:
+		panic(fmt.Sprintf("bitvec: Grow of unknown Set %T", s))
+	}
+}

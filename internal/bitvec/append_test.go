@@ -1,0 +1,151 @@
+package bitvec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomVector returns a vector of n bits where each bit is set with
+// probability p.
+func randomDensityVector(rng *rand.Rand, n int, p float64) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+// tailWordsOf extracts the AppendWords tail for growing a prefix of oldLen
+// bits to the full vector: the words from oldLen/64 on, with the frozen
+// prefix's bits masked out of the first word.
+func tailWordsOf(full *Vector, oldLen int) []uint64 {
+	start := oldLen / wordBits
+	newWords := (full.n + wordBits - 1) / wordBits
+	tail := make([]uint64, newWords-start)
+	for i := range tail {
+		tail[i] = full.words[start+i]
+	}
+	if r := oldLen % wordBits; r != 0 {
+		tail[0] &^= (uint64(1) << uint(r)) - 1
+	}
+	return tail
+}
+
+// prefixOf returns a fresh vector holding the first oldLen bits of full.
+func prefixOf(full *Vector, oldLen int) *Vector {
+	v := New(oldLen)
+	full.ForEach(func(i int) {
+		if i < oldLen {
+			v.Set(i)
+		}
+	})
+	return v
+}
+
+func TestVectorAppendWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, tc := range []struct{ oldLen, newLen int }{
+		{0, 1}, {1, 2}, {63, 64}, {64, 65}, {100, 130}, {100, 100},
+		{1000, 70000}, {65536, 66000}, {65530, 131072}, {200000, 220001},
+	} {
+		full := randomDensityVector(rng, tc.newLen, 0.3)
+		v := prefixOf(full, tc.oldLen)
+		v.AppendWords(tailWordsOf(full, tc.oldLen), tc.newLen)
+		if !v.Equal(full) {
+			t.Errorf("AppendWords(%d->%d): grown vector differs", tc.oldLen, tc.newLen)
+		}
+	}
+}
+
+func TestVectorAppendWordsPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	v := New(100)
+	mustPanic("shrink", func() { v.AppendWords(nil, 50) })
+	mustPanic("tail size", func() { v.AppendWords(make([]uint64, 5), 130) })
+	mustPanic("prefix overlap", func() { v.AppendWords([]uint64{1 << 10}, 130) })
+	u := New(100)
+	mustPanic("unaligned container", func() { u.AppendContainer(make([]uint64, 1), 101) })
+}
+
+// TestCompressedAppendWordsIdentical pins the incremental-maintenance
+// invariant: a compressed set grown by AppendWords is structurally
+// identical (container kinds, payloads, cardinality) to Compress of the
+// equivalent full dense vector, across densities that select array, run
+// and bitmap containers and splits landing mid-word, mid-container and on
+// container boundaries.
+func TestCompressedAppendWordsIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	densities := []float64{0.0005, 0.01, 0.2, 0.9}
+	splits := []struct{ oldLen, newLen int }{
+		{1000, 1100}, {60000, 70000}, {65536, 131072}, {65000, 66000},
+		{131072, 131073}, {100000, 300000}, {1, 200000},
+	}
+	for _, p := range densities {
+		for _, tc := range splits {
+			full := randomDensityVector(rng, tc.newLen, p)
+			want := Compress(full)
+			grown := Compress(prefixOf(full, tc.oldLen)).AppendWords(tailWordsOf(full, tc.oldLen), tc.newLen)
+			if !reflect.DeepEqual(want, grown) {
+				t.Errorf("p=%g %d->%d: grown compressed set differs from from-scratch Compress", p, tc.oldLen, tc.newLen)
+			}
+		}
+	}
+}
+
+func TestCompressedAppendContainer(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	full := randomDensityVector(rng, 5*containerBits/2, 0.005)
+	want := Compress(full)
+	grown := Compress(prefixOf(full, containerBits))
+	chunk := tailWordsOf(full, containerBits)
+	grown = grown.AppendContainer(chunk[:containerWords], 2*containerBits)
+	grown = grown.AppendContainer(chunk[containerWords:], 5*containerBits/2)
+	if !reflect.DeepEqual(want, grown) {
+		t.Error("AppendContainer chain differs from from-scratch Compress")
+	}
+}
+
+// TestGrowMatchesPack pins the representation re-selection rule: Grow must
+// return exactly what Pack of the full dense vector returns — same
+// representation, same encoding — whatever representation the prefix had.
+func TestGrowMatchesPack(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, p := range []float64{0.001, 0.01, 1.0 / 64, 0.05, 0.5} {
+		for _, tc := range []struct{ oldLen, newLen int }{
+			{5000, 5500}, {65530, 131072}, {100000, 110000},
+		} {
+			full := randomDensityVector(rng, tc.newLen, p)
+			want := Pack(full)
+			prefix := prefixOf(full, tc.oldLen)
+			tail := tailWordsOf(full, tc.oldLen)
+			for _, s := range []Set{Set(prefix.Clone()), Set(Compress(prefix))} {
+				got := Grow(s, tail, tc.newLen)
+				if reflect.TypeOf(got) != reflect.TypeOf(want) {
+					t.Fatalf("p=%g %d->%d: Grow(%T) selected %T, Pack selected %T",
+						p, tc.oldLen, tc.newLen, s, got, want)
+				}
+				switch w := want.(type) {
+				case *Vector:
+					if !got.(*Vector).Equal(w) {
+						t.Errorf("p=%g %d->%d: dense Grow differs", p, tc.oldLen, tc.newLen)
+					}
+				case *Compressed:
+					if !reflect.DeepEqual(got, w) {
+						t.Errorf("p=%g %d->%d: compressed Grow differs", p, tc.oldLen, tc.newLen)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Versioned wraps a table in an epoch-versioned lifecycle: rows may be
+// appended after construction, each successful append bumping a monotonic
+// epoch counter, while every snapshot ever handed out stays immutable.
+//
+// The concurrency contract is the frozen-prefix invariant: rows [0, n) of
+// epoch e are never rewritten by any later epoch. Canonical column storage
+// grows by amortized append; snapshots are built from capacity-clamped
+// sub-slices, so a writer extending the backing array past a snapshot's
+// length is invisible to that snapshot's readers. Categorical dictionaries
+// are append-only for the same reason: a level keeps its code forever, so
+// items bound to an old epoch's codes remain valid on every later one.
+//
+// Appends are atomic: a batch is fully validated against the schema before
+// any column is touched, and the epoch advances only after every column
+// has grown. Concurrent Snapshot/Append calls are safe; Append callers are
+// serialized.
+type Versioned struct {
+	mu    sync.Mutex
+	epoch uint64
+	cols  []vcol
+	nrows int
+	snap  *Table // cached snapshot of the current epoch
+}
+
+// vcol is the canonical growable storage of one column.
+type vcol struct {
+	field  Field
+	floats []float64
+	codes  []int
+	levels []string
+	index  map[string]int // level name -> code, mirrors levels
+}
+
+// NewVersioned wraps t as epoch 1 of a versioned dataset. Column storage
+// is copied, so the source table is unaffected by later appends.
+func NewVersioned(t *Table) *Versioned {
+	v := &Versioned{epoch: 1, nrows: t.nrows}
+	for _, c := range t.cols {
+		vc := vcol{field: c.field}
+		if c.field.Kind == Continuous {
+			vc.floats = append([]float64(nil), c.floats...)
+		} else {
+			vc.codes = append([]int(nil), c.codes...)
+			vc.levels = append([]string(nil), c.levels...)
+			vc.index = make(map[string]int, len(c.levels))
+			for i, l := range c.levels {
+				vc.index[l] = i
+			}
+		}
+		v.cols = append(v.cols, vc)
+	}
+	return v
+}
+
+// Epoch returns the current epoch (1 for the as-loaded table, +1 per
+// successful append).
+func (v *Versioned) Epoch() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.epoch
+}
+
+// NumRows returns the current row count.
+func (v *Versioned) NumRows() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.nrows
+}
+
+// Fields returns the schema in column order.
+func (v *Versioned) Fields() []Field {
+	out := make([]Field, len(v.cols))
+	for i := range v.cols {
+		out[i] = v.cols[i].field
+	}
+	return out
+}
+
+// Snapshot returns an immutable table view of the current epoch together
+// with its epoch number. The table shares storage with the canonical
+// columns through capacity-clamped slices, so building one is O(columns),
+// and it remains valid (and constant) however many appends follow.
+func (v *Versioned) Snapshot() (*Table, uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.snap == nil {
+		b := NewBuilder()
+		for i := range v.cols {
+			c := &v.cols[i]
+			if c.field.Kind == Continuous {
+				b.AddFloat(c.field.Name, c.floats[:v.nrows:v.nrows])
+			} else {
+				nl := len(c.levels)
+				b.AddCategoricalCodes(c.field.Name, c.codes[:v.nrows:v.nrows], c.levels[:nl:nl])
+			}
+		}
+		v.snap = b.MustBuild()
+	}
+	return v.snap, v.epoch
+}
+
+// Batch is a parsed, schema-checked set of rows to append: per column of
+// the schema, the column's new values in row order. Build one with
+// ParseBatch (the HTTP body format) or assemble it in code for tests.
+type Batch struct {
+	// Floats holds the new values of every continuous column.
+	Floats map[string][]float64
+	// Levels holds the new level names of every categorical column.
+	Levels map[string][]string
+	// N is the number of rows in the batch.
+	N int
+}
+
+// batchWire is the JSON wire format of an append request body:
+//
+//	{"columns": ["age", "sex"], "rows": [[41, "male"], [null, "female"]]}
+//
+// Columns must name every schema column exactly once (any order); nulls in
+// continuous positions become NaN (a missing value).
+type batchWire struct {
+	Columns []string            `json:"columns"`
+	Rows    [][]json.RawMessage `json:"rows"`
+}
+
+// ParseBatch decodes and validates an append body against a schema. It
+// touches no shared state: a parse error leaves nothing half-applied, so
+// append atomicity reduces to Append's own all-or-nothing contract.
+func ParseBatch(data []byte, fields []Field) (*Batch, error) {
+	var w batchWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("dataset: invalid append body: %w", err)
+	}
+	if len(w.Rows) == 0 {
+		return nil, fmt.Errorf("dataset: append batch has no rows")
+	}
+	byName := make(map[string]int, len(fields))
+	for i, f := range fields {
+		byName[f.Name] = i
+	}
+	colOf := make([]int, len(w.Columns)) // batch position -> schema index
+	seen := make([]bool, len(fields))
+	for i, name := range w.Columns {
+		fi, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("dataset: append names unknown column %q", name)
+		}
+		if seen[fi] {
+			return nil, fmt.Errorf("dataset: append names column %q twice", name)
+		}
+		seen[fi] = true
+		colOf[i] = fi
+	}
+	for i, f := range fields {
+		if !seen[i] {
+			return nil, fmt.Errorf("dataset: append is missing column %q", f.Name)
+		}
+	}
+	b := &Batch{
+		Floats: map[string][]float64{},
+		Levels: map[string][]string{},
+		N:      len(w.Rows),
+	}
+	for ri, row := range w.Rows {
+		if len(row) != len(w.Columns) {
+			return nil, fmt.Errorf("dataset: append row %d has %d values, want %d", ri, len(row), len(w.Columns))
+		}
+		for ci, raw := range row {
+			f := fields[colOf[ci]]
+			if f.Kind == Continuous {
+				val := math.NaN()
+				if string(raw) != "null" {
+					if err := json.Unmarshal(raw, &val); err != nil {
+						return nil, fmt.Errorf("dataset: append row %d, column %q: want a number or null: %v", ri, f.Name, err)
+					}
+				}
+				b.Floats[f.Name] = append(b.Floats[f.Name], val)
+			} else {
+				var s string
+				if err := json.Unmarshal(raw, &s); err != nil {
+					return nil, fmt.Errorf("dataset: append row %d, column %q: want a string: %v", ri, f.Name, err)
+				}
+				b.Levels[f.Name] = append(b.Levels[f.Name], s)
+			}
+		}
+	}
+	return b, nil
+}
+
+// validate checks a batch against the schema without mutating anything.
+func (v *Versioned) validate(b *Batch) error {
+	if b == nil || b.N <= 0 {
+		return fmt.Errorf("dataset: empty append batch")
+	}
+	for i := range v.cols {
+		c := &v.cols[i]
+		if c.field.Kind == Continuous {
+			if got := len(b.Floats[c.field.Name]); got != b.N {
+				return fmt.Errorf("dataset: append column %q has %d values, want %d", c.field.Name, got, b.N)
+			}
+		} else {
+			if got := len(b.Levels[c.field.Name]); got != b.N {
+				return fmt.Errorf("dataset: append column %q has %d values, want %d", c.field.Name, got, b.N)
+			}
+		}
+	}
+	return nil
+}
+
+// Append grows the dataset by one batch and returns the new epoch and
+// total row count. The append is atomic: validation happens up front, and
+// the epoch (with the snapshot rows it exposes) advances only after every
+// column has grown. Unknown categorical level names extend the column's
+// dictionary append-only; existing codes are never reassigned.
+func (v *Versioned) Append(b *Batch) (epoch uint64, total int, err error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err := v.validate(b); err != nil {
+		return v.epoch, v.nrows, err
+	}
+	for i := range v.cols {
+		c := &v.cols[i]
+		if c.field.Kind == Continuous {
+			c.floats = append(c.floats, b.Floats[c.field.Name]...)
+			continue
+		}
+		for _, name := range b.Levels[c.field.Name] {
+			code, ok := c.index[name]
+			if !ok {
+				code = len(c.levels)
+				c.levels = append(c.levels, name)
+				c.index[name] = code
+			}
+			c.codes = append(c.codes, code)
+		}
+	}
+	v.nrows += b.N
+	v.epoch++
+	v.snap = nil
+	return v.epoch, v.nrows, nil
+}
+
+// NewLevels reports whether the batch introduces categorical level names
+// absent from the current dictionaries — the trigger that forces a full
+// re-discretization, since hierarchies built on the old dictionary carry
+// no items for the new levels. Read-only; callable before Append.
+func (v *Versioned) NewLevels(b *Batch) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i := range v.cols {
+		c := &v.cols[i]
+		if c.field.Kind != Categorical {
+			continue
+		}
+		for _, name := range b.Levels[c.field.Name] {
+			if _, ok := c.index[name]; !ok {
+				return true
+			}
+		}
+	}
+	return false
+}

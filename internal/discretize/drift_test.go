@@ -1,0 +1,83 @@
+package discretize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKSDriftIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := KSDrift(a, a); d != 0 {
+		t.Errorf("KSDrift(a, a) = %g, want 0", d)
+	}
+}
+
+func TestKSDriftDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KSDrift(a, b); d != 1 {
+		t.Errorf("KSDrift(disjoint) = %g, want 1", d)
+	}
+}
+
+func TestKSDriftKnownValue(t *testing.T) {
+	// CDFs: a jumps at 1,2,3,4 (steps of 1/4); b jumps at 3,4,5,6.
+	// Just after 2, Fa = 1/2 and Fb = 0.
+	a := []float64{1, 2, 3, 4}
+	b := []float64{3, 4, 5, 6}
+	if d := KSDrift(a, b); math.Abs(d-0.5) > 1e-15 {
+		t.Errorf("KSDrift = %g, want 0.5", d)
+	}
+}
+
+func TestKSDriftSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]float64, 200)
+	b := make([]float64, 57)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range b {
+		b[i] = rng.NormFloat64()*2 + 1
+	}
+	if d1, d2 := KSDrift(a, b), KSDrift(b, a); d1 != d2 {
+		t.Errorf("asymmetric: %g vs %g", d1, d2)
+	}
+}
+
+func TestKSDriftIgnoresNaN(t *testing.T) {
+	nan := math.NaN()
+	a := []float64{1, nan, 2, 3, nan}
+	b := []float64{nan, 1, 2, 3}
+	if d := KSDrift(a, b); d != 0 {
+		t.Errorf("KSDrift with NaNs = %g, want 0", d)
+	}
+}
+
+func TestKSDriftDegenerate(t *testing.T) {
+	if d := KSDrift(nil, []float64{1, 2}); d != 0 {
+		t.Errorf("empty a: %g, want 0", d)
+	}
+	if d := KSDrift([]float64{1}, nil); d != 0 {
+		t.Errorf("empty b: %g, want 0", d)
+	}
+	if d := KSDrift([]float64{math.NaN()}, []float64{1}); d != 0 {
+		t.Errorf("all-NaN a: %g, want 0", d)
+	}
+}
+
+func TestKSDriftSameDistributionSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := make([]float64, 5000)
+	b := make([]float64, 500)
+	for i := range a {
+		a[i] = rng.Float64()
+	}
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	if d := KSDrift(a, b); d > 0.1 {
+		t.Errorf("same-uniform KS = %g, want small", d)
+	}
+}

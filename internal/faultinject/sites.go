@@ -20,4 +20,15 @@ const (
 	// SiteCacheFill fires inside the server's universe-cache build
 	// function, while singleflight waiters block on the entry.
 	SiteCacheFill = "server.cache_fill"
+	// SiteAppendParse fires in the append handler after the body is read
+	// but before the batch is applied — a malformed or truncated batch.
+	// Appends are atomic: a fault here must leave the epoch unchanged.
+	SiteAppendParse = "server.append_parse"
+	// SiteUniverseAppend fires at the start of fpm.AppendUniverse, before
+	// any item bitvec tail is grown — incremental maintenance failing over
+	// to a full rebuild.
+	SiteUniverseAppend = "fpm.universe_append"
+	// SiteDriftRemine fires inside the drift monitor's background re-mine,
+	// exercising the panic isolation around the per-dataset watcher.
+	SiteDriftRemine = "server.drift_remine"
 )

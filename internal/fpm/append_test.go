@@ -1,0 +1,167 @@
+package fpm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bitvec"
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+	"repro/internal/faultinject"
+	"repro/internal/hierarchy"
+	"repro/internal/outcome"
+)
+
+// appendFixture builds a dataset with a rare categorical level (so at least
+// one item compresses), returning the full table, a prefix table of oldN
+// rows sharing the same values, outcomes over both, and the item set built
+// on the prefix.
+func appendFixture(t testing.TB, seed int64, oldN, newN int) (full, prefix *dataset.Table, oFull, oPrefix *outcome.Outcome, items []*hierarchy.Item) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	a := make([]float64, newN)
+	c := make([]string, newN)
+	actual := make([]bool, newN)
+	pred := make([]bool, newN)
+	for i := 0; i < newN; i++ {
+		a[i] = r.Float64() * 10
+		switch {
+		case i < 4:
+			c[i] = "rare" // ensure the rare level exists in the prefix
+		case r.Float64() < 0.005:
+			c[i] = "rare"
+		case r.Float64() < 0.5:
+			c[i] = "common"
+		default:
+			c[i] = "other"
+		}
+		actual[i] = r.Intn(2) == 0
+		pred[i] = actual[i]
+		if r.Float64() < 0.2+0.3*a[i]/10 {
+			pred[i] = !pred[i]
+		}
+	}
+	full = dataset.NewBuilder().AddFloat("a", a).AddCategorical("c", c).MustBuild()
+	prefix = dataset.NewBuilder().
+		AddFloat("a", a[:oldN:oldN]).
+		AddCategoricalCodes("c", full.Codes("c")[:oldN:oldN], full.Levels("c")).
+		MustBuild()
+	oFull = outcome.ErrorRate(actual, pred)
+	oPrefix = outcome.ErrorRate(actual[:oldN], pred[:oldN])
+	hs, err := discretize.TreeSet(prefix, oPrefix, discretize.TreeOptions{MinSupport: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs.Add(hierarchy.FlatCategorical(prefix, "c"))
+	return full, prefix, oFull, oPrefix, hs.AllItems()
+}
+
+// TestAppendUniverseMatchesRebuild pins the incremental-maintenance
+// contract: AppendUniverse is byte-identical — row sets, representations,
+// polarity, memory stats — to NewUniverse over the full table with the
+// same items.
+func TestAppendUniverseMatchesRebuild(t *testing.T) {
+	for _, tc := range []struct{ oldN, newN int }{
+		{1000, 1100},   // small, all-dense
+		{20000, 22000}, // rare level compressed, mid-container split
+		{65536, 72000}, // prefix on a container boundary
+		{20000, 20001}, // single-row append
+	} {
+		full, prefix, oFull, oPrefix, items := appendFixture(t, 99, tc.oldN, tc.newN)
+		base := NewUniverse(prefix, items, oPrefix)
+		grown, err := AppendUniverse(full, base, oFull)
+		if err != nil {
+			t.Fatalf("%d->%d: %v", tc.oldN, tc.newN, err)
+		}
+		want := NewUniverse(full, items, oFull)
+		if !reflect.DeepEqual(grown, want) {
+			t.Errorf("%d->%d: incremental universe differs from from-scratch rebuild", tc.oldN, tc.newN)
+		}
+		// The base universe must be untouched (old-epoch readers).
+		if base.NumRows != tc.oldN {
+			t.Errorf("%d->%d: base universe mutated", tc.oldN, tc.newN)
+		}
+		for i := range base.Rows {
+			if base.Rows[i].Len() != tc.oldN {
+				t.Fatalf("%d->%d: base row set %d grew", tc.oldN, tc.newN, i)
+			}
+		}
+	}
+}
+
+// TestAppendUniverseCompressedRepresentation asserts the fixture actually
+// exercises the compressed path, so the DeepEqual above is not vacuous.
+func TestAppendUniverseCompressedRepresentation(t *testing.T) {
+	full, prefix, oFull, oPrefix, items := appendFixture(t, 99, 20000, 22000)
+	base := NewUniverse(prefix, items, oPrefix)
+	grown, err := AppendUniverse(full, base, oFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compressed int
+	for _, rs := range grown.Rows {
+		if _, ok := rs.(*bitvec.Compressed); ok {
+			compressed++
+		}
+	}
+	if compressed == 0 {
+		t.Error("fixture produced no compressed row sets; equivalence test is vacuous")
+	}
+	if grown.Memory().ItemsCompressed != compressed {
+		t.Errorf("MemStats.ItemsCompressed = %d, want %d", grown.Memory().ItemsCompressed, compressed)
+	}
+}
+
+func TestAppendUniverseShrinkError(t *testing.T) {
+	full, prefix, oFull, oPrefix, items := appendFixture(t, 7, 1000, 1200)
+	grownBase := NewUniverse(full, items, oFull)
+	if _, err := AppendUniverse(prefix, grownBase, oPrefix); err == nil {
+		t.Error("shrinking append accepted")
+	}
+}
+
+// TestAppendUniverseFaultSite pins that the fpm.universe_append failpoint
+// aborts incremental maintenance before any work, with a clean error.
+func TestAppendUniverseFaultSite(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	full, prefix, _, oPrefix, items := appendFixture(t, 7, 1000, 1200)
+	base := NewUniverse(prefix, items, oPrefix)
+	if err := faultinject.Arm(faultinject.SiteUniverseAppend, "error(injected append fault)"); err != nil {
+		t.Fatal(err)
+	}
+	oFull := outcome.ErrorRate(make([]bool, full.NumRows()), make([]bool, full.NumRows()))
+	if _, err := AppendUniverse(full, base, oFull); err == nil {
+		t.Error("armed failpoint did not surface an error")
+	}
+}
+
+// BenchmarkAppendEpoch pins the incremental-maintenance speedup: growing
+// a universe by a 10% row batch through AppendUniverse against
+// rebuilding it from scratch over the full table with the same items.
+// The rebuild sub-benchmark reports the measured advantage as the
+// speedup-x metric; the lifecycle acceptance floor is 5x.
+func BenchmarkAppendEpoch(b *testing.B) {
+	const oldN, newN = 90_000, 100_000
+	full, prefix, oFull, oPrefix, items := appendFixture(b, 7, oldN, newN)
+	base := NewUniverse(prefix, items, oPrefix)
+
+	var incPerOp float64
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := AppendUniverse(full, base, oFull); err != nil {
+				b.Fatal(err)
+			}
+		}
+		incPerOp = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			NewUniverse(full, items, oFull)
+		}
+		if incPerOp > 0 {
+			perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			b.ReportMetric(perOp/incPerOp, "speedup-x")
+		}
+	})
+}

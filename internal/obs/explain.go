@@ -328,18 +328,18 @@ func indexSuffix(name, prefix string) (int, bool) {
 
 // Deterministic returns a copy of the profile with every measured
 // (timing, allocation, scheduling) field stripped: stage durations and
-// byte/alloc deltas, the worker split, and the deadline/heap budget
-// rows. What remains — stage names and tree shape, mining counters,
-// per-shard loads and skew, cache outcome, candidate/itemset budget
-// consumption — is byte-identical across worker counts for a fixed
-// dataset, statistic and shard count.
+// byte/alloc deltas, the worker split, the randomly drawn request id,
+// and the deadline/heap budget rows. What remains — stage names and
+// tree shape, mining counters, per-shard loads and skew, cache outcome,
+// candidate/itemset budget consumption — is byte-identical across
+// worker counts and across requests for a fixed dataset, statistic and
+// shard count.
 func (e *Explain) Deterministic() *Explain {
 	if e == nil {
 		return nil
 	}
 	d := &Explain{
-		RequestID: e.RequestID,
-		Mining:    e.Mining,
+		Mining: e.Mining,
 		Shards:    append([]ExplainShard(nil), e.Shards...),
 		ShardSkew: e.ShardSkew,
 	}

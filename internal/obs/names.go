@@ -136,6 +136,25 @@ const (
 	CtrServerPanics    = "server.panics_recovered"
 	CtrServerTruncated = "server.explorations_truncated"
 
+	// Dataset-lifecycle counters. CtrServerAppends counts accepted append
+	// batches (each bumping its dataset's epoch); CtrServerAppendRows the
+	// rows they carried. CtrServerCacheStaleEvictions counts universe-cache
+	// evictions that picked a stale-epoch entry over the plain LRU tail.
+	// CtrServerUniverseIncremental counts universe builds served by
+	// incremental append maintenance (cutpoints kept, bitvec tails grown);
+	// CtrServerUniverseRediscretized counts epoch-bump builds that fell
+	// back to a full re-discretization (quantile drift over threshold or
+	// new categorical levels). CtrServerDriftRemines counts background
+	// drift re-mines; CtrServerDriftEvents the threshold crossings they
+	// detected.
+	CtrServerAppends               = "server.appends"
+	CtrServerAppendRows            = "server.append_rows"
+	CtrServerCacheStaleEvictions   = "server.universe_cache_stale_evictions"
+	CtrServerUniverseIncremental   = "server.universe_builds_incremental"
+	CtrServerUniverseRediscretized = "server.universe_builds_rediscretized"
+	CtrServerDriftRemines          = "server.drift_remines"
+	CtrServerDriftEvents           = "server.drift_events"
+
 	// SLO lifetime counters. CtrServerSLOBreachPrefix + endpoint class +
 	// "." + objective name (e.g. "explore.p99") counts requests that
 	// violated that latency objective over the process lifetime — the
@@ -193,6 +212,10 @@ const (
 	GaugeServerInFlightMax     = "server.in_flight_max"
 	GaugeServerDatasets        = "server.datasets"
 	GaugeServerCachedUniverses = "server.cached_universes"
+
+	// GaugeServerEpochPrefix + dataset name is the dataset's current epoch
+	// (1 at load, +1 per accepted append batch).
+	GaugeServerEpochPrefix = "server.dataset_epoch."
 )
 
 // Canonical histogram names.
@@ -234,6 +257,13 @@ var MetricHelp = map[string]string{
 	"server_universe_cache_hits":      "Universe-cache lookups that skipped discretization.",
 	"server_universe_cache_misses":    "Universe-cache lookups that built a new universe.",
 	"server_universe_cache_evictions": "Universe-cache entries evicted by the LRU capacity bound.",
+	"server_universe_cache_stale_evictions": "Universe-cache evictions that picked a stale-epoch entry over the LRU tail.",
+	"server_appends":                        "Accepted dataset append batches (each bumps its dataset's epoch).",
+	"server_append_rows":                    "Rows appended across accepted batches.",
+	"server_universe_builds_incremental":    "Universe builds served by incremental append maintenance.",
+	"server_universe_builds_rediscretized":  "Epoch-bump universe builds that re-discretized from scratch.",
+	"server_drift_remines":                  "Background drift re-mines triggered by epoch bumps.",
+	"server_drift_events":                   "Subgroup divergence t-threshold crossings detected between epochs.",
 	"server_batch_statistics":         "Statistics computed across /v1/explore/batch requests.",
 	"server_panics_recovered":         "Handler panics recovered by the middleware (answered 500, daemon alive).",
 	"server_explorations_truncated":   "Explorations answered 200 with a budget-truncated report.",

@@ -79,6 +79,21 @@ func (o *Outcome) MomentsOf(rows *bitvec.Vector) stats.Moments {
 	return stats.Moments{N: n, Sum: sum, SumSq: sumSq}
 }
 
+// MomentsOfSet is MomentsOf for any row-set representation. Every
+// bitvec.Set visits bits in ascending index order, so the float
+// accumulation order — and therefore the result, bit for bit — matches
+// MomentsOf on the equivalent dense vector.
+func (o *Outcome) MomentsOfSet(rows bitvec.Set) stats.Moments {
+	n, sum, sumSq := rows.AndMomentsRange(o.Valid, o.Values, 0, rows.NumWords())
+	return stats.Moments{N: n, Sum: sum, SumSq: sumSq}
+}
+
+// DivergenceOfSet is DivergenceOf for any row-set representation,
+// bit-identical to the dense path.
+func (o *Outcome) DivergenceOfSet(rows bitvec.Set) float64 {
+	return o.MomentsOfSet(rows).Mean() - o.GlobalMean()
+}
+
 // StatOf returns f(S) for the subgroup defined by rows, or NaN when no
 // member has a defined outcome.
 func (o *Outcome) StatOf(rows *bitvec.Vector) float64 {

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// appendReply is the POST /v1/datasets/{name}/rows response body.
+type appendReply struct {
+	Dataset   string `json:"dataset"`
+	Epoch     uint64 `json:"epoch"`
+	Rows      int    `json:"rows"`
+	TotalRows int    `json:"total_rows"`
+}
+
+// handleAppend implements POST /v1/datasets/{name}/rows: append a batch of
+// rows to a live dataset, bumping its epoch. The append is atomic — the
+// body is parsed and schema-checked in full before any column grows, so a
+// rejected batch (parse error, schema mismatch, injected fault) leaves the
+// epoch and every snapshot untouched. Explorations in flight keep the
+// snapshot they resolved; the next exploration sees the new epoch.
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	s.tracer.Counter(obs.CtrServerRequestPrefix + "append").Add(1)
+	name := r.PathValue("name")
+	logger := obs.RequestLogger(s.logger, requestID(r))
+	v, ok := s.tables[name]
+	if !ok {
+		s.httpError(w, http.StatusNotFound, "unknown dataset %q", name)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "reading append body: %v", err)
+		return
+	}
+	// The parse failpoint models a batch that dies mid-decode; it must
+	// reject the request before any state changes.
+	if err := faultinject.Hit(faultinject.SiteAppendParse); err != nil {
+		logger.Warn("append rejected", slog.String("dataset", name), slog.String("error", err.Error()))
+		s.httpError(w, http.StatusBadRequest, "parsing append body: %v", err)
+		return
+	}
+	batch, err := dataset.ParseBatch(body, v.Fields())
+	if err != nil {
+		logger.Warn("append rejected", slog.String("dataset", name), slog.String("error", err.Error()))
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	epoch, total, err := v.Append(batch)
+	if err != nil {
+		logger.Warn("append rejected", slog.String("dataset", name), slog.String("error", err.Error()))
+		s.httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.tracer.Counter(obs.CtrServerAppends).Add(1)
+	s.tracer.Counter(obs.CtrServerAppendRows).Add(int64(batch.N))
+	s.tracer.SetGauge(obs.GaugeServerEpochPrefix+name, float64(epoch))
+	s.drift.noteEpoch(name)
+	logger.Info("append",
+		slog.String("dataset", name),
+		slog.Int("rows", batch.N),
+		slog.Uint64("epoch", epoch),
+		slog.Int("total_rows", total),
+	)
+	writeJSON(w, http.StatusOK, appendReply{Dataset: name, Epoch: epoch, Rows: batch.N, TotalRows: total})
+}
+
+// buildOrAppend is the universe-cache build function for a current-epoch
+// miss: when a prior epoch of the same build is still cached and the
+// appended rows pass the drift policy, the entry is grown incrementally
+// (discretization cutpoints kept, item bitvecs extended by tail words);
+// otherwise — large quantile drift, new categorical levels, no prior, or
+// incremental maintenance disabled or failing — it is built from scratch.
+// Either way the resulting entry is byte-identical for identical data, so
+// the choice is purely a latency/throughput optimization.
+func (s *Server) buildOrAppend(e *cacheEntry, p *exploreParams, tracer *obs.Tracer) error {
+	key := p.key()
+	prior := s.cache.prior(key)
+	if prior != nil && s.rediscretizeDrift >= 0 && s.canAppend(prior.tab, p.tab) {
+		if err := appendEntry(e, p.tab, key, prior); err == nil {
+			s.tracer.Counter(obs.CtrServerUniverseIncremental).Add(1)
+			return nil
+		}
+		// A failed incremental build (injected fault, representation edge
+		// case) degrades to the full path instead of failing the request.
+		// appendEntry assigns the entry's fields only on success, so no
+		// partial state leaks into the rebuild.
+	}
+	if prior != nil {
+		s.tracer.Counter(obs.CtrServerUniverseRediscretized).Add(1)
+	}
+	return buildEntry(e, p.tab, key, tracer)
+}
+
+// canAppend decides whether the new snapshot may reuse a prior entry's
+// discretization: the old table must be a frozen prefix of the new one
+// with unchanged categorical dictionaries (new level names force a
+// rebuild — the cached hierarchies carry no items for them), and every
+// continuous column's appended batch must sit within the configured
+// Kolmogorov–Smirnov drift of the rows before it (otherwise the cached
+// cutpoints no longer reflect the data's quantile structure).
+func (s *Server) canAppend(old, cur *dataset.Table) bool {
+	oldN, newN := old.NumRows(), cur.NumRows()
+	if newN < oldN {
+		return false
+	}
+	for _, f := range cur.Fields() {
+		if !old.HasColumn(f.Name) || old.KindOf(f.Name) != f.Kind {
+			return false
+		}
+		if f.Kind == dataset.Categorical {
+			if len(cur.Levels(f.Name)) != len(old.Levels(f.Name)) {
+				return false
+			}
+			continue
+		}
+		vals := cur.Floats(f.Name)
+		if discretize.KSDrift(vals[:oldN], vals[oldN:]) > s.rediscretizeDrift {
+			return false
+		}
+	}
+	return true
+}

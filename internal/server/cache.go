@@ -21,9 +21,14 @@ import (
 // influences stages 1–2 of the pipeline is part of the key; parameters
 // that only affect mining (s, MaxLen, polarity, algorithm, workers) are
 // deliberately absent so explorations with different mining settings
-// share one universe.
+// share one universe. The epoch pins the build to one dataset version:
+// requests arriving after an append miss the old entry and build (or
+// incrementally grow) the new epoch's universe, while explorations
+// already holding the old entry keep their consistent snapshot until the
+// LRU ages it out.
 type cacheKey struct {
 	dataset   string
+	epoch     uint64
 	stat      string
 	actual    string
 	predicted string
@@ -32,32 +37,63 @@ type cacheKey struct {
 	st        float64
 }
 
+// sameBuild reports whether two keys describe the same build apart from
+// the dataset epoch.
+func (k cacheKey) sameBuild(o cacheKey) bool {
+	k.epoch, o.epoch = 0, 0
+	return k == o
+}
+
 // cacheEntry holds the request-independent artifacts for one key: the
-// outcome function, the item hierarchies and the precomputed universes
-// for both exploration modes. All fields are written once by the build
-// goroutine before ready is closed and are read-only afterwards, so
-// entries are safe to share across concurrent explorations.
+// table snapshot the build ran on, the outcome function, the item
+// hierarchies and the precomputed universes for both exploration modes.
+// All fields are written once by the build goroutine before ready is
+// closed and are read-only afterwards, so entries are safe to share
+// across concurrent explorations.
 type cacheEntry struct {
 	ready chan struct{} // closed when the build finishes (ok or not)
 	err   error
 
+	tab      *dataset.Table
 	out      *outcome.Outcome
 	excludes []string
 	hs       *hierarchy.Set
 	uni      map[core.Mode]*fpm.Universe
+	// incremental marks an entry grown by fpm.AppendUniverse from a
+	// prior-epoch entry rather than re-discretized from scratch.
+	incremental bool
+}
+
+// built reports whether the entry finished building successfully, without
+// blocking.
+func (e *cacheEntry) built() bool {
+	select {
+	case <-e.ready:
+		return e.err == nil
+	default:
+		return false
+	}
 }
 
 // universeCache is a keyed singleflight LRU cache of cacheEntry values:
 // at most max entries are retained (0 or negative = unbounded), and
-// inserting past the bound evicts the least-recently-used key. Evicted
-// entries stay valid for requests already holding them — eviction only
-// drops the cache's reference, so in-flight explorations are unaffected.
+// inserting past the bound evicts a victim. Eviction prefers stale-epoch
+// entries — ones whose key epoch no longer matches their dataset's
+// current epoch — over the plain LRU tail, so append churn on one
+// dataset cannot wash distinct still-current keys out of the cache.
+// Evicted entries stay valid for requests already holding them —
+// eviction only drops the cache's reference, so in-flight explorations
+// are unaffected.
 type universeCache struct {
-	mu        sync.Mutex
-	max       int
-	entries   map[cacheKey]*list.Element // values: elements of lru
-	lru       *list.List                 // front = most recently used *lruItem
-	evictions *obs.Counter               // may be nil
+	mu             sync.Mutex
+	max            int
+	entries        map[cacheKey]*list.Element // values: elements of lru
+	lru            *list.List                 // front = most recently used *lruItem
+	evictions      *obs.Counter               // may be nil
+	staleEvictions *obs.Counter               // may be nil
+	// currentEpoch reports a dataset's live epoch for stale-preferring
+	// eviction; nil treats every entry as current (plain LRU).
+	currentEpoch func(dataset string) uint64
 }
 
 // lruItem is one recency-list node: the key is carried along so eviction
@@ -67,12 +103,13 @@ type lruItem struct {
 	entry *cacheEntry
 }
 
-func newUniverseCache(max int, evictions *obs.Counter) *universeCache {
+func newUniverseCache(max int, evictions, staleEvictions *obs.Counter) *universeCache {
 	return &universeCache{
-		max:       max,
-		entries:   map[cacheKey]*list.Element{},
-		lru:       list.New(),
-		evictions: evictions,
+		max:            max,
+		entries:        map[cacheKey]*list.Element{},
+		lru:            list.New(),
+		evictions:      evictions,
+		staleEvictions: staleEvictions,
 	}
 }
 
@@ -119,19 +156,84 @@ func (c *universeCache) get(ctx context.Context, key cacheKey, build func(*cache
 	}
 }
 
-// evictOverflowLocked drops least-recently-used entries until the cache
-// fits its bound again. Caller holds c.mu.
+// peek returns the entry for key if it is cached and fully built, without
+// building, blocking or touching recency. Epoch-pinned requests use it:
+// an old epoch is servable exactly while its entry survives in the cache.
+func (c *universeCache) peek(key cacheKey) (*cacheEntry, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*lruItem).entry
+	if !e.built() {
+		return nil, false
+	}
+	return e, true
+}
+
+// prior returns the ready entry for the same build at the highest epoch
+// below key.epoch, if any — the base an incremental append build grows
+// from.
+func (c *universeCache) prior(key cacheKey) *cacheEntry {
+	c.mu.Lock()
+	var best *cacheEntry
+	var bestEpoch uint64
+	for k, el := range c.entries {
+		if !k.sameBuild(key) || k.epoch >= key.epoch {
+			continue
+		}
+		e := el.Value.(*lruItem).entry
+		if !e.built() {
+			continue
+		}
+		if best == nil || k.epoch > bestEpoch {
+			best, bestEpoch = e, k.epoch
+		}
+	}
+	c.mu.Unlock()
+	return best
+}
+
+// evictOverflowLocked drops entries until the cache fits its bound again.
+// Victim selection prefers the least-recently-used *stale-epoch* entry (its
+// dataset has moved past its epoch) and falls back to the plain LRU tail
+// when every entry is current. Caller holds c.mu.
 func (c *universeCache) evictOverflowLocked() {
 	if c.max <= 0 {
 		return
 	}
 	for c.lru.Len() > c.max {
-		el := c.lru.Back()
+		el := c.staleVictimLocked()
+		stale := el != nil
+		if el == nil {
+			el = c.lru.Back()
+		}
 		it := el.Value.(*lruItem)
 		c.lru.Remove(el)
 		delete(c.entries, it.key)
 		c.evictions.Add(1)
+		if stale {
+			c.staleEvictions.Add(1)
+		}
 	}
+}
+
+// staleVictimLocked scans from the LRU tail for the first entry whose key
+// epoch is behind its dataset's current epoch; nil when all are current
+// (or no epoch oracle is wired).
+func (c *universeCache) staleVictimLocked() *list.Element {
+	if c.currentEpoch == nil {
+		return nil
+	}
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		k := el.Value.(*lruItem).key
+		if k.epoch != c.currentEpoch(k.dataset) {
+			return el
+		}
+	}
+	return nil
 }
 
 // remove deletes key from the cache, but only while it still maps to e:
@@ -192,6 +294,7 @@ func buildEntry(e *cacheEntry, tab *dataset.Table, key cacheKey, tracer *obs.Tra
 			hs.Add(hierarchy.FlatCategorical(tab, f.Name))
 		}
 	}
+	e.tab = tab
 	e.out = out
 	e.excludes = excludes
 	e.hs = hs
@@ -199,5 +302,34 @@ func buildEntry(e *cacheEntry, tab *dataset.Table, key cacheKey, tracer *obs.Tra
 		core.Hierarchical: fpm.GeneralizedUniverse(tab, hs, out),
 		core.Base:         fpm.BaseUniverse(tab, hs, out),
 	}
+	return nil
+}
+
+// appendEntry builds the entry for a new epoch incrementally from a
+// prior-epoch entry: the outcome is recomputed over the full table (its
+// global moments must cover the appended rows), the discretization
+// cutpoints and hierarchies are kept, and each universe's item bitvecs
+// grow by appended tail words only. By fpm.AppendUniverse's contract the
+// resulting universes are byte-identical to a from-scratch rebuild with
+// the same items, so incremental and full paths are interchangeable.
+func appendEntry(e *cacheEntry, tab *dataset.Table, key cacheKey, prior *cacheEntry) error {
+	out, excludes, err := core.BuildStatistic(tab, key.stat, key.actual, key.predicted, key.target)
+	if err != nil {
+		return err
+	}
+	uni := make(map[core.Mode]*fpm.Universe, len(prior.uni))
+	for mode, u := range prior.uni {
+		grown, err := fpm.AppendUniverse(tab, u, out)
+		if err != nil {
+			return err
+		}
+		uni[mode] = grown
+	}
+	e.tab = tab
+	e.out = out
+	e.excludes = excludes
+	e.hs = prior.hs
+	e.uni = uni
+	e.incremental = true
 	return nil
 }

@@ -77,6 +77,23 @@ type Config struct {
 	// SlowRequests caps how many slow requests are retained (competing by
 	// latency). 0 defaults to 8.
 	SlowRequests int
+	// RediscretizeDrift is the per-column quantile-drift threshold (two-
+	// sample Kolmogorov–Smirnov statistic between an appended batch and the
+	// rows before it) above which an epoch-bump universe build abandons the
+	// cached discretization cutpoints and re-discretizes from scratch.
+	// Batches introducing new categorical levels always re-discretize.
+	// 0 defaults to 0.2; negative disables incremental maintenance
+	// entirely (every epoch bump re-discretizes).
+	RediscretizeDrift float64
+	// DriftT is the Welch t-value threshold of the divergence-drift
+	// monitor: a subgroup whose |t| crosses this value between epochs is
+	// reported by GET /v1/drift/{name}. 0 defaults to 3 (the paper's
+	// significance convention); negative disables the monitor.
+	DriftT float64
+	// DriftDebounce delays the monitor's background re-mine after an
+	// epoch bump, coalescing append bursts into one re-mine. 0 defaults
+	// to 2s.
+	DriftDebounce time.Duration
 	// Tracer accumulates the server.* lifetime counters, gauges and
 	// histograms rendered by GET /metrics. Each exploration runs on its
 	// own per-request tracer whose counters are folded in here on
@@ -92,21 +109,23 @@ type Config struct {
 // it directly on an http.Server. All fields are internal — construct
 // with New.
 type Server struct {
-	mux      *http.ServeMux
-	tracer   *obs.Tracer
-	logger   *slog.Logger
-	requests *requestRegistry
-	flight   *flightRecorder
-	slo      *sloEngine
-	hLatency *obs.Histogram
-	tables   map[string]*dataset.Table
-	order    []string // dataset names in registration order
-	cache    *universeCache
-	sem      chan struct{}
-	timeout  time.Duration
-	budget   fpm.Budget
-	inFlight atomic.Int64
-	draining atomic.Bool
+	mux               *http.ServeMux
+	tracer            *obs.Tracer
+	logger            *slog.Logger
+	requests          *requestRegistry
+	flight            *flightRecorder
+	slo               *sloEngine
+	hLatency          *obs.Histogram
+	tables            map[string]*dataset.Versioned
+	order             []string // dataset names in registration order
+	cache             *universeCache
+	drift             *driftMonitor
+	sem               chan struct{}
+	timeout           time.Duration
+	budget            fpm.Budget
+	rediscretizeDrift float64
+	inFlight          atomic.Int64
+	draining          atomic.Bool
 }
 
 // New loads every configured dataset and returns the ready-to-serve
@@ -155,6 +174,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = obs.NopLogger()
 	}
+	if cfg.RediscretizeDrift == 0 {
+		cfg.RediscretizeDrift = 0.2
+	}
+	if cfg.DriftT == 0 {
+		cfg.DriftT = 3
+	}
+	if cfg.DriftDebounce <= 0 {
+		cfg.DriftDebounce = 2 * time.Second
+	}
 	if err := cfg.Budget.Validate(); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
@@ -165,11 +193,14 @@ func New(cfg Config) (*Server, error) {
 		requests: newRequestRegistry(cfg.TraceRing),
 		flight:   newFlightRecorder(cfg.TraceRing, cfg.SlowRequests, cfg.SlowThreshold),
 		hLatency: cfg.Tracer.Histogram(obs.HistRequestSeconds, obs.LatencyBuckets),
-		tables:   map[string]*dataset.Table{},
-		cache:    newUniverseCache(cfg.CacheMax, cfg.Tracer.Counter(obs.CtrServerCacheEvictions)),
-		sem:      make(chan struct{}, cfg.MaxInFlight),
-		timeout:  cfg.RequestTimeout,
-		budget:   cfg.Budget,
+		tables:   map[string]*dataset.Versioned{},
+		cache: newUniverseCache(cfg.CacheMax,
+			cfg.Tracer.Counter(obs.CtrServerCacheEvictions),
+			cfg.Tracer.Counter(obs.CtrServerCacheStaleEvictions)),
+		sem:               make(chan struct{}, cfg.MaxInFlight),
+		timeout:           cfg.RequestTimeout,
+		budget:            cfg.Budget,
+		rediscretizeDrift: cfg.RediscretizeDrift,
 	}
 	s.slo = newSLOEngine(cfg.SLO, cfg.Tracer)
 	for _, d := range cfg.Datasets {
@@ -187,9 +218,20 @@ func New(cfg Config) (*Server, error) {
 				return nil, fmt.Errorf("server: dataset %q: %w", d.Name, err)
 			}
 		}
-		s.tables[d.Name] = tab
+		s.tables[d.Name] = dataset.NewVersioned(tab)
 		s.order = append(s.order, d.Name)
+		s.tracer.SetGauge(obs.GaugeServerEpochPrefix+d.Name, 1)
 	}
+	// Stale-preferring eviction consults the live epoch of each entry's
+	// dataset; entries of unknown datasets (impossible today) read as
+	// current.
+	s.cache.currentEpoch = func(name string) uint64 {
+		if v, ok := s.tables[name]; ok {
+			return v.Epoch()
+		}
+		return 0
+	}
+	s.drift = newDriftMonitor(s, cfg.DriftT, cfg.DriftDebounce)
 	s.tracer.SetGauge(obs.GaugeServerDatasets, float64(len(s.order)))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -203,6 +245,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/explain/{id}", s.handleExplain)
 	s.mux.HandleFunc("GET /v1/debug/requests", s.handleDebugRequests)
 	s.mux.HandleFunc("GET /v1/slo", s.handleSLO)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/rows", s.handleAppend)
+	s.mux.HandleFunc("GET /v1/drift/{name}", s.handleDrift)
 	return s, nil
 }
 
@@ -324,23 +368,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 type datasetInfo struct {
 	Name    string       `json:"name"`
 	Rows    int          `json:"rows"`
+	Epoch   uint64       `json:"epoch"`
 	Columns []columnInfo `json:"columns"`
 }
 
-// columnInfo describes one dataset column.
+// columnInfo describes one dataset column. Levels (categorical) and
+// Min/Max (continuous, over non-missing values) describe the column's
+// observed domain so clients — the load generator's append class in
+// particular — can synthesize plausible rows.
 type columnInfo struct {
-	Name string `json:"name"`
-	Kind string `json:"kind"` // "continuous" or "categorical"
+	Name   string   `json:"name"`
+	Kind   string   `json:"kind"` // "continuous" or "categorical"
+	Levels []string `json:"levels,omitempty"`
+	Min    *float64 `json:"min,omitempty"`
+	Max    *float64 `json:"max,omitempty"`
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	s.tracer.Counter(obs.CtrServerRequestPrefix + "datasets").Add(1)
 	out := make([]datasetInfo, 0, len(s.order))
 	for _, name := range s.order {
-		tab := s.tables[name]
-		info := datasetInfo{Name: name, Rows: tab.NumRows()}
+		tab, epoch := s.tables[name].Snapshot()
+		info := datasetInfo{Name: name, Rows: tab.NumRows(), Epoch: epoch}
 		for _, f := range tab.Fields() {
-			info.Columns = append(info.Columns, columnInfo{Name: f.Name, Kind: f.Kind.String()})
+			ci := columnInfo{Name: f.Name, Kind: f.Kind.String()}
+			if f.Kind == dataset.Categorical {
+				ci.Levels = tab.Levels(f.Name)
+			} else if vals := tab.SortedUniqueFloats(f.Name); len(vals) > 0 {
+				lo, hi := vals[0], vals[len(vals)-1]
+				ci.Min, ci.Max = &lo, &hi
+			}
+			info.Columns = append(info.Columns, ci)
 		}
 		out = append(out, info)
 	}
@@ -398,6 +456,13 @@ type ExploreRequest struct {
 	// a JSON reply's "explain" field. Cheaper than Trace: the profile is
 	// an aggregated summary, not the span-by-span snapshot.
 	Explain bool `json:"explain,omitempty"`
+	// Epoch pins the exploration to a specific dataset epoch instead of
+	// the current one. A pinned epoch is servable exactly while its
+	// universe-cache entry survives: the reply is computed on that epoch's
+	// frozen snapshot, byte-identical to what it answered before later
+	// appends. A pinned epoch no longer cached (or never explored) answers
+	// 410 Gone. 0 means "current epoch".
+	Epoch uint64 `json:"epoch,omitempty"`
 	// TimeoutMS shortens the server's per-request timeout (it can never
 	// extend it).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
@@ -423,10 +488,14 @@ type BudgetRequest struct {
 	SoftDeadlineMS int `json:"soft_deadline_ms,omitempty"`
 }
 
-// exploreParams is a validated, defaulted ExploreRequest.
+// exploreParams is a validated, defaulted ExploreRequest. tab and epoch
+// are the dataset snapshot the exploration runs on; pinned marks a
+// request that named a non-current epoch explicitly.
 type exploreParams struct {
 	req       ExploreRequest
 	tab       *dataset.Table
+	epoch     uint64
+	pinned    bool
 	criterion discretize.Criterion
 	mode      core.Mode
 	algorithm fpm.Algorithm
@@ -437,9 +506,19 @@ type exploreParams struct {
 // resolve validates the request and applies CLI-equivalent defaults.
 func (s *Server) resolve(req ExploreRequest) (*exploreParams, int, error) {
 	p := &exploreParams{req: req}
-	var ok bool
-	if p.tab, ok = s.tables[req.Dataset]; !ok {
+	v, ok := s.tables[req.Dataset]
+	if !ok {
 		return nil, http.StatusNotFound, fmt.Errorf("unknown dataset %q", req.Dataset)
+	}
+	p.tab, p.epoch = v.Snapshot()
+	if req.Epoch != 0 && req.Epoch != p.epoch {
+		if req.Epoch > p.epoch {
+			return nil, http.StatusBadRequest, fmt.Errorf("dataset %q is at epoch %d, future epoch %d requested", req.Dataset, p.epoch, req.Epoch)
+		}
+		// The pinned snapshot is only reachable through its cache entry;
+		// serveExplore resolves it (or answers 410 Gone).
+		p.epoch = req.Epoch
+		p.pinned = true
 	}
 	if p.req.Stat == "" {
 		p.req.Stat = "error"
@@ -530,6 +609,7 @@ func tighten64(configured, requested int64) int64 {
 func (p *exploreParams) key() cacheKey {
 	return cacheKey{
 		dataset:   p.req.Dataset,
+		epoch:     p.epoch,
 		stat:      strings.ToLower(p.req.Stat),
 		actual:    p.req.Actual,
 		predicted: p.req.Predicted,
@@ -653,6 +733,7 @@ func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool
 		stats = []string{strings.ToLower(p.req.Stat)}
 	}
 	frec.Dataset, frec.Stat = p.req.Dataset, strings.ToLower(p.req.Stat)
+	w.Header().Set("X-Dataset-Epoch", strconv.FormatUint(p.epoch, 10))
 
 	// Admission control: reject rather than queue when saturated, so
 	// callers see back-pressure instead of unbounded latency.
@@ -718,9 +799,22 @@ func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool
 		)
 	}()
 
-	entry, hit, err := s.cache.get(ctx, p.key(), func(e *cacheEntry) error {
-		return buildEntry(e, p.tab, p.key(), reqTracer)
-	})
+	var entry *cacheEntry
+	if p.pinned {
+		// A pinned epoch is never rebuilt — its snapshot table is only
+		// reachable through the cache entry built while it was current.
+		entry, hit = s.cache.peek(p.key())
+		if !hit {
+			status = "gone"
+			s.httpError(w, http.StatusGone, "dataset %q epoch %d is no longer cached", p.req.Dataset, p.epoch)
+			return
+		}
+		err = nil
+	} else {
+		entry, hit, err = s.cache.get(ctx, p.key(), func(e *cacheEntry) error {
+			return s.buildOrAppend(e, p, reqTracer)
+		})
+	}
 	if hit {
 		s.tracer.Counter(obs.CtrServerCacheHits).Add(1)
 		reqTracer.SetGauge(obs.GaugeCacheHit, 1)
@@ -749,11 +843,14 @@ func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool
 
 	// Assemble the outcome bundle: the cached primary plus one outcome per
 	// extra statistic. Extra outcomes are cheap to build (no discretization
-	// or universe construction), so they are not cached.
+	// or universe construction), so they are not cached. They are built on
+	// the entry's snapshot table — not the resolve-time snapshot — so a
+	// pinned-epoch request's extra statistics cover exactly the rows its
+	// universe covers.
 	outs := make([]*outcome.Outcome, 0, len(stats))
 	outs = append(outs, entry.out)
 	for _, stat := range stats[1:] {
-		o, _, err := core.BuildStatistic(p.tab, stat, p.req.Actual, p.req.Predicted, p.req.Target)
+		o, _, err := core.BuildStatistic(entry.tab, stat, p.req.Actual, p.req.Predicted, p.req.Target)
 		if err != nil {
 			s.httpError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -794,6 +891,11 @@ func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool
 		return
 	}
 	status = "done"
+	// A complete current-epoch exploration becomes (or refreshes) the
+	// dataset's drift-watch baseline.
+	if !p.pinned && !reps[0].Truncated {
+		s.drift.noteExplore(p, reps[0])
+	}
 	if reps[0].Truncated {
 		// Still a 200: the ranked prefix is valid, the lattice just was
 		// not fully explored. The flag travels in the report body.

@@ -14,7 +14,7 @@ import (
 // sloClasses are the endpoint classes the SLO engine tracks. Every
 // request the server handles is attributed to exactly one class; the set
 // is fixed at construction so the hot path takes no locks.
-var sloClasses = []string{"explore", "explore_batch", "progress", "metrics", "slo", "other"}
+var sloClasses = []string{"explore", "explore_batch", "progress", "append", "drift", "metrics", "slo", "other"}
 
 // endpointClass attributes one request path to its SLO class.
 func endpointClass(path string) string {
@@ -25,6 +25,10 @@ func endpointClass(path string) string {
 		return "explore_batch"
 	case path == "/v1/progress" || strings.HasPrefix(path, "/v1/progress/"):
 		return "progress"
+	case strings.HasPrefix(path, "/v1/datasets/") && strings.HasSuffix(path, "/rows"):
+		return "append"
+	case strings.HasPrefix(path, "/v1/drift/"):
+		return "drift"
 	case path == "/metrics":
 		return "metrics"
 	case path == "/v1/slo":

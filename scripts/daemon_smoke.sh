@@ -5,8 +5,11 @@
 # the runtime families), /v1/progress/{id}, the Chrome-trace export
 # (structurally validated by checktrace -chrome), the explain profile at
 # /v1/explain/{id}, the flight recorder at /v1/debug/requests, the debug
-# listener (pprof + expvar) and the structured request log. Any non-200
-# response or empty body fails the script.
+# listener (pprof + expvar) and the structured request log — then walks
+# the live-dataset lifecycle: append rows over HTTP, watch the epoch
+# gauge advance, wait for the drift monitor's background re-mine, and
+# replay an epoch-pinned exploration byte for byte. Any non-200 response
+# or empty body fails the script.
 #
 # Usage: scripts/daemon_smoke.sh [workdir]    (default .smoke-daemon)
 # The workdir is left in place so CI can upload the trace as an artifact.
@@ -24,6 +27,7 @@ go build -o "$DIR/checktrace" ./cmd/checktrace
 
 "$DIR/hdivexplorerd" -addr "localhost:$PORT" -debug-addr "localhost:$DEBUG_PORT" \
     -dataset "compas=$DIR/compas.csv" -slo p99=1s,availability=99.0 \
+    -drift-debounce 100ms \
     -log-json 2> "$DIR/daemon.log" &
 DPID=$!
 trap 'kill "$DPID" 2>/dev/null || true' EXIT
@@ -126,6 +130,54 @@ fetch "http://localhost:$DEBUG_PORT/debug/vars" "$DIR/vars.json"
 fetch "http://localhost:$DEBUG_PORT/debug/pprof/cmdline" "$DIR/cmdline.bin"
 
 grep -q "$ID" "$DIR/daemon.log"
+
+# ---- Live-dataset lifecycle -------------------------------------------
+# Capture an epoch-1 exploration in CSV form: the byte-comparable replay
+# target for the epoch pin below. The body matches the pinned request
+# exactly so the cache serves the frozen epoch-1 snapshot.
+curl -fsS -X POST "http://localhost:$PORT/v1/explore" \
+    -D "$DIR/epoch1.headers" \
+    -d '{"dataset":"compas","stat":"fpr","actual":"label","predicted":"prediction","top":3,"format":"csv"}' \
+    -o "$DIR/epoch1.csv"
+grep -qi 'X-Dataset-Epoch: 1' "$DIR/epoch1.headers"
+
+# Append two rows over HTTP; the reply carries the bumped epoch.
+curl -fsS -X POST "http://localhost:$PORT/v1/datasets/compas/rows" \
+    -d '{"columns":["age","prior","stay","sex","race","charge","label","prediction"],
+         "rows":[[25,3,10,"Male","Afr-Am","F","false","true"],
+                 [52,0,1,"Female","Caucasian","M","false","false"]]}' \
+    -o "$DIR/append.json"
+grep -q '"epoch": 2' "$DIR/append.json"
+grep -q '"rows": 2' "$DIR/append.json"
+
+# The dataset listing and the per-dataset epoch gauge advance with it.
+fetch "http://localhost:$PORT/v1/datasets" "$DIR/datasets.json"
+grep -q '"epoch": 2' "$DIR/datasets.json"
+fetch "http://localhost:$PORT/metrics" "$DIR/metrics_epoch.txt"
+grep -q '^server_dataset_epoch_compas 2' "$DIR/metrics_epoch.txt"
+
+# The debounced drift re-mine runs in the background; wait for the watch
+# baseline to reach the new epoch, then keep the report as a CI artifact.
+for _ in $(seq 1 100); do
+    curl -fsS "http://localhost:$PORT/v1/drift/compas" -o "$DIR/drift.json"
+    if grep -q '"baseline_epoch": 2' "$DIR/drift.json"; then break; fi
+    sleep 0.1
+done
+grep -q '"watching": true' "$DIR/drift.json"
+grep -q '"baseline_epoch": 2' "$DIR/drift.json"
+if grep -q '"last_error"' "$DIR/drift.json"; then
+    echo "drift re-mine reported an error; see $DIR/drift.json" >&2
+    exit 1
+fi
+
+# An exploration pinned to the pre-append epoch replays the frozen
+# snapshot byte for byte even though the dataset has since grown.
+curl -fsS -X POST "http://localhost:$PORT/v1/explore" \
+    -D "$DIR/pinned.headers" \
+    -d '{"dataset":"compas","stat":"fpr","actual":"label","predicted":"prediction","top":3,"format":"csv","epoch":1}' \
+    -o "$DIR/pinned.csv"
+grep -qi 'X-Dataset-Epoch: 1' "$DIR/pinned.headers"
+cmp "$DIR/epoch1.csv" "$DIR/pinned.csv"
 
 kill "$DPID"
 wait "$DPID" 2>/dev/null || true

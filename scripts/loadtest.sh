@@ -46,16 +46,28 @@ if ! kill -0 "$DPID" 2>/dev/null; then
 fi
 
 # Seeded open-loop run: the request mix is reproducible across machines
-# even though the measured latencies are not.
+# even though the measured latencies are not. The append class keeps the
+# dataset's epoch churning under the exploration traffic, so the run
+# also exercises incremental universe maintenance and snapshot
+# isolation.
 "$DIR/hdivloadgen" -addr "http://localhost:$PORT" \
     -dataset compas -stat fpr -actual label -predicted prediction -top 3 \
     -duration "$DURATION" -warmup "$WARMUP" -rps "$RPS" -seed 1 \
-    -mix 'explore=6,batch=1,progress=2,metrics=1' \
+    -mix 'explore=6,batch=1,progress=2,metrics=1,append=1' \
     -out "$DIR/BENCH_PR8_SLO.json"
 
 # The artifact must carry the aggregate and the per-class quantiles.
 grep -q '"name": "BenchmarkLoadGen"' "$DIR/BENCH_PR8_SLO.json"
 grep -q '"name": "BenchmarkLoadGen/explore"' "$DIR/BENCH_PR8_SLO.json"
+grep -q '"name": "BenchmarkLoadGen/append"' "$DIR/BENCH_PR8_SLO.json"
+
+# The append traffic must actually have advanced the dataset's epoch.
+curl -fsS "http://localhost:$PORT/v1/datasets" -o "$DIR/datasets.json"
+grep -q '"epoch"' "$DIR/datasets.json"
+if grep -q '"epoch": 1,' "$DIR/datasets.json"; then
+    echo "append traffic did not advance the dataset epoch; see $DIR/datasets.json" >&2
+    exit 1
+fi
 grep -q '"p99-ns"' "$DIR/BENCH_PR8_SLO.json"
 grep -q '"rps"' "$DIR/BENCH_PR8_SLO.json"
 if grep -q '"aborted": true' "$DIR/BENCH_PR8_SLO.json"; then
