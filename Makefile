@@ -12,18 +12,21 @@
 #                     and diffs its p99 against the committed baseline
 #   make test-faults  fault-injection + budget + panic-containment suite
 #                     under the race detector
+#   make test-crash   durability suite under the race detector: WAL
+#                     append/replay/rotation, crash-recovery equivalence
+#                     property, daemon restart, FuzzWALReplay seed corpus
 
 GO ?= go
 # BENCHTIME feeds -benchtime: the default 1s gives stable numbers; CI
 # passes 1x for a fast structural run. BENCHOUT is the JSON artifact;
 # BENCHBASE is the committed baseline benchdiff compares it against.
 BENCHTIME ?= 1s
-BENCHOUT ?= BENCH_PR9.json
-BENCHBASE ?= BENCH_PR7.json
+BENCHOUT ?= BENCH_PR10.json
+BENCHBASE ?= BENCH_PR9.json
 
-.PHONY: check vet build test race bench benchdiff benchgate smoke smoke-daemon loadtest test-faults fmt
+.PHONY: check vet build test race bench benchdiff benchgate smoke smoke-daemon loadtest test-faults test-crash fmt
 
-check: vet build race test-faults smoke smoke-daemon
+check: vet build race test-faults test-crash smoke smoke-daemon
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +48,17 @@ test-faults:
 	$(GO) test -race ./internal/faultinject
 	$(GO) test -race -run 'Fault|Budget|Panic|Readyz|RetryAfter|SoftDeadline|FuzzExploreDecode|Daemon' \
 		./internal/engine ./internal/fpm ./internal/server ./cmd/hdivexplorerd
+
+# test-crash runs the durability suite under the race detector: the wal
+# package in full (record codec, group commit, torn-tail truncation,
+# segment rotation, snapshot compaction, FuzzWALReplay's seed corpus),
+# the dataset snapshot codec, the server-level crash-recovery
+# equivalence property (seeded kill-and-restart across workers ×
+# shards), and the daemon restart round trip.
+test-crash:
+	$(GO) test -race ./internal/wal ./internal/dataset
+	$(GO) test -race -run 'Durable|Recovery|Retention|SnapshotCompaction|DriftRearms|WALSync' \
+		./internal/server ./cmd/hdivexplorerd
 
 # bench runs the full suite and also writes $(BENCHOUT): a JSON record
 # per benchmark (name, iterations, ns/op, B/op, allocs/op and custom

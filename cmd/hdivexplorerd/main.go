@@ -51,6 +51,19 @@
 // load-balancer readiness probes at /readyz and liveness probes at
 // /healthz.
 //
+// -wal-dir makes appends durable: every acknowledged batch is first
+// written to a checksummed per-dataset write-ahead log under the
+// directory, and a restart replays the log so datasets resume at their
+// exact pre-crash epoch (byte-identical explore output included). While
+// replay runs, /readyz answers 503 with a JSON progress body
+// {"state":"recovering","replayed":N,"total":M}. -wal-sync picks the
+// durability/throughput trade (always = fsync before every ack, with
+// group commit; interval = background flush; none = page cache),
+// -wal-segment-bytes the segment rotation size (each rotation also
+// triggers a background full-table snapshot that lets old segments be
+// deleted), and -epoch-retain how many recent epochs stay servable as
+// pinned replays before the retention sweep ages them out (410 Gone).
+//
 // The -budget-* flags bound every exploration's resource consumption;
 // on exhaustion the request is answered 200 with a ranked report flagged
 // "truncated" instead of stalling or exhausting the machine. Requests
@@ -87,6 +100,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/fpm"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 // datasetFlags collects repeated -dataset name=path.csv values.
@@ -130,6 +144,11 @@ type daemonConfig struct {
 	driftT            float64
 	driftDebounce     time.Duration
 
+	walDir          string
+	walSync         string
+	walSegmentBytes int64
+	epochRetain     int
+
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
 	writeTimeout      time.Duration
@@ -160,6 +179,11 @@ func main() {
 		driftT            = flag.Float64("drift-t", 0, "|t| threshold for drift events after appends (0 = default 3; negative = disable the drift monitor)")
 		driftDebounce     = flag.Duration("drift-debounce", 0, "quiet period coalescing append bursts before the background drift re-mine (0 = default 2s)")
 
+		walDir          = flag.String("wal-dir", "", "directory for per-dataset write-ahead logs; appends become durable and survive restarts (empty = in-memory only)")
+		walSync         = flag.String("wal-sync", "always", "WAL durability policy: always (fsync before every ack, group-committed), interval (background flush) or none (page cache)")
+		walSegmentBytes = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size in bytes; each rotation triggers background snapshot/compaction (0 = default 4 MiB)")
+		epochRetain     = flag.Int("epoch-retain", 0, "recent epochs kept servable as pinned replays before the retention sweep retires them (0 = default 8; negative = no sweep)")
+
 		readHeaderTimeout = flag.Duration("read-header-timeout", 10*time.Second, "http.Server.ReadHeaderTimeout: slow-header (Slowloris) guard")
 		readTimeout       = flag.Duration("read-timeout", time.Minute, "http.Server.ReadTimeout: full request read bound (0 = none)")
 		writeTimeout      = flag.Duration("write-timeout", 2*time.Minute, "http.Server.WriteTimeout: response write bound; keep it above -timeout (0 = none)")
@@ -186,6 +210,10 @@ func main() {
 		rediscretizeDrift: *rediscretizeDrift,
 		driftT:            *driftT,
 		driftDebounce:     *driftDebounce,
+		walDir:            *walDir,
+		walSync:           *walSync,
+		walSegmentBytes:   *walSegmentBytes,
+		epochRetain:       *epochRetain,
 		budget: fpm.Budget{
 			MaxCandidates: *budgetCandidates,
 			MaxItemsets:   *budgetItemsets,
@@ -221,15 +249,25 @@ func debugMux() *http.ServeMux {
 // load completion: the process is alive (/healthz 200) but not ready
 // (/readyz 503), and every other request is turned away with 503 so
 // probes and eager clients get a consistent "not yet" instead of a
-// connection refused or a partial service.
-func loadingMux() *http.ServeMux {
+// connection refused or a partial service. With durability on, the 503
+// body is a JSON progress report sourced from the WAL replay state, so
+// operators (and the load generator's recovery backoff) can watch a
+// long replay converge instead of guessing.
+func loadingMux(rec *server.RecoveryState) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		http.Error(w, "loading datasets", http.StatusServiceUnavailable)
+		if rec == nil {
+			http.Error(w, "loading datasets", http.StatusServiceUnavailable)
+			return
+		}
+		replayed, total := rec.Progress()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, `{"state":"recovering","replayed":%d,"total":%d}`+"\n", replayed, total)
 	})
 	return mux
 }
@@ -249,13 +287,24 @@ func run(cfg daemonConfig) error {
 	} else {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
+	walSync := wal.SyncAlways
+	if cfg.walSync != "" {
+		var err error
+		if walSync, err = wal.ParseSyncPolicy(cfg.walSync); err != nil {
+			return err
+		}
+	}
+	var rec *server.RecoveryState
+	if cfg.walDir != "" {
+		rec = &server.RecoveryState{}
+	}
 
 	// The listener starts before the datasets load: a gate handler answers
 	// /readyz 503 (and everything else 503, /healthz 200) until server.New
 	// finishes in the background, then the real handler is swapped in. A
 	// failed load surfaces on loaded and shuts the daemon down.
 	var handler atomic.Pointer[http.Handler]
-	gate := http.Handler(loadingMux())
+	gate := http.Handler(loadingMux(rec))
 	handler.Store(&gate)
 	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		(*handler.Load()).ServeHTTP(w, r)
@@ -289,6 +338,11 @@ func run(cfg daemonConfig) error {
 			RediscretizeDrift: cfg.rediscretizeDrift,
 			DriftT:            cfg.driftT,
 			DriftDebounce:     cfg.driftDebounce,
+			WALDir:            cfg.walDir,
+			WALSync:           walSync,
+			WALSegmentBytes:   cfg.walSegmentBytes,
+			EpochRetain:       cfg.epochRetain,
+			Recovery:          rec,
 			Logger:            logger,
 		})
 		if err != nil {
@@ -369,6 +423,13 @@ func run(cfg daemonConfig) error {
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// Final fsync + close of the write-ahead logs, after the last
+	// in-flight append has been answered.
+	if h := explorer.Load(); h != nil {
+		if err := h.Close(); err != nil {
+			return fmt.Errorf("closing write-ahead logs: %w", err)
+		}
 	}
 	return nil
 }

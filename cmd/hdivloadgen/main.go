@@ -39,6 +39,14 @@
 // flushed with the artifact's "aborted" marker set and the exit status
 // is nonzero, so CI treats the numbers as advisory rather than silently
 // comparing a short run.
+//
+// A recovery window is not an outage: when a request comes back 503 and
+// GET /readyz confirms the server is alive but not ready (a restarted
+// daemon replaying its write-ahead log behind the readiness gate), the
+// worker waits for readiness with capped exponential backoff and
+// reissues the request. Such waits count toward neither the latency
+// samples nor the consecutive-transport-error abort, so a durability
+// test can bounce the daemon mid-run without poisoning the artifact.
 package main
 
 import (
@@ -288,14 +296,25 @@ func run(ctx context.Context, cfg lgConfig, logw io.Writer) (benchfmt.Output, er
 	defer timeUp()
 
 	shoot := func(class int) {
-		s := cfg.issue(runCtx, client, class)
-		if s.status == 0 && runCtx.Err() != nil {
-			// The run ended mid-request: a context-cancelled transport error
-			// is shutdown mechanics, not a server failure.
+		for {
+			s := cfg.issue(runCtx, client, class)
+			if s.status == 0 && runCtx.Err() != nil {
+				// The run ended mid-request: a context-cancelled transport error
+				// is shutdown mechanics, not a server failure.
+				return
+			}
+			if s.status == http.StatusServiceUnavailable && awaitRecovered(runCtx, client, cfg.addr) {
+				// Recovery window: the server was alive but not ready (WAL
+				// replay behind the readiness gate) and has come back.
+				// Reissue instead of recording — the 503 was back-pressure,
+				// not a failure.
+				consecutive.Store(0)
+				continue
+			}
+			col.record(s, time.Now().After(warmupEnd))
+			noteResult(s.status == 0)
 			return
 		}
-		col.record(s, time.Now().After(warmupEnd))
-		noteResult(s.status == 0)
 	}
 
 	var wg sync.WaitGroup
@@ -354,6 +373,42 @@ func run(ctx context.Context, cfg lgConfig, logw io.Writer) (benchfmt.Output, er
 		return out, fmt.Errorf("aborted: interrupted or server unreachable (%d consecutive transport errors)", consecutive.Load())
 	}
 	return out, nil
+}
+
+// awaitRecovered polls GET /readyz with capped exponential backoff for
+// as long as the server reports "alive but not ready" — the recovery
+// window of a daemon replaying its write-ahead log (or still loading
+// datasets) behind the readiness gate. It returns true once /readyz
+// answers 200 again, false when the poll hits a transport error (the
+// server is actually gone — let the abort accounting see it) or the run
+// context ends.
+func awaitRecovered(ctx context.Context, client *http.Client, addr string) bool {
+	url := strings.TrimSuffix(addr, "/") + "/readyz"
+	backoff := 50 * time.Millisecond
+	const maxBackoff = 2 * time.Second
+	for {
+		req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+		if err != nil {
+			return false
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
 }
 
 // awaitReady polls GET /readyz until the server answers 200.

@@ -215,6 +215,62 @@ func TestRunOpenLoop(t *testing.T) {
 	}
 }
 
+// TestRunToleratesRecoveryWindow drops the fake daemon into a recovery
+// window mid-run — every endpoint (including /readyz) answers 503 with
+// the {"state":"recovering",...} body for a while, as a restarted
+// hdivexplorerd does while replaying its WAL — and checks the workers
+// wait it out and reissue: no abort, no error-rate pollution, and
+// traffic resumes after recovery.
+func TestRunToleratesRecoveryWindow(t *testing.T) {
+	srv, explores := fakeDaemon(t)
+	var recovering atomic.Bool
+	inner := srv.Config.Handler
+	srv.Config.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if recovering.Load() {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, `{"state":"recovering","replayed":1,"total":2}`)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	cfg := testConfig(srv.URL)
+	cfg.warmup = 0
+	cfg.duration = 1200 * time.Millisecond
+	cfg.maxConsecutiveErrors = 3
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		recovering.Store(true)
+		time.Sleep(400 * time.Millisecond)
+		recovering.Store(false)
+	}()
+	before := explores.Load()
+	out, err := run(context.Background(), cfg, io.Discard)
+	if err != nil {
+		t.Fatalf("run through recovery window errored: %v", err)
+	}
+	if out.Aborted {
+		t.Error("recovery window aborted the run")
+	}
+	for _, b := range out.Benchmarks {
+		if rate := b.Metrics["err-rate"]; rate != 0 {
+			t.Errorf("%s err-rate = %g, want 0 (503s from the gate must not count)", b.Name, rate)
+		}
+	}
+	if after := explores.Load(); after <= before {
+		t.Error("no traffic observed around the recovery window")
+	}
+}
+
+// TestAwaitRecoveredGivesUpOnTransportError pins the distinction the
+// abort accounting relies on: a dead listener is not a recovery window.
+func TestAwaitRecoveredGivesUpOnTransportError(t *testing.T) {
+	client := &http.Client{Timeout: time.Second}
+	if awaitRecovered(context.Background(), client, "http://127.0.0.1:1") {
+		t.Error("awaitRecovered reported recovery from an unreachable address")
+	}
+}
+
 // TestRunAbortsWhenUnreachable pins the graceful-abort contract for a
 // server that never comes up: nonzero error, artifact marked aborted.
 func TestRunAbortsWhenUnreachable(t *testing.T) {

@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func snapshotFixture(t *testing.T) *Table {
+	t.Helper()
+	return NewBuilder().
+		AddFloat("age", []float64{41, math.NaN(), 17.5, -3}).
+		AddCategorical("sex", []string{"male", "female", "female", "male"}).
+		AddCategorical("site", []string{"a", "b", "a", "c"}).
+		MustBuild()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tab := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, tab, 9); err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	back, epoch, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("DecodeSnapshot: %v", err)
+	}
+	if epoch != 9 {
+		t.Fatalf("epoch = %d, want 9", epoch)
+	}
+	if back.NumRows() != tab.NumRows() || back.NumCols() != tab.NumCols() {
+		t.Fatalf("dims (%d,%d)", back.NumRows(), back.NumCols())
+	}
+	wantFields := tab.Fields()
+	for i, f := range back.Fields() {
+		if f != wantFields[i] {
+			t.Fatalf("field %d = %+v, want %+v", i, f, wantFields[i])
+		}
+	}
+	af := back.Floats("age")
+	bf := tab.Floats("age")
+	for i := range bf {
+		if af[i] != bf[i] && !(math.IsNaN(af[i]) && math.IsNaN(bf[i])) {
+			t.Fatalf("age[%d] = %v, want %v", i, af[i], bf[i])
+		}
+	}
+	for _, name := range []string{"sex", "site"} {
+		ac, al := back.Codes(name), back.Levels(name)
+		bc, bl := tab.Codes(name), tab.Levels(name)
+		if len(al) != len(bl) {
+			t.Fatalf("%s dictionary %v, want %v", name, al, bl)
+		}
+		for i := range bl {
+			if al[i] != bl[i] {
+				t.Fatalf("%s level %d = %q, want %q", name, i, al[i], bl[i])
+			}
+		}
+		for i := range bc {
+			if ac[i] != bc[i] {
+				t.Fatalf("%s code %d = %d, want %d", name, i, ac[i], bc[i])
+			}
+		}
+	}
+}
+
+func TestSnapshotChecksumRejectsFlips(t *testing.T) {
+	tab := snapshotFixture(t)
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(&buf, tab, 3); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, off := range []int{0, 10, len(data) / 2, len(data) - 5} {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x20
+		if _, _, err := DecodeSnapshot(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flip at %d decoded cleanly", off)
+		}
+	}
+	if _, _, err := DecodeSnapshot(bytes.NewReader(data[:8])); err == nil {
+		t.Fatal("short snapshot decoded cleanly")
+	}
+}
+
+func TestNewVersionedAt(t *testing.T) {
+	v := NewVersionedAt(snapshotFixture(t), 12)
+	if got := v.Epoch(); got != 12 {
+		t.Fatalf("Epoch = %d, want 12", got)
+	}
+	if v2 := NewVersionedAt(snapshotFixture(t), 0); v2.Epoch() != 1 {
+		t.Fatalf("epoch 0 clamps to 1, got %d", v2.Epoch())
+	}
+}
+
+func TestAppendWithDurabilityHook(t *testing.T) {
+	v := NewVersioned(snapshotFixture(t))
+	batch := &Batch{
+		Floats: map[string][]float64{"age": {50}},
+		Levels: map[string][]string{"sex": {"male"}, "site": {"d"}},
+		N:      1,
+	}
+	// A failing hook aborts the append with nothing applied.
+	sentinel := errors.New("wal unavailable")
+	var sawEpoch uint64
+	if _, _, err := v.AppendWith(batch, func(epoch uint64) error {
+		sawEpoch = epoch
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("AppendWith error = %v, want sentinel", err)
+	}
+	if sawEpoch != 2 {
+		t.Fatalf("hook saw epoch %d, want the next epoch 2", sawEpoch)
+	}
+	if v.Epoch() != 1 || v.NumRows() != 4 {
+		t.Fatalf("failed hook mutated state: epoch %d rows %d", v.Epoch(), v.NumRows())
+	}
+	// A succeeding hook applies exactly like Append.
+	epoch, total, err := v.AppendWith(batch, func(epoch uint64) error { return nil })
+	if err != nil || epoch != 2 || total != 5 {
+		t.Fatalf("AppendWith = %d, %d, %v", epoch, total, err)
+	}
+	// Invalid batches never reach the hook.
+	called := false
+	if _, _, err := v.AppendWith(&Batch{N: 1}, func(uint64) error { called = true; return nil }); err == nil || called {
+		t.Fatalf("invalid batch: err=%v hook called=%v", err, called)
+	}
+}

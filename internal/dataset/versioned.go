@@ -226,6 +226,13 @@ func (v *Versioned) Append(b *Batch) (epoch uint64, total int, err error) {
 	if err := v.validate(b); err != nil {
 		return v.epoch, v.nrows, err
 	}
+	v.applyLocked(b)
+	return v.epoch, v.nrows, nil
+}
+
+// applyLocked grows every column by the (already validated) batch and
+// advances the epoch. Callers hold v.mu.
+func (v *Versioned) applyLocked(b *Batch) {
 	for i := range v.cols {
 		c := &v.cols[i]
 		if c.field.Kind == Continuous {
@@ -245,7 +252,6 @@ func (v *Versioned) Append(b *Batch) (epoch uint64, total int, err error) {
 	v.nrows += b.N
 	v.epoch++
 	v.snap = nil
-	return v.epoch, v.nrows, nil
 }
 
 // NewLevels reports whether the batch introduces categorical level names

@@ -31,4 +31,22 @@ const (
 	// SiteDriftRemine fires inside the drift monitor's background re-mine,
 	// exercising the panic isolation around the per-dataset watcher.
 	SiteDriftRemine = "server.drift_remine"
+	// SiteWALAppendSync fires in the write-ahead log's append path after
+	// the record bytes are buffered but before the sync policy is
+	// satisfied — an fsync that never completes. Acknowledge-after-durable
+	// demands a fault here answers 5xx without acking the batch: replay
+	// must be able to reproduce every 200.
+	SiteWALAppendSync = "wal.append_sync"
+	// SiteWALSegmentRotate fires when the active WAL segment reaches its
+	// size bound, before the next segment file is created — rotation
+	// failing must fail the triggering append, not corrupt the log.
+	SiteWALSegmentRotate = "wal.segment_rotate"
+	// SiteWALReplayRecord fires once per record during startup replay,
+	// after the checksum verified but before the batch is applied — a
+	// poisoned record surfacing mid-recovery.
+	SiteWALReplayRecord = "wal.replay_record"
+	// SiteSnapshotWrite fires inside the server's WAL compaction while the
+	// full-table snapshot is being staged; a fault here must leave the
+	// previous snapshot authoritative and every segment in place.
+	SiteSnapshotWrite = "server.snapshot_write"
 )

@@ -155,6 +155,24 @@ const (
 	CtrServerDriftRemines          = "server.drift_remines"
 	CtrServerDriftEvents           = "server.drift_events"
 
+	// Write-ahead-log counters (internal/wal, accumulated on the server's
+	// lifetime tracer when durability is enabled). CtrWALRecords counts
+	// records appended to the active segment; CtrWALReplayedRecords the
+	// records applied during startup recovery; CtrWALTruncatedRecords the
+	// torn or checksum-failed records recovery truncated the log at
+	// (everything after the first bad record is discarded rather than
+	// refusing to start); CtrWALSnapshotsWritten the full-table snapshots
+	// compaction has staged and committed; CtrWALSegmentsDeleted the
+	// sealed segments deleted because a snapshot covers every record in
+	// them. CtrServerEpochsRetired counts pinned-replay cache entries the
+	// epoch-retention sweep aged out (their epochs now answer 410 Gone).
+	CtrWALRecords          = "wal.records_appended"
+	CtrWALReplayedRecords  = "wal.replayed_records"
+	CtrWALTruncatedRecords = "wal.truncated_records"
+	CtrWALSnapshotsWritten = "wal.snapshots_written"
+	CtrWALSegmentsDeleted  = "wal.segments_deleted"
+	CtrServerEpochsRetired = "server.epochs_retired"
+
 	// SLO lifetime counters. CtrServerSLOBreachPrefix + endpoint class +
 	// "." + objective name (e.g. "explore.p99") counts requests that
 	// violated that latency objective over the process lifetime — the
@@ -216,6 +234,16 @@ const (
 	// GaugeServerEpochPrefix + dataset name is the dataset's current epoch
 	// (1 at load, +1 per accepted append batch).
 	GaugeServerEpochPrefix = "server.dataset_epoch."
+
+	// GaugeWALActiveSegmentPrefix + dataset name is the sequence number of
+	// the segment that dataset's appends currently land in;
+	// GaugeWALSegmentsPrefix + name the number of live segment files
+	// (sealed + active); GaugeWALSnapshotEpochPrefix + name the epoch of
+	// the newest committed snapshot (0 before the first compaction).
+	// Dynamic names, exported without HELP like the epoch gauges.
+	GaugeWALActiveSegmentPrefix = "wal.active_segment."
+	GaugeWALSegmentsPrefix      = "wal.segments."
+	GaugeWALSnapshotEpochPrefix = "wal.snapshot_epoch."
 )
 
 // Canonical histogram names.
@@ -230,6 +258,10 @@ const (
 	// HistItemsetSupport is the support-fraction distribution of the
 	// frequent itemsets a mining run emitted.
 	HistItemsetSupport = "fpm.itemset_support"
+	// HistWALFsyncSeconds is the latency distribution of WAL fsyncs — one
+	// observation per group commit, not per acknowledged append, so the
+	// count against CtrWALRecords shows the fsync-batching ratio.
+	HistWALFsyncSeconds = "wal.fsync_seconds"
 )
 
 // Default bucket bounds for the canonical histograms. Call sites pass
@@ -249,14 +281,14 @@ var (
 // stable serving-layer and mining metrics are registered — dynamic names
 // (per-worker counters, per-endpoint request counts) export without HELP.
 var MetricHelp = map[string]string{
-	"server_request_seconds":          "End-to-end /v1/explore request latency in seconds.",
-	"server_explores":                 "Explorations actually run to completion or error.",
-	"server_http_errors":              "Requests answered with a 4xx/5xx status.",
-	"server_rejected_saturated":       "Explorations rejected with 429 at the in-flight limit.",
-	"server_explores_cancelled":       "Explorations aborted by timeout or client disconnect.",
-	"server_universe_cache_hits":      "Universe-cache lookups that skipped discretization.",
-	"server_universe_cache_misses":    "Universe-cache lookups that built a new universe.",
-	"server_universe_cache_evictions": "Universe-cache entries evicted by the LRU capacity bound.",
+	"server_request_seconds":                "End-to-end /v1/explore request latency in seconds.",
+	"server_explores":                       "Explorations actually run to completion or error.",
+	"server_http_errors":                    "Requests answered with a 4xx/5xx status.",
+	"server_rejected_saturated":             "Explorations rejected with 429 at the in-flight limit.",
+	"server_explores_cancelled":             "Explorations aborted by timeout or client disconnect.",
+	"server_universe_cache_hits":            "Universe-cache lookups that skipped discretization.",
+	"server_universe_cache_misses":          "Universe-cache lookups that built a new universe.",
+	"server_universe_cache_evictions":       "Universe-cache entries evicted by the LRU capacity bound.",
 	"server_universe_cache_stale_evictions": "Universe-cache evictions that picked a stale-epoch entry over the LRU tail.",
 	"server_appends":                        "Accepted dataset append batches (each bumps its dataset's epoch).",
 	"server_append_rows":                    "Rows appended across accepted batches.",
@@ -264,35 +296,42 @@ var MetricHelp = map[string]string{
 	"server_universe_builds_rediscretized":  "Epoch-bump universe builds that re-discretized from scratch.",
 	"server_drift_remines":                  "Background drift re-mines triggered by epoch bumps.",
 	"server_drift_events":                   "Subgroup divergence t-threshold crossings detected between epochs.",
-	"server_batch_statistics":         "Statistics computed across /v1/explore/batch requests.",
-	"server_panics_recovered":         "Handler panics recovered by the middleware (answered 500, daemon alive).",
-	"server_explorations_truncated":   "Explorations answered 200 with a budget-truncated report.",
-	"engine_panics_recovered":         "Worker and miner panics recovered into errors.",
-	"engine_shards":                   "Row shards of the engine data plane in the last mining run.",
-	"server_in_flight":                "Explorations currently running.",
-	"server_in_flight_max":            "High-water mark of concurrent explorations.",
-	"server_datasets":                 "Datasets loaded at startup.",
-	"server_cached_universes":         "Universe-cache entries currently built.",
-	"fpm_candidate_batch":             "Candidate-batch sizes: Apriori level widths and FP-Growth conditional universe sizes.",
-	"fpm_itemset_support":             "Support fraction of emitted frequent itemsets.",
-	"fpm_candidates":                  "Itemset candidates whose support was evaluated.",
-	"fpm_pruned_support":              "Candidates discarded as infrequent.",
-	"fpm_pruned_polarity":             "Combinations skipped by polarity pruning.",
-	"fpm_itemsets_emitted":            "Frequent itemsets returned by the miner.",
-	"fpm_budget_max_candidates":       "Configured candidate budget of the last mining run (0 = unlimited).",
-	"fpm_budget_max_itemsets":         "Configured itemset budget of the last mining run (0 = unlimited).",
-	"fpm_budget_soft_deadline_ns":     "Configured soft mining deadline in nanoseconds (0 = none).",
-	"fpm_budget_max_heap_bytes":       "Configured heap budget of the last mining run (0 = unlimited).",
-	"fpm_budget_heap_bytes":           "Heap high-water mark observed by the mining budget tracker.",
-	"engine_pool_hits":                "Buffer acquisitions served from the run pool's recycled storage.",
-	"engine_pool_misses":              "Buffer acquisitions that allocated fresh storage.",
-	"bitvec_items_dense":              "Universe items kept as dense bit vectors.",
-	"bitvec_items_compressed":         "Universe items stored as compressed bitmaps.",
-	"bitvec_containers_array":         "Array containers across the universe's compressed bitmaps.",
-	"bitvec_containers_bitmap":        "Bitmap containers across the universe's compressed bitmaps.",
-	"bitvec_containers_run":           "Run containers across the universe's compressed bitmaps.",
-	"bitvec_universe_bytes":           "Row-set payload bytes actually held by the universe.",
-	"bitvec_universe_dense_bytes":     "Row-set payload bytes an all-dense universe would hold.",
+	"server_epochs_retired":                 "Pinned-replay cache entries aged out by the epoch-retention sweep.",
+	"wal_records_appended":                  "Records appended to the write-ahead log's active segment.",
+	"wal_replayed_records":                  "WAL records applied during startup recovery.",
+	"wal_truncated_records":                 "Torn or checksum-failed records recovery truncated the log at.",
+	"wal_snapshots_written":                 "Full-table snapshots committed by WAL compaction.",
+	"wal_segments_deleted":                  "Sealed WAL segments deleted because a snapshot covers them.",
+	"wal_fsync_seconds":                     "WAL fsync latency; one observation per group commit.",
+	"server_batch_statistics":               "Statistics computed across /v1/explore/batch requests.",
+	"server_panics_recovered":               "Handler panics recovered by the middleware (answered 500, daemon alive).",
+	"server_explorations_truncated":         "Explorations answered 200 with a budget-truncated report.",
+	"engine_panics_recovered":               "Worker and miner panics recovered into errors.",
+	"engine_shards":                         "Row shards of the engine data plane in the last mining run.",
+	"server_in_flight":                      "Explorations currently running.",
+	"server_in_flight_max":                  "High-water mark of concurrent explorations.",
+	"server_datasets":                       "Datasets loaded at startup.",
+	"server_cached_universes":               "Universe-cache entries currently built.",
+	"fpm_candidate_batch":                   "Candidate-batch sizes: Apriori level widths and FP-Growth conditional universe sizes.",
+	"fpm_itemset_support":                   "Support fraction of emitted frequent itemsets.",
+	"fpm_candidates":                        "Itemset candidates whose support was evaluated.",
+	"fpm_pruned_support":                    "Candidates discarded as infrequent.",
+	"fpm_pruned_polarity":                   "Combinations skipped by polarity pruning.",
+	"fpm_itemsets_emitted":                  "Frequent itemsets returned by the miner.",
+	"fpm_budget_max_candidates":             "Configured candidate budget of the last mining run (0 = unlimited).",
+	"fpm_budget_max_itemsets":               "Configured itemset budget of the last mining run (0 = unlimited).",
+	"fpm_budget_soft_deadline_ns":           "Configured soft mining deadline in nanoseconds (0 = none).",
+	"fpm_budget_max_heap_bytes":             "Configured heap budget of the last mining run (0 = unlimited).",
+	"fpm_budget_heap_bytes":                 "Heap high-water mark observed by the mining budget tracker.",
+	"engine_pool_hits":                      "Buffer acquisitions served from the run pool's recycled storage.",
+	"engine_pool_misses":                    "Buffer acquisitions that allocated fresh storage.",
+	"bitvec_items_dense":                    "Universe items kept as dense bit vectors.",
+	"bitvec_items_compressed":               "Universe items stored as compressed bitmaps.",
+	"bitvec_containers_array":               "Array containers across the universe's compressed bitmaps.",
+	"bitvec_containers_bitmap":              "Bitmap containers across the universe's compressed bitmaps.",
+	"bitvec_containers_run":                 "Run containers across the universe's compressed bitmaps.",
+	"bitvec_universe_bytes":                 "Row-set payload bytes actually held by the universe.",
+	"bitvec_universe_dense_bytes":           "Row-set payload bytes an all-dense universe would hold.",
 
 	// Windowed serving-layer families, hand-rendered by the server's SLO
 	// engine on GET /metrics (labeled by endpoint class; the Trace

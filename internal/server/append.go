@@ -9,6 +9,7 @@ import (
 	"repro/internal/discretize"
 	"repro/internal/faultinject"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // appendReply is the POST /v1/datasets/{name}/rows response body.
@@ -52,16 +53,54 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	epoch, total, err := v.Append(batch)
+	// Acknowledge-after-durable: the record is buffered into the WAL
+	// inside the append's critical section (so log order equals epoch
+	// order), then the sync policy is satisfied outside it (so
+	// concurrent appends share one group-commit fsync). A WAL failure at
+	// either point answers 5xx without acking — replay can reproduce
+	// every batch the server ever answered 200 for.
+	wlog := s.wals[name]
+	var res wal.AppendResult
+	var walErr error
+	epoch, total, err := v.AppendWith(batch, func(epoch uint64) error {
+		if wlog == nil {
+			return nil
+		}
+		res, walErr = wlog.Append(epoch, body)
+		return walErr
+	})
 	if err != nil {
 		logger.Warn("append rejected", slog.String("dataset", name), slog.String("error", err.Error()))
+		if walErr != nil {
+			s.httpError(w, http.StatusInternalServerError, "append not durable: %v", err)
+			return
+		}
 		s.httpError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	if wlog != nil {
+		if err := wlog.Commit(res.Off); err != nil {
+			// The batch is applied in memory but its durability is unknown;
+			// refusing the ack keeps the contract (the client must retry, and
+			// replay-after-crash may or may not include this epoch — both
+			// outcomes are consistent with "never acked").
+			logger.Warn("append not durable", slog.String("dataset", name), slog.String("error", err.Error()))
+			s.httpError(w, http.StatusInternalServerError, "append not durable: %v", err)
+			return
+		}
 	}
 	s.tracer.Counter(obs.CtrServerAppends).Add(1)
 	s.tracer.Counter(obs.CtrServerAppendRows).Add(int64(batch.N))
 	s.tracer.SetGauge(obs.GaugeServerEpochPrefix+name, float64(epoch))
+	if h := s.history[name]; h != nil {
+		t, e := v.Snapshot()
+		h.note(e, t)
+	}
 	s.drift.noteEpoch(name)
+	s.sweepRetention(name, epoch)
+	if res.Rotated {
+		s.maybeCompact(name)
+	}
 	logger.Info("append",
 		slog.String("dataset", name),
 		slog.Int("rows", batch.N),

@@ -236,6 +236,25 @@ func (c *universeCache) staleVictimLocked() *list.Element {
 	return nil
 }
 
+// retire drops every entry of the dataset at or below maxEpoch — the
+// epoch-retention sweep. Retired pinned replays answer 410 Gone exactly
+// like LRU-evicted ones; entries still held by in-flight explorations
+// stay valid, only the cache's reference goes.
+func (c *universeCache) retire(dataset string, maxEpoch uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k, el := range c.entries {
+		if k.dataset != dataset || k.epoch > maxEpoch {
+			continue
+		}
+		c.lru.Remove(el)
+		delete(c.entries, k)
+		n++
+	}
+	return n
+}
+
 // remove deletes key from the cache, but only while it still maps to e:
 // a failed build must not knock out a newer entry that replaced it after
 // eviction.

@@ -2,9 +2,12 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -31,6 +34,10 @@ type driftMonitor struct {
 	debounce time.Duration
 	remines  *obs.Counter
 	events   *obs.Counter
+	// stateDir, when set, persists each watch (spec, baseline epoch and
+	// subgroup snapshots) to stateDir/<name>/drift.json so a restart
+	// resumes monitoring where the crash interrupted it.
+	stateDir string
 
 	mu      sync.Mutex
 	watches map[string]*driftWatch
@@ -120,6 +127,7 @@ func (m *driftMonitor) noteExplore(p *exploreParams, rep *core.Report) {
 		w.baseEpoch = p.epoch
 		w.baseline = snapshotSubgroups(rep)
 	}
+	m.persistLocked(p.req.Dataset, w)
 }
 
 // noteEpoch schedules (or reschedules) the debounced background re-mine
@@ -233,6 +241,7 @@ func (m *driftMonitor) remine(name string) {
 		w.events = w.events[len(w.events)-maxDriftEvents:]
 	}
 	w.window.Add(int64(len(events)))
+	m.persistLocked(name, w)
 	m.mu.Unlock()
 	m.events.Add(int64(len(events)))
 	if len(events) > 0 {
@@ -242,6 +251,100 @@ func (m *driftMonitor) remine(name string) {
 			slog.Uint64("from_epoch", baseEpoch),
 			slog.Uint64("to_epoch", p.epoch),
 		)
+	}
+}
+
+// driftState is the persisted form of one dataset's watch: everything
+// needed to resume monitoring after a restart. Events and the sliding
+// window are deliberately in-memory only — they describe observations,
+// not obligations.
+type driftState struct {
+	Request   ExploreRequest          `json:"request"`
+	BaseEpoch uint64                  `json:"base_epoch"`
+	Baseline  map[string]subgroupSnap `json:"baseline"`
+}
+
+// statePath is the watch's persistence file, "" when persistence is off.
+func (m *driftMonitor) statePath(name string) string {
+	if m.stateDir == "" {
+		return ""
+	}
+	return filepath.Join(m.stateDir, name, "drift.json")
+}
+
+// persistLocked writes the watch to its state file (atomic tmp+rename;
+// best-effort — a failed persist costs a post-restart re-arm, nothing
+// more). Caller holds m.mu.
+func (m *driftMonitor) persistLocked(name string, w *driftWatch) {
+	path := m.statePath(name)
+	if path == "" || !w.haveWatch {
+		return
+	}
+	raw, err := json.Marshal(driftState{
+		Request:   w.params.req,
+		BaseEpoch: w.baseEpoch,
+		Baseline:  w.baseline,
+	})
+	if err != nil {
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		m.server.logger.Warn("drift state persist failed",
+			slog.String("dataset", name), slog.String("error", err.Error()))
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		m.server.logger.Warn("drift state persist failed",
+			slog.String("dataset", name), slog.String("error", err.Error()))
+	}
+}
+
+// restore reloads persisted watches after WAL recovery and re-arms the
+// debounce timer for any dataset whose replay advanced the epoch past
+// the persisted baseline — a crash between an append and its re-mine
+// still produces the drift report. Called once from New, before the
+// server takes traffic.
+func (m *driftMonitor) restore() {
+	if m == nil || m.t < 0 || m.stateDir == "" {
+		return
+	}
+	for _, name := range m.server.order {
+		path := m.statePath(name)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			continue // no watch persisted (or unreadable): nothing to resume
+		}
+		var st driftState
+		if err := json.Unmarshal(raw, &st); err != nil {
+			m.server.logger.Warn("drift state corrupt, ignoring",
+				slog.String("dataset", name), slog.String("error", err.Error()))
+			continue
+		}
+		st.Request.Dataset = name
+		st.Request.Epoch = 0
+		p, _, err := m.server.resolve(st.Request)
+		if err != nil {
+			m.server.logger.Warn("drift state no longer resolvable, ignoring",
+				slog.String("dataset", name), slog.String("error", err.Error()))
+			continue
+		}
+		m.mu.Lock()
+		w := m.watch(name)
+		w.params = *p
+		w.haveWatch = true
+		w.baseEpoch = st.BaseEpoch
+		w.baseline = st.Baseline
+		m.mu.Unlock()
+		cur := m.server.tables[name].Epoch()
+		if cur > st.BaseEpoch {
+			m.server.logger.Info("drift watch re-armed after replay",
+				slog.String("dataset", name),
+				slog.Uint64("baseline_epoch", st.BaseEpoch),
+				slog.Uint64("epoch", cur))
+			m.noteEpoch(name)
+		}
 	}
 }
 

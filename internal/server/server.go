@@ -20,6 +20,7 @@ import (
 	"repro/internal/fpm"
 	"repro/internal/obs"
 	"repro/internal/outcome"
+	"repro/internal/wal"
 )
 
 // DatasetConfig names one dataset served by the server. Exactly one of
@@ -94,6 +95,29 @@ type Config struct {
 	// epoch bump, coalescing append bursts into one re-mine. 0 defaults
 	// to 2s.
 	DriftDebounce time.Duration
+	// WALDir enables the durable dataset lifecycle: each dataset keeps a
+	// write-ahead log (and its snapshots) under WALDir/<name>/. Appends
+	// are acknowledged only after the record satisfies WALSync, and New
+	// replays the log so a restart resumes at the exact pre-crash epoch.
+	// Empty disables durability: appends live only in memory.
+	WALDir string
+	// WALSync is the append durability policy (see wal.SyncPolicy). The
+	// zero value is wal.SyncAlways.
+	WALSync wal.SyncPolicy
+	// WALSyncInterval is the background flush period under
+	// wal.SyncInterval. 0 defaults to 50ms.
+	WALSyncInterval time.Duration
+	// WALSegmentBytes rotates WAL segments at this size (0 = 4 MiB).
+	// Each rotation also triggers background snapshot/compaction.
+	WALSegmentBytes int64
+	// EpochRetain bounds how many recent epochs of a dataset stay
+	// servable as pinned replays: after an append acks epoch E, cache
+	// entries at or below E−EpochRetain are retired (410 Gone).
+	// 0 defaults to 8; negative disables the sweep.
+	EpochRetain int
+	// Recovery, when non-nil, receives WAL replay progress while New
+	// runs — the daemon surfaces it on /readyz during startup.
+	Recovery *RecoveryState
 	// Tracer accumulates the server.* lifetime counters, gauges and
 	// histograms rendered by GET /metrics. Each exploration runs on its
 	// own per-request tracer whose counters are folded in here on
@@ -117,7 +141,11 @@ type Server struct {
 	slo               *sloEngine
 	hLatency          *obs.Histogram
 	tables            map[string]*dataset.Versioned
-	order             []string // dataset names in registration order
+	order             []string                 // dataset names in registration order
+	wals              map[string]*wal.Log      // nil values when WALDir is unset
+	compacting        map[string]*atomic.Bool  // per-dataset compaction latch
+	history           map[string]*epochHistory // pinned-epoch tables; nil values when WALDir is unset
+	epochRetain       int
 	cache             *universeCache
 	drift             *driftMonitor
 	sem               chan struct{}
@@ -186,6 +214,9 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Budget.Validate(); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	if cfg.EpochRetain == 0 {
+		cfg.EpochRetain = 8
+	}
 	s := &Server{
 		mux:      http.NewServeMux(),
 		tracer:   cfg.Tracer,
@@ -201,6 +232,10 @@ func New(cfg Config) (*Server, error) {
 		timeout:           cfg.RequestTimeout,
 		budget:            cfg.Budget,
 		rediscretizeDrift: cfg.RediscretizeDrift,
+		wals:              map[string]*wal.Log{},
+		compacting:        map[string]*atomic.Bool{},
+		history:           map[string]*epochHistory{},
+		epochRetain:       cfg.EpochRetain,
 	}
 	s.slo = newSLOEngine(cfg.SLO, cfg.Tracer)
 	for _, d := range cfg.Datasets {
@@ -218,9 +253,22 @@ func New(cfg Config) (*Server, error) {
 				return nil, fmt.Errorf("server: dataset %q: %w", d.Name, err)
 			}
 		}
-		s.tables[d.Name] = dataset.NewVersioned(tab)
+		if cfg.WALDir != "" {
+			hist := newEpochHistory(cfg.EpochRetain)
+			v, w, err := recoverDataset(&cfg, d.Name, tab, cfg.Recovery, hist)
+			if err != nil {
+				s.Close()
+				return nil, fmt.Errorf("server: %w", err)
+			}
+			s.tables[d.Name] = v
+			s.wals[d.Name] = w
+			s.history[d.Name] = hist
+		} else {
+			s.tables[d.Name] = dataset.NewVersioned(tab)
+		}
 		s.order = append(s.order, d.Name)
-		s.tracer.SetGauge(obs.GaugeServerEpochPrefix+d.Name, 1)
+		s.compacting[d.Name] = new(atomic.Bool)
+		s.tracer.SetGauge(obs.GaugeServerEpochPrefix+d.Name, float64(s.tables[d.Name].Epoch()))
 	}
 	// Stale-preferring eviction consults the live epoch of each entry's
 	// dataset; entries of unknown datasets (impossible today) read as
@@ -232,6 +280,13 @@ func New(cfg Config) (*Server, error) {
 		return 0
 	}
 	s.drift = newDriftMonitor(s, cfg.DriftT, cfg.DriftDebounce)
+	if cfg.WALDir != "" {
+		s.drift.stateDir = cfg.WALDir
+		// A crash between an append and its debounced re-mine must still
+		// produce the drift report: restore each persisted watch and, when
+		// replay advanced the epoch past its baseline, re-arm the timer.
+		s.drift.restore()
+	}
 	s.tracer.SetGauge(obs.GaugeServerDatasets, float64(len(s.order)))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -801,15 +856,27 @@ func (s *Server) serveExplore(w http.ResponseWriter, r *http.Request, batch bool
 
 	var entry *cacheEntry
 	if p.pinned {
-		// A pinned epoch is never rebuilt — its snapshot table is only
-		// reachable through the cache entry built while it was current.
+		// Without durability a pinned epoch is never rebuilt — its
+		// snapshot table is only reachable through the cache entry built
+		// while it was current. With a WAL, the epoch history retains
+		// recent epochs' frozen tables, so a pinned epoch inside the
+		// retention window rebuilds after a restart (or cache eviction)
+		// and 410 is decided by the retention policy alone.
 		entry, hit = s.cache.peek(p.key())
 		if !hit {
-			status = "gone"
-			s.httpError(w, http.StatusGone, "dataset %q epoch %d is no longer cached", p.req.Dataset, p.epoch)
-			return
+			tab := s.pinnedTable(p.req.Dataset, p.epoch)
+			if tab == nil {
+				status = "gone"
+				s.httpError(w, http.StatusGone, "dataset %q epoch %d is no longer cached", p.req.Dataset, p.epoch)
+				return
+			}
+			p.tab = tab
+			entry, hit, err = s.cache.get(ctx, p.key(), func(e *cacheEntry) error {
+				return buildEntry(e, p.tab, p.key(), reqTracer)
+			})
+		} else {
+			err = nil
 		}
-		err = nil
 	} else {
 		entry, hit, err = s.cache.get(ctx, p.key(), func(e *cacheEntry) error {
 			return s.buildOrAppend(e, p, reqTracer)

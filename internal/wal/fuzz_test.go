@@ -1,0 +1,133 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// refScan is the independent reference parser the fuzz target checks
+// recovery against: walk the byte stream record by record, stop at the
+// first torn or checksum-failing record, return the valid prefix.
+func refScan(data []byte) (payloads [][]byte, epochs []uint64) {
+	off := 0
+	for {
+		if off+headerSize > len(data) {
+			return
+		}
+		hdr := data[off : off+headerSize]
+		n := int(binary.LittleEndian.Uint32(hdr[0:4]))
+		epoch := binary.LittleEndian.Uint64(hdr[4:12])
+		want := binary.LittleEndian.Uint32(hdr[12:16])
+		if n == 0 || n > maxRecordBytes || epoch == 0 {
+			return
+		}
+		if off+headerSize+n > len(data) {
+			return
+		}
+		payload := data[off+headerSize : off+headerSize+n]
+		crc := crc32.Update(crc32.Checksum(hdr[0:12], castagnoli), castagnoli, payload)
+		if crc != want {
+			return
+		}
+		payloads = append(payloads, append([]byte(nil), payload...))
+		epochs = append(epochs, epoch)
+		off += headerSize + n
+	}
+}
+
+// validSegment builds a well-formed segment through the real API, for
+// the seed corpus.
+func validSegment(t *testing.F, payloads ...string) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range payloads {
+		res, err := l.Append(uint64(i+2), []byte(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(res.Off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "000000001.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// FuzzWALReplay feeds arbitrary bytes to the recovery scan as a segment
+// file and pins the two safety properties: recovery never panics, and
+// replay never delivers a record the checksum does not cover — the
+// delivered records are exactly the reference parser's valid prefix.
+// The log must also stay appendable after recovering arbitrary garbage.
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(validSegment(f, `{"rows":[[1]]}`))
+	f.Add(validSegment(f, `{"rows":[[1]]}`, `{"rows":[[2,3]]}`, `{"rows":[[4]]}`))
+	corrupt := validSegment(f, `{"rows":[[1]]}`, `{"rows":[[2]]}`)
+	corrupt[len(corrupt)-3] ^= 0x40
+	f.Add(corrupt)
+	f.Add(bytes.Repeat([]byte{0}, 64))
+	f.Add([]byte("not a wal segment at all, just text padding to 40+"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wantPayloads, wantEpochs := refScan(data)
+
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "000000001.wal"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(Options{Dir: dir, Sync: SyncNone})
+		if err != nil {
+			// Open refuses only on I/O errors, never on content; any error
+			// here is a bug surfaced by the fuzzer.
+			t.Fatalf("Open on fuzzed segment: %v", err)
+		}
+		defer l.Close()
+
+		var gotPayloads [][]byte
+		var gotEpochs []uint64
+		if err := l.Replay(func(rec Record) error {
+			gotPayloads = append(gotPayloads, append([]byte(nil), rec.Payload...))
+			gotEpochs = append(gotEpochs, rec.Epoch)
+			return nil
+		}); err != nil {
+			t.Fatalf("Replay on recovered segment: %v", err)
+		}
+		if len(gotPayloads) != len(wantPayloads) {
+			t.Fatalf("replayed %d records, reference parser found %d", len(gotPayloads), len(wantPayloads))
+		}
+		for i := range gotPayloads {
+			if !bytes.Equal(gotPayloads[i], wantPayloads[i]) || gotEpochs[i] != wantEpochs[i] {
+				t.Fatalf("record %d: got epoch %d payload %q, want epoch %d payload %q",
+					i, gotEpochs[i], gotPayloads[i], wantEpochs[i], wantPayloads[i])
+			}
+		}
+
+		// Whatever the scan salvaged, the log must accept new records at
+		// the parked offset and read them back.
+		nextEpoch := uint64(2)
+		if n := len(wantEpochs); n > 0 {
+			nextEpoch = wantEpochs[n-1] + 1
+		}
+		res, err := l.Append(nextEpoch, []byte("post-recovery"))
+		if err != nil {
+			t.Fatalf("Append after recovery: %v", err)
+		}
+		if err := l.Commit(res.Off); err != nil {
+			t.Fatalf("Commit after recovery: %v", err)
+		}
+	})
+}

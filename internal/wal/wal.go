@@ -1,0 +1,789 @@
+// Package wal implements a checksummed, segmented write-ahead log for
+// dataset append batches (DESIGN §14).
+//
+// Each acknowledged POST /v1/datasets/{name}/rows batch becomes exactly
+// one record: a 16-byte header (little-endian payload length, the epoch
+// the batch produces, and a CRC32C over header prefix + payload)
+// followed by the raw batch JSON. Records append to the active segment
+// file; segments rotate at a size bound and are deleted once a
+// full-table snapshot covers every epoch they hold.
+//
+// Durability is prefix-closed: fsync covers a file prefix, so if epoch
+// E survives a crash every earlier epoch does too. Recovery scans
+// segments in order, truncates at the first torn or checksum-failed
+// record (counting wal.truncated_records and logging the offset), and
+// never refuses to start over a corrupt tail.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// SyncPolicy selects when an acknowledged append is durable.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every acknowledgement, batching
+	// concurrent appenders behind a single group-commit fsync. Loss
+	// window: none for acked batches.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background timer. Loss window: up to one
+	// interval of acked batches.
+	SyncInterval
+	// SyncNone never fsyncs; the OS page cache decides. Loss window:
+	// everything since the kernel last wrote back.
+	SyncNone
+)
+
+// ParseSyncPolicy maps the -wal-sync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval or none)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+const (
+	headerSize = 16
+	// maxRecordBytes bounds a single record's payload during recovery;
+	// anything larger is treated as a torn length field. The append
+	// handler caps request bodies well below this.
+	maxRecordBytes = 64 << 20
+
+	segmentSuffix  = ".wal"
+	snapshotPrefix = "snapshot-"
+	snapshotSuffix = ".snap"
+
+	defaultSegmentBytes = 4 << 20
+	defaultSyncInterval = 50 * time.Millisecond
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures Open.
+type Options struct {
+	// Dir is the per-dataset log directory; created if absent.
+	Dir string
+	// SegmentBytes rotates the active segment once it reaches this many
+	// bytes. Defaults to 4 MiB.
+	SegmentBytes int64
+	// Sync is the durability policy for Commit.
+	Sync SyncPolicy
+	// SyncInterval is the flush period under SyncInterval. Defaults to
+	// 50ms.
+	SyncInterval time.Duration
+	// Name labels per-dataset gauges; empty disables them.
+	Name string
+	// Tracer receives wal counters, gauges and the fsync histogram.
+	// Nil-safe.
+	Tracer *obs.Tracer
+	// Logf, when set, receives recovery diagnostics (truncation offsets).
+	Logf func(format string, args ...any)
+}
+
+// Record is one replayable append batch.
+type Record struct {
+	// Epoch is the dataset epoch applying this record produces.
+	Epoch uint64
+	// Payload is the raw append-batch JSON body.
+	Payload []byte
+}
+
+type segment struct {
+	seq        uint64
+	path       string
+	f          *os.File
+	size       int64
+	firstEpoch uint64 // 0 when the segment holds no records
+	lastEpoch  uint64
+}
+
+type recMeta struct {
+	seg   int // index into l.segs at scan time
+	off   int64
+	epoch uint64
+	n     int // payload length
+}
+
+// SnapshotRef names a committed snapshot file.
+type SnapshotRef struct {
+	Epoch uint64
+	Path  string
+}
+
+// RecoveryInfo summarizes what Open found on disk.
+type RecoveryInfo struct {
+	// SnapshotEpoch is the newest committed snapshot's epoch, 0 if none.
+	SnapshotEpoch uint64
+	// Records is the number of valid records with epoch > SnapshotEpoch
+	// that Replay will deliver.
+	Records int
+	// Truncated reports whether a torn or corrupt tail was cut.
+	Truncated bool
+	// TruncatedAt is "<segment path>@<offset>" when Truncated.
+	TruncatedAt string
+}
+
+// Log is a single dataset's write-ahead log. One writer (the append
+// handler, serialized per dataset by Versioned's lock) plus any number
+// of Commit waiters.
+type Log struct {
+	dir      string
+	segBytes int64
+	policy   SyncPolicy
+	interval time.Duration
+	name     string
+	tracer   *obs.Tracer
+	logf     func(string, ...any)
+
+	ctrRecords   *obs.Counter
+	ctrReplayed  *obs.Counter
+	ctrTruncated *obs.Counter
+	ctrSnapshots *obs.Counter
+	ctrSegDel    *obs.Counter
+	hFsync       *obs.Histogram
+
+	info      RecoveryInfo
+	replay    []recMeta
+	snapshots []SnapshotRef // descending by epoch
+
+	mu        sync.Mutex // guards segs, writes, rotation, snapshot state
+	segs      []*segment
+	writtenTo uint64 // global byte counter across all appended records
+	snapEpoch uint64
+	closed    bool
+
+	smu      sync.Mutex // guards group-commit state; never held across mu
+	scond    *sync.Cond
+	syncedTo uint64
+	syncing  bool
+	failed   error // sticky write/fsync failure: the log is wedged
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// Open scans dir, enacts torn-tail truncation, and prepares the log for
+// Replay followed by appends.
+func Open(opts Options) (*Log, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	l := &Log{
+		dir:      opts.Dir,
+		segBytes: opts.SegmentBytes,
+		policy:   opts.Sync,
+		interval: opts.SyncInterval,
+		name:     opts.Name,
+		tracer:   opts.Tracer,
+		logf:     opts.Logf,
+
+		ctrRecords:   opts.Tracer.Counter(obs.CtrWALRecords),
+		ctrReplayed:  opts.Tracer.Counter(obs.CtrWALReplayedRecords),
+		ctrTruncated: opts.Tracer.Counter(obs.CtrWALTruncatedRecords),
+		ctrSnapshots: opts.Tracer.Counter(obs.CtrWALSnapshotsWritten),
+		ctrSegDel:    opts.Tracer.Counter(obs.CtrWALSegmentsDeleted),
+		hFsync:       opts.Tracer.Histogram(obs.HistWALFsyncSeconds, obs.LatencyBuckets),
+	}
+	if l.segBytes <= 0 {
+		l.segBytes = defaultSegmentBytes
+	}
+	if l.interval <= 0 {
+		l.interval = defaultSyncInterval
+	}
+	l.scond = sync.NewCond(&l.smu)
+
+	if err := l.scanDir(); err != nil {
+		l.closeFiles()
+		return nil, err
+	}
+	if len(l.segs) == 0 {
+		if err := l.openSegmentLocked(1); err != nil {
+			return nil, err
+		}
+	}
+	if l.policy == SyncInterval {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop()
+	}
+	l.publishGauges()
+	return l, nil
+}
+
+func (l *Log) logfSafe(format string, args ...any) {
+	if l.logf != nil {
+		l.logf(format, args...)
+	}
+}
+
+// scanDir enumerates snapshots and segments, validates every record,
+// truncates the first torn/corrupt tail, and deletes segments past it.
+func (l *Log) scanDir() error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: read dir: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// Staged snapshot that never committed; the old snapshot
+			// stays authoritative.
+			os.Remove(filepath.Join(l.dir, name))
+		case strings.HasSuffix(name, segmentSuffix):
+			seq, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 10, 64)
+			if err != nil || seq == 0 {
+				continue // not ours
+			}
+			seqs = append(seqs, seq)
+		case strings.HasPrefix(name, snapshotPrefix) && strings.HasSuffix(name, snapshotSuffix):
+			es := strings.TrimSuffix(strings.TrimPrefix(name, snapshotPrefix), snapshotSuffix)
+			epoch, err := strconv.ParseUint(es, 10, 64)
+			if err != nil || epoch == 0 {
+				continue
+			}
+			l.snapshots = append(l.snapshots, SnapshotRef{Epoch: epoch, Path: filepath.Join(l.dir, name)})
+		}
+	}
+	sort.Slice(l.snapshots, func(i, j int) bool { return l.snapshots[i].Epoch > l.snapshots[j].Epoch })
+	if len(l.snapshots) > 0 {
+		l.snapEpoch = l.snapshots[0].Epoch
+		l.info.SnapshotEpoch = l.snapEpoch
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+
+	truncated := false
+	for _, seq := range seqs {
+		path := l.segmentPath(seq)
+		if truncated {
+			// Everything past the first corrupt record is unreachable
+			// by the truncation rule; drop whole later segments.
+			os.Remove(path)
+			l.info.Truncated = true
+			continue
+		}
+		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: open segment: %w", err)
+		}
+		seg := &segment{seq: seq, path: path, f: f}
+		validEnd, metas, scanErr := l.scanSegment(f, len(l.segs))
+		if scanErr != nil {
+			f.Close()
+			return scanErr
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return fmt.Errorf("wal: stat segment: %w", err)
+		}
+		if validEnd < fi.Size() {
+			truncated = true
+			l.info.Truncated = true
+			l.info.TruncatedAt = fmt.Sprintf("%s@%d", path, validEnd)
+			l.ctrTruncated.Add(1)
+			l.logfSafe("wal: truncating torn tail at %s (dropping %d bytes)", l.info.TruncatedAt, fi.Size()-validEnd)
+			if err := f.Truncate(validEnd); err != nil {
+				f.Close()
+				return fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+		}
+		// The bufio scan moved the file offset; park it at the end of
+		// the valid prefix so appends land exactly there.
+		if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: seek append position: %w", err)
+		}
+		seg.size = validEnd
+		for _, m := range metas {
+			if seg.firstEpoch == 0 {
+				seg.firstEpoch = m.epoch
+			}
+			seg.lastEpoch = m.epoch
+			if m.epoch > l.snapEpoch {
+				l.replay = append(l.replay, m)
+			}
+		}
+		l.segs = append(l.segs, seg)
+		l.writtenTo += uint64(validEnd)
+	}
+	// Bytes found on disk are trivially durable; only this
+	// incarnation's appends need fsync coverage.
+	l.syncedTo = l.writtenTo
+	l.info.Records = len(l.replay)
+	return nil
+}
+
+// scanSegment validates records sequentially and returns the byte
+// offset of the valid prefix plus metadata for each good record. A
+// short header, oversized length, or CRC mismatch ends the valid
+// prefix; it is never an error.
+func (l *Log) scanSegment(f *os.File, segIdx int) (int64, []recMeta, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, nil, fmt.Errorf("wal: seek segment: %w", err)
+	}
+	r := bufio.NewReaderSize(f, 1<<16)
+	var metas []recMeta
+	var off int64
+	hdr := make([]byte, headerSize)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return off, metas, nil // clean EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		epoch := binary.LittleEndian.Uint64(hdr[4:12])
+		sum := binary.LittleEndian.Uint32(hdr[12:16])
+		if n == 0 || n > maxRecordBytes || epoch == 0 {
+			return off, metas, nil
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return off, metas, nil // torn payload
+		}
+		crc := crc32.Update(crc32.Checksum(hdr[0:12], castagnoli), castagnoli, payload)
+		if crc != sum {
+			return off, metas, nil
+		}
+		metas = append(metas, recMeta{seg: segIdx, off: off, epoch: epoch, n: int(n)})
+		off += headerSize + int64(n)
+	}
+}
+
+// Info reports what Open found.
+func (l *Log) Info() RecoveryInfo { return l.info }
+
+// Snapshots lists committed snapshots, newest first.
+func (l *Log) Snapshots() []SnapshotRef { return l.snapshots }
+
+// Replay delivers every valid record with epoch greater than the newest
+// snapshot, in order. Each record passes the wal.replay_record
+// failpoint after checksum verification and before delivery. fn
+// returning an error aborts replay and surfaces the error; the caller
+// decides whether a poisoned record is fatal. The payload slice is
+// reused across records — copy it if it must outlive the call.
+func (l *Log) Replay(fn func(rec Record) error) error {
+	payload := []byte(nil)
+	for _, m := range l.replay {
+		seg := l.segs[m.seg]
+		if cap(payload) < m.n+headerSize {
+			payload = make([]byte, m.n+headerSize)
+		}
+		buf := payload[:m.n+headerSize]
+		if _, err := seg.f.ReadAt(buf, m.off); err != nil {
+			return fmt.Errorf("wal: reread record at %s@%d: %w", seg.path, m.off, err)
+		}
+		sum := binary.LittleEndian.Uint32(buf[12:16])
+		crc := crc32.Update(crc32.Checksum(buf[0:12], castagnoli), castagnoli, buf[headerSize:])
+		if crc != sum {
+			return fmt.Errorf("wal: record at %s@%d changed between scan and replay", seg.path, m.off)
+		}
+		if err := faultinject.Hit(faultinject.SiteWALReplayRecord); err != nil {
+			return err
+		}
+		if err := fn(Record{Epoch: m.epoch, Payload: buf[headerSize:]}); err != nil {
+			return err
+		}
+		l.ctrReplayed.Add(1)
+	}
+	return nil
+}
+
+// AppendResult reports where an Append landed.
+type AppendResult struct {
+	// Off is the global byte offset one past this record; pass it to
+	// Commit to satisfy the sync policy before acknowledging.
+	Off uint64
+	// Rotated reports that this append sealed the previous segment —
+	// the caller's cue to consider snapshot/compaction.
+	Rotated bool
+}
+
+// Append buffers one record. It does NOT make the record durable; call
+// Commit with the returned offset before acknowledging the batch.
+// Errors are sticky: a failed write wedges the log so no later batch
+// can be acked ahead of a hole.
+func (l *Log) Append(epoch uint64, payload []byte) (AppendResult, error) {
+	if len(payload) == 0 {
+		return AppendResult{}, errors.New("wal: empty payload")
+	}
+	if len(payload) > maxRecordBytes {
+		return AppendResult{}, fmt.Errorf("wal: payload %d bytes exceeds record bound %d", len(payload), maxRecordBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return AppendResult{}, errors.New("wal: closed")
+	}
+	if err := l.stickyErr(); err != nil {
+		return AppendResult{}, err
+	}
+	var res AppendResult
+	active := l.segs[len(l.segs)-1]
+	if active.size >= l.segBytes {
+		if err := l.rotateLocked(); err != nil {
+			return AppendResult{}, err
+		}
+		active = l.segs[len(l.segs)-1]
+		res.Rotated = true
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[4:12], epoch)
+	crc := crc32.Update(crc32.Checksum(hdr[0:12], castagnoli), castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc)
+	if err := l.writeAllLocked(active, hdr[:]); err != nil {
+		return AppendResult{}, err
+	}
+	if err := l.writeAllLocked(active, payload); err != nil {
+		return AppendResult{}, err
+	}
+	n := int64(headerSize + len(payload))
+	active.size += n
+	if active.firstEpoch == 0 {
+		active.firstEpoch = epoch
+	}
+	active.lastEpoch = epoch
+	l.writtenTo += uint64(n)
+	res.Off = l.writtenTo
+	l.ctrRecords.Add(1)
+	return res, nil
+}
+
+func (l *Log) writeAllLocked(seg *segment, b []byte) error {
+	if _, err := seg.f.Write(b); err != nil {
+		err = fmt.Errorf("wal: write segment %s: %w", seg.path, err)
+		l.wedge(err)
+		return err
+	}
+	return nil
+}
+
+// stickyErr reads the group-commit failure flag. Callers hold l.mu;
+// smu is safe to take under mu (never the reverse while blocking).
+func (l *Log) stickyErr() error {
+	l.smu.Lock()
+	defer l.smu.Unlock()
+	return l.failed
+}
+
+func (l *Log) wedge(err error) {
+	l.smu.Lock()
+	if l.failed == nil {
+		l.failed = err
+	}
+	l.scond.Broadcast()
+	l.smu.Unlock()
+}
+
+// rotateLocked seals the active segment (fsync under always/interval so
+// its bytes are durable before any successor record) and opens the next
+// one. Failure fails the triggering append and wedges the log.
+func (l *Log) rotateLocked() error {
+	if err := faultinject.Hit(faultinject.SiteWALSegmentRotate); err != nil {
+		return err
+	}
+	active := l.segs[len(l.segs)-1]
+	if l.policy != SyncNone {
+		start := time.Now()
+		if err := active.f.Sync(); err != nil {
+			err = fmt.Errorf("wal: seal segment %s: %w", active.path, err)
+			l.wedge(err)
+			return err
+		}
+		l.hFsync.Observe(time.Since(start).Seconds())
+	}
+	// Everything written so far lives in sealed, synced files; release
+	// any group-commit waiters parked on those offsets.
+	l.smu.Lock()
+	if l.writtenTo > l.syncedTo {
+		l.syncedTo = l.writtenTo
+	}
+	l.scond.Broadcast()
+	l.smu.Unlock()
+	if err := l.openSegmentLocked(active.seq + 1); err != nil {
+		l.wedge(err)
+		return err
+	}
+	return nil
+}
+
+func (l *Log) openSegmentLocked(seq uint64) error {
+	path := l.segmentPath(seq)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	l.segs = append(l.segs, &segment{seq: seq, path: path, f: f})
+	l.publishGaugesLocked()
+	return nil
+}
+
+func (l *Log) segmentPath(seq uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%09d%s", seq, segmentSuffix))
+}
+
+// Commit blocks until bytes [0, off) satisfy the sync policy. Under
+// SyncAlways concurrent committers share one group-commit fsync: the
+// first waiter becomes leader, syncs everything buffered so far, and
+// releases every waiter at or below the synced watermark.
+func (l *Log) Commit(off uint64) error {
+	if err := faultinject.Hit(faultinject.SiteWALAppendSync); err != nil {
+		return err
+	}
+	if l.policy != SyncAlways {
+		l.smu.Lock()
+		err := l.failed
+		l.smu.Unlock()
+		return err
+	}
+	l.smu.Lock()
+	defer l.smu.Unlock()
+	for {
+		if l.failed != nil {
+			return l.failed
+		}
+		if l.syncedTo >= off {
+			return nil
+		}
+		if !l.syncing {
+			l.syncing = true
+			l.smu.Unlock()
+			l.leaderSync()
+			l.smu.Lock()
+			continue
+		}
+		l.scond.Wait()
+	}
+}
+
+// leaderSync fsyncs the active segment on behalf of every pending
+// committer. Called without smu held; re-acquires it to publish.
+func (l *Log) leaderSync() {
+	l.mu.Lock()
+	target := l.writtenTo
+	var f *os.File
+	if !l.closed && len(l.segs) > 0 {
+		f = l.segs[len(l.segs)-1].f
+	}
+	l.mu.Unlock()
+	var err error
+	if f != nil {
+		start := time.Now()
+		err = f.Sync()
+		l.hFsync.Observe(time.Since(start).Seconds())
+	} else {
+		err = errors.New("wal: closed")
+	}
+	l.smu.Lock()
+	l.syncing = false
+	if err != nil {
+		if l.failed == nil {
+			l.failed = fmt.Errorf("wal: fsync: %w", err)
+		}
+	} else if target > l.syncedTo {
+		l.syncedTo = target
+	}
+	l.scond.Broadcast()
+	l.smu.Unlock()
+}
+
+func (l *Log) flushLoop() {
+	defer close(l.flushDone)
+	t := time.NewTicker(l.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.flushStop:
+			return
+		case <-t.C:
+			l.smu.Lock()
+			dirty := l.failed == nil
+			synced := l.syncedTo
+			l.smu.Unlock()
+			if !dirty {
+				return
+			}
+			l.mu.Lock()
+			pending := l.writtenTo > synced
+			l.mu.Unlock()
+			if pending {
+				l.leaderSyncInterval()
+			}
+		}
+	}
+}
+
+func (l *Log) leaderSyncInterval() {
+	l.smu.Lock()
+	if l.syncing {
+		l.smu.Unlock()
+		return
+	}
+	l.syncing = true
+	l.smu.Unlock()
+	l.leaderSync()
+}
+
+// WriteSnapshot stages a full-table snapshot at epoch via write, then
+// commits it atomically (tmp + fsync + rename) and deletes sealed
+// segments whose every record the snapshot covers. A write error —
+// including the server.snapshot_write failpoint firing inside write —
+// discards the staged file and leaves the previous snapshot
+// authoritative.
+func (l *Log) WriteSnapshot(epoch uint64, write func(w io.Writer) error) error {
+	final := filepath.Join(l.dir, fmt.Sprintf("%s%020d%s", snapshotPrefix, epoch, snapshotSuffix))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: stage snapshot: %w", err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: commit snapshot: %w", err)
+	}
+	l.ctrSnapshots.Add(1)
+
+	l.mu.Lock()
+	if epoch > l.snapEpoch {
+		l.snapEpoch = epoch
+	}
+	// Drop sealed segments entirely below the snapshot, and any older
+	// snapshot files it supersedes.
+	kept := l.segs[:0]
+	for i, seg := range l.segs {
+		sealed := i < len(l.segs)-1
+		if sealed && seg.lastEpoch <= l.snapEpoch {
+			seg.f.Close()
+			os.Remove(seg.path)
+			l.ctrSegDel.Add(1)
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segs = kept
+	l.publishGaugesLocked()
+	snapEpoch := l.snapEpoch
+	l.mu.Unlock()
+
+	for _, s := range l.snapshots {
+		if s.Epoch < snapEpoch {
+			os.Remove(s.Path)
+		}
+	}
+	l.snapshots = []SnapshotRef{{Epoch: snapEpoch, Path: final}}
+	return nil
+}
+
+func (l *Log) publishGauges() {
+	l.mu.Lock()
+	l.publishGaugesLocked()
+	l.mu.Unlock()
+}
+
+func (l *Log) publishGaugesLocked() {
+	if l.name == "" || l.tracer == nil {
+		return
+	}
+	if len(l.segs) > 0 {
+		l.tracer.SetGauge(obs.GaugeWALActiveSegmentPrefix+l.name, float64(l.segs[len(l.segs)-1].seq))
+	}
+	l.tracer.SetGauge(obs.GaugeWALSegmentsPrefix+l.name, float64(len(l.segs)))
+	l.tracer.SetGauge(obs.GaugeWALSnapshotEpochPrefix+l.name, float64(l.snapEpoch))
+}
+
+// Close stops the background flusher, fsyncs the active segment under
+// always/interval, and closes every file.
+func (l *Log) Close() error {
+	if l.flushStop != nil {
+		close(l.flushStop)
+		<-l.flushDone
+		l.flushStop = nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var first error
+	if l.policy != SyncNone && len(l.segs) > 0 {
+		if err := l.segs[len(l.segs)-1].f.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	l.closeFilesLocked()
+	l.smu.Lock()
+	if l.failed == nil {
+		l.failed = errors.New("wal: closed")
+	}
+	l.scond.Broadcast()
+	l.smu.Unlock()
+	return first
+}
+
+func (l *Log) closeFiles() {
+	l.mu.Lock()
+	l.closeFilesLocked()
+	l.mu.Unlock()
+}
+
+func (l *Log) closeFilesLocked() {
+	for _, seg := range l.segs {
+		seg.f.Close()
+	}
+}

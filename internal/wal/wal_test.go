@@ -1,0 +1,425 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+func openTest(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	opts.Dir = dir
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+func appendSync(t *testing.T, l *Log, epoch uint64, payload []byte) AppendResult {
+	t.Helper()
+	res, err := l.Append(epoch, payload)
+	if err != nil {
+		t.Fatalf("Append(epoch %d): %v", epoch, err)
+	}
+	if err := l.Commit(res.Off); err != nil {
+		t.Fatalf("Commit(epoch %d): %v", epoch, err)
+	}
+	return res
+}
+
+func collect(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var recs []Record
+	if err := l.Replay(func(r Record) error {
+		recs = append(recs, Record{Epoch: r.Epoch, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return recs
+}
+
+func payloadFor(i int) []byte {
+	return []byte(fmt.Sprintf(`{"batch":%d,"rows":[[1,2,3]]}`, i))
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{"always": SyncAlways, " Interval ": SyncInterval, "none": SyncNone} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSyncPolicy("fsync"); err == nil {
+		t.Fatal("ParseSyncPolicy(fsync) accepted")
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Sync: SyncAlways})
+	const n = 25
+	for i := 0; i < n; i++ {
+		appendSync(t, l, uint64(i+2), payloadFor(i))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := openTest(t, dir, Options{Sync: SyncAlways})
+	info := r.Info()
+	if info.Truncated || info.Records != n || info.SnapshotEpoch != 0 {
+		t.Fatalf("Info = %+v; want %d clean records", info, n)
+	}
+	recs := collect(t, r)
+	if len(recs) != n {
+		t.Fatalf("replayed %d records, want %d", len(recs), n)
+	}
+	for i, rec := range recs {
+		if rec.Epoch != uint64(i+2) || !bytes.Equal(rec.Payload, payloadFor(i)) {
+			t.Fatalf("record %d = epoch %d payload %q", i, rec.Epoch, rec.Payload)
+		}
+	}
+}
+
+func TestTornTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Sync: SyncAlways})
+	for i := 0; i < 5; i++ {
+		appendSync(t, l, uint64(i+2), payloadFor(i))
+	}
+	l.Close()
+
+	seg := filepath.Join(dir, "000000001.wal")
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-way through the last record's payload.
+	if err := os.Truncate(seg, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTest(t, dir, Options{Sync: SyncAlways})
+	info := r.Info()
+	if !info.Truncated || info.Records != 4 {
+		t.Fatalf("Info = %+v; want 4 records after torn-tail truncation", info)
+	}
+	if info.TruncatedAt == "" {
+		t.Fatal("TruncatedAt not reported")
+	}
+	recs := collect(t, r)
+	if len(recs) != 4 || recs[3].Epoch != 5 {
+		t.Fatalf("replayed %d records, last epoch %d; want 4 ending at epoch 5", len(recs), recs[len(recs)-1].Epoch)
+	}
+	// The truncated log accepts new appends at the recovered epoch.
+	appendSync(t, r, 6, payloadFor(99))
+	r.Close()
+	rr := openTest(t, dir, Options{Sync: SyncAlways})
+	recs = collect(t, rr)
+	if len(recs) != 5 || recs[4].Epoch != 6 {
+		t.Fatalf("after re-append: %d records, want 5 ending at epoch 6", len(recs))
+	}
+}
+
+func TestCorruptRecordTruncatesRest(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Sync: SyncAlways})
+	offs := make([]uint64, 0, 5)
+	for i := 0; i < 5; i++ {
+		res := appendSync(t, l, uint64(i+2), payloadFor(i))
+		offs = append(offs, res.Off)
+	}
+	l.Close()
+
+	// Flip one payload byte inside record 3 (global offsets are file
+	// offsets here: single segment).
+	seg := filepath.Join(dir, "000000001.wal")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[offs[2]+headerSize] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTest(t, dir, Options{Sync: SyncAlways})
+	info := r.Info()
+	if !info.Truncated || info.Records != 3 {
+		t.Fatalf("Info = %+v; want truncation after 3 records", info)
+	}
+	recs := collect(t, r)
+	if len(recs) != 3 || recs[2].Epoch != 4 {
+		t.Fatalf("replayed %d records; want epochs 2..4 only", len(recs))
+	}
+}
+
+func TestRotationSpansSegments(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Sync: SyncAlways, SegmentBytes: 128})
+	rotations := 0
+	const n = 20
+	for i := 0; i < n; i++ {
+		if appendSync(t, l, uint64(i+2), payloadFor(i)).Rotated {
+			rotations++
+		}
+	}
+	if rotations == 0 {
+		t.Fatal("no rotations at 128-byte segments")
+	}
+	l.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if len(segs) < 2 {
+		t.Fatalf("%d segment files, want several", len(segs))
+	}
+	r := openTest(t, dir, Options{Sync: SyncAlways, SegmentBytes: 128})
+	recs := collect(t, r)
+	if len(recs) != n {
+		t.Fatalf("replayed %d records across segments, want %d", len(recs), n)
+	}
+	for i, rec := range recs {
+		if rec.Epoch != uint64(i+2) {
+			t.Fatalf("record %d epoch %d", i, rec.Epoch)
+		}
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Sync: SyncAlways, SegmentBytes: 128})
+	for i := 0; i < 20; i++ {
+		appendSync(t, l, uint64(i+2), payloadFor(i))
+	}
+	table := []byte("snapshot-of-table-at-epoch-21")
+	if err := l.WriteSnapshot(21, func(w io.Writer) error {
+		_, err := w.Write(table)
+		return err
+	}); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.wal"))
+	if len(segs) != 1 {
+		t.Fatalf("%d segments after compaction, want only the active one", len(segs))
+	}
+	// Appends continue past the snapshot.
+	appendSync(t, l, 22, payloadFor(100))
+	l.Close()
+
+	r := openTest(t, dir, Options{Sync: SyncAlways, SegmentBytes: 128})
+	info := r.Info()
+	if info.SnapshotEpoch != 21 {
+		t.Fatalf("SnapshotEpoch = %d, want 21", info.SnapshotEpoch)
+	}
+	snaps := r.Snapshots()
+	if len(snaps) != 1 || snaps[0].Epoch != 21 {
+		t.Fatalf("Snapshots = %+v", snaps)
+	}
+	got, err := os.ReadFile(snaps[0].Path)
+	if err != nil || !bytes.Equal(got, table) {
+		t.Fatalf("snapshot contents %q, %v", got, err)
+	}
+	recs := collect(t, r)
+	if len(recs) != 1 || recs[0].Epoch != 22 {
+		t.Fatalf("replayed %+v; want only the post-snapshot epoch 22", recs)
+	}
+}
+
+func TestSnapshotWriteErrorKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Sync: SyncAlways})
+	appendSync(t, l, 2, payloadFor(0))
+	if err := l.WriteSnapshot(2, func(w io.Writer) error {
+		_, err := w.Write([]byte("good"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	appendSync(t, l, 3, payloadFor(1))
+	if err := l.WriteSnapshot(3, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return fmt.Errorf("injected: disk full")
+	}); err == nil {
+		t.Fatal("WriteSnapshot swallowed the write error")
+	}
+	l.Close()
+
+	r := openTest(t, dir, Options{Sync: SyncAlways})
+	if got := r.Info().SnapshotEpoch; got != 2 {
+		t.Fatalf("SnapshotEpoch = %d; want the old snapshot (2) authoritative", got)
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) != 0 {
+		t.Fatalf("staged tmp files left behind: %v", tmps)
+	}
+	body, err := os.ReadFile(r.Snapshots()[0].Path)
+	if err != nil || string(body) != "good" {
+		t.Fatalf("old snapshot = %q, %v", body, err)
+	}
+}
+
+func TestGroupCommitConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Sync: SyncAlways})
+	// Appends are serialized by the caller in production (Versioned's
+	// lock); emulate that, but let Commit waiters overlap freely.
+	const n = 64
+	offs := make([]uint64, n)
+	var alloc sync.Mutex
+	next := uint64(2)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			alloc.Lock()
+			epoch := next
+			next++
+			res, err := l.Append(epoch, payloadFor(i))
+			alloc.Unlock()
+			if err != nil {
+				t.Errorf("Append: %v", err)
+				return
+			}
+			offs[i] = res.Off
+			if err := l.Commit(res.Off); err != nil {
+				t.Errorf("Commit: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	l.Close()
+
+	r := openTest(t, dir, Options{Sync: SyncAlways})
+	recs := collect(t, r)
+	if len(recs) != n {
+		t.Fatalf("replayed %d records, want %d", len(recs), n)
+	}
+	for i, rec := range recs {
+		if rec.Epoch != uint64(i+2) {
+			t.Fatalf("record %d epoch %d; appends interleaved out of order", i, rec.Epoch)
+		}
+	}
+}
+
+func TestIntervalAndNonePoliciesCommitImmediately(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncInterval, SyncNone} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l := openTest(t, dir, Options{Sync: pol})
+			res := appendSync(t, l, 2, payloadFor(0))
+			if res.Off == 0 {
+				t.Fatal("zero offset")
+			}
+			l.Close() // Close fsyncs under interval; page cache persists under none in-process
+			r := openTest(t, dir, Options{Sync: pol})
+			if recs := collect(t, r); len(recs) != 1 || recs[0].Epoch != 2 {
+				t.Fatalf("replayed %+v", recs)
+			}
+		})
+	}
+}
+
+func TestAppendSyncFailpointFailsCommit(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Sync: SyncAlways})
+	if err := faultinject.Arm(faultinject.SiteWALAppendSync, "error(fsync lost)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Append(2, payloadFor(0))
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := l.Commit(res.Off); err == nil {
+		t.Fatal("Commit succeeded through armed wal.append_sync")
+	}
+	faultinject.Reset()
+	// The log is not wedged by an injected sync fault: the record is
+	// buffered and a later commit covers it.
+	if err := l.Commit(res.Off); err != nil {
+		t.Fatalf("Commit after disarm: %v", err)
+	}
+}
+
+func TestRotateFailpointFailsTriggeringAppend(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Sync: SyncAlways, SegmentBytes: 32})
+	appendSync(t, l, 2, payloadFor(0)) // record > 32 bytes: fills the segment
+	if err := faultinject.Arm(faultinject.SiteWALSegmentRotate, "error(rotate blocked)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(3, payloadFor(1)); err == nil {
+		t.Fatal("Append succeeded through armed wal.segment_rotate")
+	}
+	faultinject.Reset()
+	// Rotation faults are transient (nothing was written): retry works.
+	appendSync(t, l, 3, payloadFor(1))
+	l.Close()
+	r := openTest(t, dir, Options{Sync: SyncAlways, SegmentBytes: 32})
+	recs := collect(t, r)
+	if len(recs) != 2 || recs[1].Epoch != 3 {
+		t.Fatalf("replayed %+v; want epochs 2,3", recs)
+	}
+}
+
+func TestReplayRecordFailpoint(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Sync: SyncAlways})
+	appendSync(t, l, 2, payloadFor(0))
+	l.Close()
+	r := openTest(t, dir, Options{Sync: SyncAlways})
+	if err := faultinject.Arm(faultinject.SiteWALReplayRecord, "error(poisoned record)"); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Replay(func(Record) error { return nil })
+	if err == nil {
+		t.Fatal("Replay delivered through armed wal.replay_record")
+	}
+}
+
+func TestHeaderLayout(t *testing.T) {
+	dir := t.TempDir()
+	l := openTest(t, dir, Options{Sync: SyncAlways})
+	payload := []byte(`{"pinned":"layout"}`)
+	appendSync(t, l, 7, payload)
+	l.Close()
+	data, err := os.ReadFile(filepath.Join(dir, "000000001.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != headerSize+len(payload) {
+		t.Fatalf("segment %d bytes, want %d", len(data), headerSize+len(payload))
+	}
+	if got := binary.LittleEndian.Uint32(data[0:4]); got != uint32(len(payload)) {
+		t.Fatalf("length field %d", got)
+	}
+	if got := binary.LittleEndian.Uint64(data[4:12]); got != 7 {
+		t.Fatalf("epoch field %d", got)
+	}
+	// CRC covers header[0:12] + payload; the layout is pinned by DESIGN §14.
+	want := binary.LittleEndian.Uint32(data[12:16])
+	got := crc32Update(data[0:12], data[headerSize:])
+	if got != want {
+		t.Fatalf("crc %08x, want %08x", got, want)
+	}
+	if !bytes.Equal(data[headerSize:], payload) {
+		t.Fatal("payload bytes differ")
+	}
+}
+
+func crc32Update(hdr, payload []byte) uint32 {
+	return crc32.Update(crc32.Checksum(hdr, castagnoli), castagnoli, payload)
+}

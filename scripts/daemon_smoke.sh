@@ -8,8 +8,11 @@
 # listener (pprof + expvar) and the structured request log — then walks
 # the live-dataset lifecycle: append rows over HTTP, watch the epoch
 # gauge advance, wait for the drift monitor's background re-mine, and
-# replay an epoch-pinned exploration byte for byte. Any non-200 response
-# or empty body fails the script.
+# replay an epoch-pinned exploration byte for byte. The daemon runs with
+# -wal-dir, so the script ends with the durability leg: SIGKILL the
+# process mid-flight, restart it against the same WAL directory, and
+# assert the epoch gauge and the pinned epoch-1 replay survive the
+# crash. Any non-200 response or empty body fails the script.
 #
 # Usage: scripts/daemon_smoke.sh [workdir]    (default .smoke-daemon)
 # The workdir is left in place so CI can upload the trace as an artifact.
@@ -27,7 +30,7 @@ go build -o "$DIR/checktrace" ./cmd/checktrace
 
 "$DIR/hdivexplorerd" -addr "localhost:$PORT" -debug-addr "localhost:$DEBUG_PORT" \
     -dataset "compas=$DIR/compas.csv" -slo p99=1s,availability=99.0 \
-    -drift-debounce 100ms \
+    -drift-debounce 100ms -wal-dir "$DIR/wal" \
     -log-json 2> "$DIR/daemon.log" &
 DPID=$!
 trap 'kill "$DPID" 2>/dev/null || true' EXIT
@@ -178,6 +181,50 @@ curl -fsS -X POST "http://localhost:$PORT/v1/explore" \
     -o "$DIR/pinned.csv"
 grep -qi 'X-Dataset-Epoch: 1' "$DIR/pinned.headers"
 cmp "$DIR/epoch1.csv" "$DIR/pinned.csv"
+
+# ---- Durability: SIGKILL and restart against the same WAL ------------
+# The acknowledged appends are on disk; a hard kill (no drain, no final
+# fsync beyond the per-ack ones) must lose nothing.
+kill -9 "$DPID"
+wait "$DPID" 2>/dev/null || true
+
+"$DIR/hdivexplorerd" -addr "localhost:$PORT" -debug-addr "localhost:$DEBUG_PORT" \
+    -dataset "compas=$DIR/compas.csv" -slo p99=1s,availability=99.0 \
+    -drift-debounce 100ms -wal-dir "$DIR/wal" \
+    -log-json 2> "$DIR/daemon_restart.log" &
+DPID=$!
+for _ in $(seq 1 100); do
+    if curl -fsS "http://localhost:$PORT/readyz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$DPID" 2>/dev/null; then
+        echo "restarted daemon exited before becoming ready:" >&2
+        cat "$DIR/daemon_restart.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS "http://localhost:$PORT/readyz" >/dev/null
+grep -q '"msg":"dataset recovered"' "$DIR/daemon_restart.log"
+
+# WAL replay resumed the dataset at its pre-crash epoch...
+fetch "http://localhost:$PORT/metrics" "$DIR/metrics_recovered.txt"
+grep -q '^server_dataset_epoch_compas 2' "$DIR/metrics_recovered.txt"
+fetch "http://localhost:$PORT/v1/datasets" "$DIR/datasets_recovered.json"
+grep -q '"epoch": 2' "$DIR/datasets_recovered.json"
+
+# ...the pinned epoch-1 replay still answers byte for byte...
+curl -fsS -X POST "http://localhost:$PORT/v1/explore" \
+    -D "$DIR/recovered_pin.headers" \
+    -d '{"dataset":"compas","stat":"fpr","actual":"label","predicted":"prediction","top":3,"format":"csv","epoch":1}' \
+    -o "$DIR/recovered_pin.csv"
+grep -qi 'X-Dataset-Epoch: 1' "$DIR/recovered_pin.headers"
+cmp "$DIR/epoch1.csv" "$DIR/recovered_pin.csv"
+
+# ...and the log keeps rolling: a post-recovery append lands epoch 3.
+curl -fsS -X POST "http://localhost:$PORT/v1/datasets/compas/rows" \
+    -d '{"columns":["age","prior","stay","sex","race","charge","label","prediction"],
+         "rows":[[33,1,5,"Male","Caucasian","F","true","true"]]}' \
+    -o "$DIR/append_recovered.json"
+grep -q '"epoch": 3' "$DIR/append_recovered.json"
 
 kill "$DPID"
 wait "$DPID" 2>/dev/null || true
